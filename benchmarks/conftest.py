@@ -1,0 +1,40 @@
+"""Shared benchmark plumbing.
+
+Each benchmark runs its experiment exactly once through
+``benchmark.pedantic(..., rounds=1, iterations=1)`` (experiments are
+deterministic; repeating them would only re-measure the same virtual
+timeline), prints a paper-vs-measured table, and persists it under
+``benchmark_results/`` so the numbers survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(results_dir):
+    """Print a metrics Table and persist it as <name>.txt."""
+
+    def _emit(name: str, *tables) -> None:
+        text = "\n\n".join(t.render() for t in tables)
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def once(benchmark, fn):
+    """Run a deterministic experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,91 @@
+"""Ablation: which coordination mechanism buys which reuse (S5.2).
+
+The shared frame pool (temporal) and the shared crop window (spatial)
+attack different redundancy: the pool merges decoded frames, the window
+merges augmented frames.  Toggling them independently on the real
+planner shows each mechanism's contribution.  Not a paper figure —
+DESIGN.md lists this as a design-choice ablation.
+"""
+
+from conftest import once
+
+from repro.core import build_plan_window, load_task_config
+from repro.datasets import DatasetSpec, SyntheticDataset
+from repro.metrics import Table
+
+MODES = {
+    "none": dict(coordinate_temporal=False, coordinate_spatial=False),
+    "pool only": dict(coordinate_temporal=True, coordinate_spatial=False),
+    "window only": dict(coordinate_temporal=False, coordinate_spatial=True),
+    "both (SAND)": dict(coordinate_temporal=True, coordinate_spatial=True),
+}
+
+
+def make_tasks():
+    def config(tag, frames, stride, samples):
+        return load_task_config({
+            "dataset": {
+                "tag": tag,
+                "video_dataset_path": "/d",
+                "sampling": {
+                    "videos_per_batch": 4,
+                    "frames_per_video": frames,
+                    "frame_stride": stride,
+                    "samples_per_video": samples,
+                },
+                "augmentation": [
+                    {
+                        "branch_type": "single",
+                        "inputs": ["frame"],
+                        "outputs": ["a0"],
+                        "config": [
+                            {"resize": {"shape": [24, 32]}},
+                            {"random_crop": {"size": [16, 16]}},
+                        ],
+                    }
+                ],
+            }
+        })
+
+    return [config("a", 8, 2, 1), config("b", 4, 4, 2)]
+
+
+def run_experiment():
+    tasks = make_tasks()
+    dataset = SyntheticDataset(
+        DatasetSpec(num_videos=12, min_frames=60, max_frames=90, seed=2)
+    )
+    out = {}
+    for label, flags in MODES.items():
+        plan = build_plan_window(tasks, dataset, 0, 2, seed=1, **flags)
+        out[label] = plan.operation_counts()
+    return out
+
+
+def test_ablation_coordination(benchmark, emit):
+    results = once(benchmark, run_experiment)
+
+    table = Table(
+        "Ablation: coordination mechanisms vs unique operations",
+        ["mode", "decode", "resize", "random_crop"],
+    )
+    for label, counts in results.items():
+        table.add_row(label, counts["decode"], counts["resize"], counts["random_crop"])
+
+    none = results["none"]
+    pool = results["pool only"]
+    both = results["both (SAND)"]
+
+    # The frame pool is what merges decodes.
+    assert pool["decode"] < none["decode"]
+    # Spatial coordination alone cannot merge aug nodes across tasks
+    # unless the frames already coincide, so full crop reduction needs
+    # both mechanisms together.
+    assert both["random_crop"] < pool["random_crop"]
+    assert both["random_crop"] <= results["window only"]["random_crop"]
+    # Full coordination dominates every partial mode on every op.
+    for label, counts in results.items():
+        for op in ("decode", "resize", "random_crop"):
+            assert both[op] <= counts[op], (label, op)
+
+    emit("ablation_coordination", table)

@@ -1,0 +1,53 @@
+"""Ablation: the k-epoch window size (S5.2's amortization knob).
+
+SAND decodes each video once per k-epoch window.  Larger k amortizes
+decode further (less background CPU per epoch) at the cost of holding
+a window's materializations longer; the benefit saturates once decode
+stops being the background bottleneck.  Not a paper figure — DESIGN.md
+lists this as a design-choice ablation.
+"""
+
+from conftest import once
+
+from repro.metrics import Table
+from repro.simlab import SandStrategy, Workload, run_training
+
+K_VALUES = (1, 2, 5, 10)
+
+
+def run_experiment():
+    out = {}
+    for k in K_VALUES:
+        workload = Workload.of("slowfast")
+        strategy = SandStrategy(workload, k_epochs=k)
+        report = run_training([strategy], epochs=4, iterations_per_epoch=25)
+        out[k] = (report, workload.sand_premat_cpu_s_per_video(k))
+    return out
+
+
+def test_ablation_k_window(benchmark, emit):
+    results = once(benchmark, run_experiment)
+
+    table = Table(
+        "Ablation: pre-materialization window size k (SlowFast)",
+        ["k", "time/iter", "GPU util", "bg CPU s/video/epoch", "cache writes"],
+    )
+    for k, (report, premat_s) in results.items():
+        table.add_row(
+            k,
+            f"{report.time_per_iteration:.3f}s",
+            f"{report.gpu_train_util:.2f}",
+            f"{premat_s:.3f}",
+            f"{report.disk_read_bytes / 1e9:.1f} GB read",
+        )
+
+    # Background work per epoch strictly decreases with k...
+    premats = [results[k][1] for k in K_VALUES]
+    assert all(a > b for a, b in zip(premats, premats[1:]))
+    # ...and iteration time / utilization improve monotonically (weakly)
+    # until saturation near the ideal.
+    times = [results[k][0].time_per_iteration for k in K_VALUES]
+    assert all(a >= b * 0.999 for a, b in zip(times, times[1:]))
+    assert results[10][0].gpu_train_util >= results[1][0].gpu_train_util
+
+    emit("ablation_k_window", table)

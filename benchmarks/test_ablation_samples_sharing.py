@@ -1,0 +1,74 @@
+"""Ablation: intra-video sharing as samples_per_video grows (S5.1/S5.2).
+
+Self-supervised workloads draw several samples per video (the paper's
+``samples_per_video``).  Under coordination, all of a video's samples
+draw from the same per-epoch frame pool, so decode work grows far slower
+than sample count; independent sampling pays decode per sample.  This
+quantifies that intra-video reuse on the real planner.
+"""
+
+from conftest import once
+
+from repro.core import build_plan_window, load_task_config
+from repro.datasets import DatasetSpec, SyntheticDataset
+from repro.metrics import Table
+
+SAMPLE_COUNTS = (1, 2, 4)
+
+
+def make_task(samples):
+    return load_task_config({
+        "dataset": {
+            "tag": "t",
+            "video_dataset_path": "/d",
+            "sampling": {
+                "videos_per_batch": 4,
+                "frames_per_video": 6,
+                "frame_stride": 2,
+                "samples_per_video": samples,
+            },
+            "augmentation": [],
+        }
+    })
+
+
+def run_experiment():
+    dataset = SyntheticDataset(
+        DatasetSpec(num_videos=12, min_frames=60, max_frames=80, seed=8)
+    )
+    out = {}
+    for samples in SAMPLE_COUNTS:
+        task = make_task(samples)
+        coord = build_plan_window([task], dataset, 0, 1, seed=2, coordinated=True)
+        indep = build_plan_window([task], dataset, 0, 1, seed=2, coordinated=False)
+        out[samples] = (
+            coord.operation_counts()["decode"],
+            indep.operation_counts()["decode"],
+        )
+    return out
+
+
+def test_ablation_samples_sharing(benchmark, emit):
+    results = once(benchmark, run_experiment)
+
+    table = Table(
+        "Ablation: decode work vs samples_per_video (coordinated pool)",
+        ["samples/video", "decode (coordinated)", "decode (independent)",
+         "coordinated growth", "independent growth"],
+    )
+    base_c, base_i = results[SAMPLE_COUNTS[0]]
+    for samples in SAMPLE_COUNTS:
+        c, i = results[samples]
+        table.add_row(samples, c, i, f"{c / base_c:.2f}x", f"{i / base_i:.2f}x")
+
+    # Coordinated decode grows sublinearly in sample count (pool reuse);
+    # independent decode grows roughly linearly.
+    c4, i4 = results[4]
+    assert c4 / base_c < 2.0  # 4x the samples, < 2x the decode
+    assert i4 / base_i > 2.0
+    # At every sample count, coordination decodes no more than independent.
+    for samples in SAMPLE_COUNTS:
+        c, i = results[samples]
+        assert c <= i
+
+    emit("ablation_samples_sharing", table)

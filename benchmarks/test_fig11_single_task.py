@@ -1,0 +1,66 @@
+"""Fig 11: single-task training time and GPU utilization.
+
+Paper: SAND trains 2.4-5.6x faster than on-demand CPU and 1.4-1.7x
+faster than on-demand GPU, raising GPU utilization by 2.5-5.7x and
+1.4-1.7x respectively.  The naive 3 TB frame cache (S7.2) improves
+on-demand processing by only ~2.7%.
+"""
+
+from conftest import once
+
+from repro.metrics import Table
+from repro.simlab.experiments import ALL_MODELS, single_task
+
+CPU_SPEEDUP_BAND = (2.2, 6.0)  # paper: 2.4-5.6x
+GPU_SPEEDUP_BAND = (1.3, 1.9)  # paper: 1.4-1.7x
+
+
+def run_experiment():
+    return {
+        model: single_task(model, epochs=3, iterations_per_epoch=30)
+        for model in ALL_MODELS
+    }
+
+
+def test_fig11_single_task(benchmark, emit):
+    results = once(benchmark, run_experiment)
+
+    table_a = Table(
+        "Fig 11(a): training time, normalized to on-demand GPU",
+        ["model", "cpu", "gpu", "naive", "sand", "ideal",
+         "sand/cpu (2.4-5.6x)", "sand/gpu (1.4-1.7x)"],
+    )
+    table_b = Table(
+        "Fig 11(b): GPU utilization",
+        ["model", "cpu", "gpu", "sand", "ideal",
+         "sand/cpu (2.5-5.7x)", "sand/gpu (1.4-1.7x)"],
+    )
+    for model, reports in results.items():
+        t = {k: r.time_per_iteration for k, r in reports.items()}
+        u = {k: r.gpu_train_util for k, r in reports.items()}
+        speed_cpu = t["cpu"] / t["sand"]
+        speed_gpu = t["gpu"] / t["sand"]
+        table_a.add_row(
+            model,
+            *(f"{t[k] / t['gpu']:.2f}" for k in ("cpu", "gpu", "naive", "sand", "ideal")),
+            f"{speed_cpu:.2f}x",
+            f"{speed_gpu:.2f}x",
+        )
+        table_b.add_row(
+            model,
+            *(f"{u[k]:.2f}" for k in ("cpu", "gpu", "sand", "ideal")),
+            f"{u['sand'] / u['cpu']:.2f}x",
+            f"{u['sand'] / u['gpu']:.2f}x",
+        )
+
+        assert CPU_SPEEDUP_BAND[0] <= speed_cpu <= CPU_SPEEDUP_BAND[1], (model, speed_cpu)
+        assert GPU_SPEEDUP_BAND[0] <= speed_gpu <= GPU_SPEEDUP_BAND[1], (model, speed_gpu)
+        # Winner ordering: cpu slowest, then gpu, then naive~cpu, sand ~ ideal.
+        assert t["cpu"] > t["gpu"] > t["sand"] >= t["ideal"] * 0.99
+        # Naive caching barely helps (paper: 2.7%).
+        naive_gain = t["cpu"] / t["naive"] - 1
+        assert -0.1 <= naive_gain <= 0.12, (model, naive_gain)
+        # SAND lands near the ideal, stall-free run.
+        assert t["sand"] / t["ideal"] <= 1.25, (model, t["sand"] / t["ideal"])
+
+    emit("fig11_single_task", table_a, table_b)

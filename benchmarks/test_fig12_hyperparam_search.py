@@ -1,0 +1,63 @@
+"""Fig 12: hyperparameter search with Ray-Tune-style ASHA on 4 GPUs.
+
+Paper: SAND completes the search 2.9-10.2x faster than on-demand CPU and
+1.4-2.8x faster than on-demand GPU, within 5-14% of the ideal, with GPU
+utilization 3.1-12.3x (vs CPU) and 1.8-2.9x (vs GPU) higher.  All trials
+share one dataset, so SAND's materialization runs once for the fleet.
+"""
+
+from conftest import once
+
+from repro.metrics import Table
+from repro.simlab.experiments import ALL_MODELS, run_search
+
+CPU_BAND = (2.5, 10.5)  # paper: 2.9-10.2x
+GPU_BAND = (1.3, 3.0)  # paper: 1.4-2.8x
+
+
+def run_experiment():
+    out = {}
+    for model in ALL_MODELS:
+        out[model] = {
+            name: run_search(
+                name, model, num_trials=8, gpus=4, max_epochs=6,
+                iterations_per_epoch=12,
+            )
+            for name in ("cpu", "gpu", "sand", "ideal")
+        }
+    return out
+
+
+def test_fig12_hyperparam_search(benchmark, emit):
+    results = once(benchmark, run_experiment)
+
+    table = Table(
+        "Fig 12: hyperparameter search (8 trials, ASHA, 4 GPUs)",
+        ["model", "cpu wall", "gpu wall", "sand wall", "ideal wall",
+         "sand/cpu (2.9-10.2x)", "sand/gpu (1.4-2.8x)",
+         "util sand/cpu (3.1-12.3x)", "util sand/gpu (1.8-2.9x)", "gap to ideal"],
+    )
+    for model, reports in results.items():
+        w = {k: r.wall_s for k, r in reports.items()}
+        u = {k: r.gpu_train_util for k, r in reports.items()}
+        speed_cpu, speed_gpu = w["cpu"] / w["sand"], w["gpu"] / w["sand"]
+        util_cpu, util_gpu = u["sand"] / u["cpu"], u["sand"] / u["gpu"]
+        gap = w["sand"] / w["ideal"] - 1
+        table.add_row(
+            model,
+            *(f"{w[k]:.0f}s" for k in ("cpu", "gpu", "sand", "ideal")),
+            f"{speed_cpu:.2f}x", f"{speed_gpu:.2f}x",
+            f"{util_cpu:.2f}x", f"{util_gpu:.2f}x", f"{gap:.1%}",
+        )
+
+        assert CPU_BAND[0] <= speed_cpu <= CPU_BAND[1], (model, speed_cpu)
+        assert GPU_BAND[0] <= speed_gpu <= GPU_BAND[1], (model, speed_gpu)
+        assert 2.5 <= util_cpu <= 12.5, (model, util_cpu)
+        assert 1.3 <= util_gpu <= 3.0, (model, util_gpu)
+        # Near-ideal (paper: 5-14% gap; warm-up makes ours nonzero too).
+        assert gap <= 0.20, (model, gap)
+        # ASHA actually early-stopped trials in every configuration.
+        assert reports["sand"].early_stopped > 0
+        assert reports["sand"].epochs_trained < 8 * 6
+
+    emit("fig12_hyperparam_search", table)

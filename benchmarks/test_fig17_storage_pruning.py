@@ -1,0 +1,95 @@
+"""Fig 17: preprocessing time under different storage budgets.
+
+Paper (SlowFast + MAE): with object-graph pruning, recomputation drops
+by ~10% at 3 TB and ~25% at 1.5 TB versus naively caching only final
+training batches.  Measured here on the real planner and Algorithm 1,
+with budgets scaled to this repo's dataset the way 1.5/3 TB relate to
+Kinetics-400: the larger budget holds most (but not all) leaves, the
+smaller one half of that.
+"""
+
+from conftest import once
+
+from repro.core import (
+    build_plan_window,
+    load_task_config,
+    naive_budgeted_leaves,
+    prune_plan,
+)
+from repro.datasets import DatasetSpec, SyntheticDataset
+from repro.metrics import Table
+
+
+def make_plan():
+    def config(tag, frames, stride, samples):
+        return load_task_config({
+            "dataset": {
+                "tag": tag,
+                "video_dataset_path": "/d",
+                "sampling": {
+                    "videos_per_batch": 4,
+                    "frames_per_video": frames,
+                    "frame_stride": stride,
+                    "samples_per_video": samples,
+                },
+                "augmentation": [
+                    {
+                        "branch_type": "single",
+                        "inputs": ["frame"],
+                        "outputs": ["a0"],
+                        "config": [
+                            {"resize": {"shape": [24, 32]}},
+                            {"random_crop": {"size": [16, 16]}},
+                        ],
+                    }
+                ],
+            }
+        })
+
+    tasks = [config("slowfast", 8, 2, 1), config("mae", 4, 4, 2)]
+    dataset = SyntheticDataset(
+        DatasetSpec(num_videos=16, min_frames=60, max_frames=90, seed=2)
+    )
+    return build_plan_window(tasks, dataset, 0, 3, seed=1)
+
+
+def run_experiment():
+    plan = make_plan()
+    total = plan.total_cached_bytes()
+    budgets = {"3TB-equivalent": total * 0.8, "1.5TB-equivalent": total * 0.4}
+    rows = {}
+    for label, budget in budgets.items():
+        pruned = prune_plan(plan, budget)
+        naive = naive_budgeted_leaves(plan, budget)
+        rows[label] = (pruned, naive)
+    return rows
+
+
+def test_fig17_storage_pruning(benchmark, emit):
+    rows = once(benchmark, run_experiment)
+
+    table = Table(
+        "Fig 17: feed-time recomputation vs storage budget (SlowFast+MAE)",
+        ["budget", "naive recompute", "pruned recompute", "reduction", "paper"],
+    )
+    paper = {"3TB-equivalent": "10%", "1.5TB-equivalent": "25%"}
+    reductions = {}
+    for label, (pruned, naive) in rows.items():
+        reduction = 1 - pruned.total_recompute_s / naive.total_recompute_s
+        reductions[label] = reduction
+        table.add_row(
+            label,
+            f"{naive.total_recompute_s * 1e3:.1f} ms",
+            f"{pruned.total_recompute_s * 1e3:.1f} ms",
+            f"{reduction:.1%}",
+            paper[label],
+        )
+        assert pruned.met_budget
+        assert pruned.final_bytes <= naive.budget_bytes
+
+    # Shape: pruning always helps, and helps more when storage is tighter.
+    assert reductions["3TB-equivalent"] > 0.0
+    assert reductions["1.5TB-equivalent"] > reductions["3TB-equivalent"]
+    assert reductions["1.5TB-equivalent"] >= 0.12
+
+    emit("fig17_storage_pruning", table)

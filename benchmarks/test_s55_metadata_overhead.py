@@ -1,0 +1,95 @@
+"""S5.5's metadata-overhead claims, measured.
+
+The paper argues SAND's coordination metadata is negligible: a per-video
+concrete graph holds "only a few hundred nodes (tens to hundreds of KB)
+and generates in milliseconds", orders of magnitude below the
+multi-second preprocessing it orchestrates.  This benchmark builds a
+window for a 300-frame-per-video corpus (the paper's example) and
+measures both.
+"""
+
+import sys
+import time
+
+from conftest import once
+
+from repro.core import build_plan_window, load_task_config
+from repro.datasets import DatasetSpec, SyntheticDataset
+from repro.metrics import Table
+
+
+def make_task(tag, frames, stride, samples):
+    return load_task_config({
+        "dataset": {
+            "tag": tag,
+            "video_dataset_path": "/d",
+            "sampling": {
+                "videos_per_batch": 4,
+                "frames_per_video": frames,
+                "frame_stride": stride,
+                "samples_per_video": samples,
+            },
+            "augmentation": [
+                {
+                    "branch_type": "single",
+                    "inputs": ["frame"],
+                    "outputs": ["a0"],
+                    "config": [
+                        {"resize": {"shape": [24, 32]}},
+                        {"random_crop": {"size": [16, 16]}},
+                        {"flip": {"flip_prob": 0.5}},
+                    ],
+                }
+            ],
+        }
+    })
+
+
+def graph_bytes(graph) -> int:
+    """Rough in-memory footprint of one video's metadata."""
+    total = sys.getsizeof(graph.nodes)
+    for key, node in graph.nodes.items():
+        total += sys.getsizeof(key) + sys.getsizeof(node)
+        total += sum(sys.getsizeof(p) for p in node.parents)
+    return total
+
+
+def run_experiment():
+    # ~300 frames per video, like the paper's example; two tasks, k=5.
+    dataset = SyntheticDataset(
+        DatasetSpec(num_videos=16, min_frames=290, max_frames=310, seed=3)
+    )
+    tasks = [make_task("a", 8, 2, 1), make_task("b", 4, 4, 2)]
+    start = time.perf_counter()
+    plan = build_plan_window(tasks, dataset, 0, 5, seed=1)
+    elapsed = time.perf_counter() - start
+
+    per_video_nodes = [len(g.nodes) for g in plan.graphs.values()]
+    per_video_bytes = [graph_bytes(g) for g in plan.graphs.values()]
+    return elapsed, len(plan.graphs), per_video_nodes, per_video_bytes
+
+
+def test_s55_metadata_overhead(benchmark, emit):
+    elapsed, videos, nodes, sizes = once(benchmark, run_experiment)
+    per_video_ms = elapsed / videos * 1e3
+
+    table = Table(
+        "S5.5: concrete-graph metadata overhead (300-frame videos, 2 tasks, k=5)",
+        ["metric", "measured", "paper"],
+    )
+    table.add_row("nodes per video graph", f"{min(nodes)}-{max(nodes)}",
+                  "a few hundred")
+    table.add_row("metadata per video", f"{min(sizes)//1024}-{max(sizes)//1024} KB",
+                  "tens to hundreds of KB")
+    table.add_row("generation time per video", f"{per_video_ms:.1f} ms",
+                  "milliseconds")
+
+    # "a few hundred nodes" per 300-frame video graph.
+    assert max(nodes) < 2000
+    assert min(nodes) > 20
+    # "tens to hundreds of KB".
+    assert max(sizes) < 1024 * 1024
+    # "generates in milliseconds" per video.
+    assert per_video_ms < 1000
+
+    emit("s55_metadata_overhead", table)

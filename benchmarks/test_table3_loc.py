@@ -1,0 +1,43 @@
+"""Table 3: lines of code for video preprocessing.
+
+Paper: 2254 LoC (SlowFast) and 297 LoC (HD-VILA) of manual preprocessing
+reduce to 8 and 7 LoC with SAND.  Measured here on this repo's bundled
+examples: the manual-pipeline foil implements decode/select/augment/
+load/collate by hand; the quickstart's ``__getitem__`` uses SAND views.
+Both regions are delimited by explicit markers and counted as logical
+LoC (blanks/comments/docstrings excluded).
+"""
+
+from pathlib import Path
+
+from conftest import once
+
+from repro.metrics import Table, count_preprocessing_loc
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_experiment():
+    manual = count_preprocessing_loc(EXAMPLES / "manual_pipeline_slowfast.py")
+    sand = count_preprocessing_loc(EXAMPLES / "quickstart.py")
+    return manual, sand
+
+
+def test_table3_loc(benchmark, emit):
+    manual, sand = once(benchmark, run_experiment)
+
+    table = Table(
+        "Table 3: preprocessing lines of code",
+        ["pipeline", "LoC", "paper (SlowFast)", "paper (HD-VILA)"],
+    )
+    table.add_row("manual implementation", manual, "2254", "297")
+    table.add_row("with SAND abstractions", sand, "8", "7")
+    table.add_row("reduction", f"{manual / sand:.0f}x", "282x", "42x")
+
+    # Shape: manual preprocessing is a real pipeline (hundreds of lines
+    # at HD-VILA scale); the SAND version is under ten.
+    assert manual >= 120
+    assert sand <= 10
+    assert manual / sand >= 15
+
+    emit("table3_loc", table)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Distributed data-parallel training with remote storage (paper Fig 14).
+
+Two nodes train one model; the dataset lives in remote (Filestore-like)
+storage.  Each node runs its own SAND service over a remote-fetching
+dataset wrapper.  SAND pulls each encoded video across the WAN once per
+plan window and serves everything else from its local materialized
+cache; the on-demand baseline re-fetches whenever it re-decodes.  The
+example reports the measured network traffic of both — the paper's 3%
+figure is this ratio's long-run limit.
+
+Run:  python examples/distributed_remote_storage.py
+"""
+
+import numpy as np
+
+from repro.baselines import OnDemandPipeline
+from repro.core import SandService, load_task_config
+from repro.datasets import DatasetSpec, SyntheticDataset
+from repro.train import run_ddp
+from repro.train.ddp import RemoteFetchDataset
+
+CONFIG = """
+dataset:
+  tag: "ddp"
+  input_source: streaming
+  video_dataset_path: /remote/filestore/train
+  sampling:
+    videos_per_batch: 4
+    frames_per_video: 6
+    frame_stride: 2
+  augmentation:
+  - name: "aug"
+    branch_type: "single"
+    inputs: ["frame"]
+    outputs: ["a0"]
+    config:
+    - resize:
+        shape: [20, 28]
+    - random_crop:
+        size: [16, 16]
+"""
+
+EPOCHS = 4
+
+
+class _NodeSource:
+    """One node's batch source plus its remote-traffic meter."""
+
+    def __init__(self, service_or_pipeline, dataset):
+        self._source = service_or_pipeline
+        self.dataset = dataset
+
+    def get_batch(self, task, epoch, iteration):
+        return self._source.get_batch(task, epoch, iteration)
+
+
+def main() -> None:
+    base = SyntheticDataset(
+        DatasetSpec(num_videos=8, min_frames=40, max_frames=60, seed=13)
+    )
+    config = load_task_config(CONFIG)
+
+    # SAND nodes: remote fetch once, local materialized cache after.
+    sand_nodes = []
+    services = []
+    for node_idx in range(2):
+        remote_view = RemoteFetchDataset(base, cache_locally=True)
+        service = SandService(
+            [config], remote_view, storage_budget_bytes=128 * 1024 * 1024,
+            k_epochs=EPOCHS, num_workers=0, seed=21,
+        )
+        services.append(service)
+        sand_nodes.append(_NodeSource(service, remote_view))
+    iters = services[0].iterations_per_epoch("ddp")
+    sand_result = run_ddp(sand_nodes, "ddp", iters, EPOCHS, seed=2)
+
+    # Baseline nodes: on-demand decode re-fetches the encoded source.
+    baseline_nodes = []
+    for node_idx in range(2):
+        remote_view = RemoteFetchDataset(base, cache_locally=False)
+        pipeline = OnDemandPipeline(config, remote_view, seed=21)
+        baseline_nodes.append(_NodeSource(pipeline, remote_view))
+    baseline_result = run_ddp(baseline_nodes, "ddp", iters, EPOCHS, seed=2)
+
+    for service in services:
+        service.shutdown()
+
+    sand_mb = sand_result.total_remote_bytes / 1e6
+    base_mb = baseline_result.total_remote_bytes / 1e6
+    print(f"SAND:     loss {sand_result.losses[-1]:.4f}, "
+          f"remote traffic {sand_mb:.1f} MB across both nodes")
+    print(f"baseline: loss {baseline_result.losses[-1]:.4f}, "
+          f"remote traffic {base_mb:.1f} MB across both nodes")
+    print(f"SAND moved {sand_mb / base_mb:.1%} of the baseline's bytes "
+          f"over the WAN ({EPOCHS} epochs; ratio keeps falling with more epochs)")
+    print("distributed remote-storage OK")
+
+
+if __name__ == "__main__":
+    main()

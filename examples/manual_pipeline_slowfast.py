@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""The Table-3 foil: video preprocessing written the manual way.
+
+This file implements, by hand, everything a SlowFast/HD-VILA-style
+codebase implements for itself and everything SAND otherwise abstracts
+away: container parsing and frame-accurate seeking, GOP-aware decoding,
+temporal sampling policy, every augmentation op inline, a worker-thread
+prefetch pipeline, and batch collation.  It produces batches of the same
+shape as the SAND quickstart — in a few hundred lines instead of eight.
+
+The region between the preprocessing markers is what the Table 3
+benchmark counts.  Nothing here imports SAND's pipeline; only the codec's
+byte-format *reader* primitives are reused (a real project would link
+PyAV the same way).
+
+Run:  python examples/manual_pipeline_slowfast.py
+"""
+
+import queue
+import threading
+import zlib
+
+import numpy as np
+
+from repro.codec.container import read_container
+from repro.codec.model import FrameType
+from repro.datasets import DatasetSpec, SyntheticDataset
+from repro.train import MLPClassifier, batch_features
+
+# --- preprocessing ---
+
+
+class ManualVideoReader:
+    """Frame-accurate reader over the container format (PyAV-equivalent)."""
+
+    def __init__(self, data):
+        self.data = data
+        self.metadata, self.records = read_container(data)
+
+    def _decode_record(self, index, previous):
+        record = self.records[index]
+        payload = self.data[record.offset : record.offset + record.length]
+        raw = zlib.decompress(payload)
+        md = self.metadata
+        frame = np.frombuffer(raw, dtype=np.uint8).reshape(md.height, md.width, 3)
+        if record.frame_type is FrameType.P:
+            if previous is None:
+                raise ValueError(f"P frame {index} without reference")
+            frame = previous + frame
+        return frame.copy()
+
+    def read_frames(self, indices):
+        """Decode the requested frames, walking each GOP from its keyframe."""
+        wanted = sorted(set(indices))
+        out = {}
+        gop = self.metadata.gop_size
+        by_gop = {}
+        for idx in wanted:
+            by_gop.setdefault(idx // gop, []).append(idx)
+        for g, members in sorted(by_gop.items()):
+            previous = None
+            for idx in range(g * gop, max(members) + 1):
+                previous = self._decode_record(idx, previous)
+                if idx in members:
+                    out[idx] = previous
+        return out
+
+
+def select_clip_indices(rng, num_frames, frames_per_clip, stride):
+    """Random temporal sampling: a strided clip placed uniformly."""
+    span = (frames_per_clip - 1) * stride + 1
+    if span <= num_frames:
+        start = int(rng.integers(0, num_frames - span + 1))
+        return [start + i * stride for i in range(frames_per_clip)]
+    start = int(rng.integers(0, num_frames))
+    return [(start + i * stride) % num_frames for i in range(frames_per_clip)]
+
+
+def resize_bilinear(clip, out_h, out_w):
+    """Bilinear resize, implemented from scratch (OpenCV-equivalent)."""
+    t, h, w, c = clip.shape
+    if (h, w) == (out_h, out_w):
+        return clip.copy()
+    ys = np.clip((np.arange(out_h) + 0.5) * (h / out_h) - 0.5, 0, h - 1)
+    xs = np.clip((np.arange(out_w) + 0.5) * (w / out_w) - 0.5, 0, w - 1)
+    y0 = np.floor(ys).astype(np.int64)
+    x0 = np.floor(xs).astype(np.int64)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0)[None, :, None, None]
+    wx = (xs - x0)[None, None, :, None]
+    work = clip.astype(np.float32)
+    top = work[:, y0][:, :, x0] * (1 - wx) + work[:, y0][:, :, x1] * wx
+    bot = work[:, y1][:, :, x0] * (1 - wx) + work[:, y1][:, :, x1] * wx
+    out = top * (1 - wy) + bot * wy
+    return np.clip(np.rint(out), 0, 255).astype(np.uint8)
+
+
+def random_crop(rng, clip, crop_h, crop_w):
+    t, h, w, c = clip.shape
+    if crop_h > h or crop_w > w:
+        raise ValueError(f"crop {crop_h}x{crop_w} larger than clip {h}x{w}")
+    top = int(rng.integers(0, h - crop_h + 1))
+    left = int(rng.integers(0, w - crop_w + 1))
+    return clip[:, top : top + crop_h, left : left + crop_w].copy()
+
+
+def random_flip(rng, clip, prob):
+    if rng.random() < prob:
+        return clip[:, :, ::-1].copy()
+    return clip
+
+
+def color_jitter(rng, clip, brightness):
+    factor = float(rng.uniform(1.0 - brightness, 1.0 + brightness))
+    work = clip.astype(np.float32) * factor
+    return np.clip(np.rint(work), 0, 255).astype(np.uint8)
+
+
+class ManualPreprocessor:
+    """One sample: decode, select, augment — the per-item pipeline."""
+
+    def __init__(self, dataset, frames_per_clip, stride, resize_hw, crop_hw,
+                 flip_prob, brightness, seed):
+        self.dataset = dataset
+        self.frames_per_clip = frames_per_clip
+        self.stride = stride
+        self.resize_hw = resize_hw
+        self.crop_hw = crop_hw
+        self.flip_prob = flip_prob
+        self.brightness = brightness
+        self.seed = seed
+        self._readers = {}
+        self._lock = threading.Lock()
+
+    def _reader(self, video_id):
+        with self._lock:
+            if video_id not in self._readers:
+                self._readers[video_id] = ManualVideoReader(
+                    self.dataset.get_bytes(video_id)
+                )
+            return self._readers[video_id]
+
+    def build_sample(self, video_id, epoch, slot):
+        rng = np.random.default_rng(
+            (hash((self.seed, video_id, epoch, slot)) & 0x7FFFFFFF)
+        )
+        reader = self._reader(video_id)
+        num_frames = reader.metadata.num_frames
+        indices = select_clip_indices(
+            rng, num_frames, self.frames_per_clip, self.stride
+        )
+        frames = reader.read_frames(indices)
+        clip = np.stack([frames[i] for i in indices], axis=0)
+        clip = resize_bilinear(clip, *self.resize_hw)
+        clip = random_crop(rng, clip, *self.crop_hw)
+        clip = random_flip(rng, clip, self.flip_prob)
+        clip = color_jitter(rng, clip, self.brightness)
+        timestamps = [i / reader.metadata.fps for i in indices]
+        return clip, timestamps
+
+
+class ManualLoader:
+    """Worker-thread prefetch loader with collation (DataLoader-equivalent)."""
+
+    def __init__(self, preprocessor, dataset, videos_per_batch, num_workers,
+                 prefetch, seed):
+        self.pre = preprocessor
+        self.dataset = dataset
+        self.videos_per_batch = videos_per_batch
+        self.num_workers = num_workers
+        self.prefetch = prefetch
+        self.seed = seed
+
+    def epoch_order(self, epoch):
+        rng = np.random.default_rng((self.seed, epoch))
+        ids = list(self.dataset.video_ids)
+        return [ids[i] for i in rng.permutation(len(ids))]
+
+    def iterations_per_epoch(self):
+        return len(self.dataset.video_ids) // self.videos_per_batch
+
+    def iter_epoch(self, epoch):
+        order = self.epoch_order(epoch)
+        batches = [
+            order[i * self.videos_per_batch : (i + 1) * self.videos_per_batch]
+            for i in range(self.iterations_per_epoch())
+        ]
+        jobs = queue.Queue()
+        results = {}
+        results_lock = threading.Lock()
+        done = threading.Event()
+
+        def worker():
+            while not done.is_set():
+                try:
+                    key, video_id, slot = jobs.get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                sample = self.pre.build_sample(video_id, epoch, slot)
+                with results_lock:
+                    results[key] = sample
+                jobs.task_done()
+
+        threads = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(self.num_workers)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for it, batch_videos in enumerate(batches):
+                for slot, video_id in enumerate(batch_videos):
+                    jobs.put(((it, slot), video_id, slot))
+            for it, batch_videos in enumerate(batches):
+                samples, stamps, labels = [], [], []
+                for slot, video_id in enumerate(batch_videos):
+                    while True:
+                        with results_lock:
+                            if (it, slot) in results:
+                                clip, ts = results.pop((it, slot))
+                                break
+                        threading.Event().wait(0.002)
+                    samples.append(clip)
+                    stamps.append(ts)
+                    labels.append(self.dataset.label(video_id))
+                yield np.stack(samples, axis=0), labels, stamps
+        finally:
+            done.set()
+            for thread in threads:
+                thread.join(timeout=2)
+
+
+# --- end preprocessing ---
+
+
+def main() -> None:
+    dataset = SyntheticDataset(
+        DatasetSpec(num_videos=12, min_frames=40, max_frames=70, seed=7)
+    )
+    pre = ManualPreprocessor(
+        dataset,
+        frames_per_clip=8,
+        stride=2,
+        resize_hw=(24, 32),
+        crop_hw=(16, 16),
+        flip_prob=0.5,
+        brightness=0.2,
+        seed=0,
+    )
+    loader = ManualLoader(
+        pre, dataset, videos_per_batch=4, num_workers=2, prefetch=2, seed=0
+    )
+    model = None
+    for epoch in range(2):
+        losses = []
+        for batch, labels, _ in loader.iter_epoch(epoch):
+            feats = batch_features(batch)
+            if model is None:
+                model = MLPClassifier(feats.shape[1], 32, dataset.spec.num_classes)
+            losses.append(model.train_step(feats, np.asarray(labels)))
+        print(f"epoch {epoch}: mean loss {np.mean(losses):.4f} "
+              f"(batch shape {batch.shape})")
+    print("manual pipeline OK")
+
+
+if __name__ == "__main__":
+    main()

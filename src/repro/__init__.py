@@ -1,0 +1,35 @@
+"""SAND reproduction: a storage abstraction for video deep learning.
+
+Reproduces "SAND: A New Programming Abstraction for Video-based Deep
+Learning" (SOSP 2025) and every substrate it depends on.  The most
+common entry points are re-exported here; see the subpackages for the
+full API:
+
+>>> from repro import SandClient, SandService, load_task_config
+>>> from repro.datasets import DatasetSpec, SyntheticDataset
+
+Subpackages: :mod:`repro.core` (the paper's contribution),
+:mod:`repro.codec`, :mod:`repro.augment`, :mod:`repro.vfs`,
+:mod:`repro.storage`, :mod:`repro.sim`, :mod:`repro.simlab`,
+:mod:`repro.train`, :mod:`repro.rayx`, :mod:`repro.baselines`,
+:mod:`repro.datasets`, :mod:`repro.metrics`.
+"""
+
+from repro.core import (
+    SandClient,
+    SandService,
+    load_task_config,
+    load_task_configs,
+    mount_sand,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SandClient",
+    "SandService",
+    "__version__",
+    "load_task_config",
+    "load_task_configs",
+    "mount_sand",
+]

@@ -1,0 +1,88 @@
+"""``python -m repro`` — a one-command smoke demo.
+
+Builds a small synthetic corpus, starts a SAND service, reads a batch
+through the POSIX view interface, trains a few steps, and prints what
+happened.  Useful as an install check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SAND reproduction smoke demo",
+    )
+    parser.add_argument("--videos", type=int, default=8, help="corpus size")
+    parser.add_argument("--epochs", type=int, default=2, help="epochs to train")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro import SandClient, load_task_config, __version__
+    from repro.datasets import DatasetSpec, SyntheticDataset
+    from repro.train import MLPClassifier, batch_features
+
+    print(f"repro {__version__} — SAND reproduction demo")
+    dataset = SyntheticDataset(
+        DatasetSpec(num_videos=args.videos, min_frames=40, max_frames=60,
+                    seed=args.seed)
+    )
+    config = load_task_config({
+        "dataset": {
+            "tag": "demo",
+            "video_dataset_path": "/dataset/demo",
+            "sampling": {"videos_per_batch": 4, "frames_per_video": 6,
+                         "frame_stride": 2},
+            "augmentation": [
+                {
+                    "branch_type": "single",
+                    "inputs": ["frame"],
+                    "outputs": ["a0"],
+                    "config": [
+                        {"resize": {"shape": [24, 32]}},
+                        {"random_crop": {"size": [16, 16]}},
+                        {"flip": {"flip_prob": 0.5}},
+                    ],
+                }
+            ],
+        }
+    })
+    client, service = SandClient.create(
+        [config], dataset, storage_budget_bytes=64 * 1024 * 1024,
+        k_epochs=max(1, args.epochs), num_workers=1, seed=args.seed,
+    )
+    try:
+        ctrl = client.begin_task("demo")
+        iters = service.iterations_per_epoch("demo")
+        model = None
+        for epoch in range(args.epochs):
+            losses = []
+            for iteration in range(iters):
+                batch, md = client.read_batch("demo", epoch, iteration)
+                feats = batch_features(batch)
+                if model is None:
+                    model = MLPClassifier(feats.shape[1], 32,
+                                          dataset.spec.num_classes,
+                                          seed=args.seed)
+                losses.append(
+                    model.train_step(feats, np.asarray(md["labels"]))
+                )
+            print(f"  epoch {epoch}: {iters} iterations, "
+                  f"mean loss {np.mean(losses):.4f}")
+        print(f"  views served through POSIX calls; cache holds "
+              f"{len(service.store)} objects "
+              f"({service.store.used_bytes / 1e6:.1f} MB)")
+        client.finish_task(ctrl)
+    finally:
+        service.shutdown()
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Safe evaluator for conditional-branch expressions.
+
+The configuration API lets users gate augmentation branches on training
+state, e.g. ``condition: "iteration > 10000"`` (paper Fig 9).  Evaluating
+user strings with ``eval`` would let a config file execute arbitrary code
+inside the SAND service, so this module compiles expressions with
+:mod:`ast` and walks a strict whitelist instead: comparisons, boolean
+ops, arithmetic, literals, and names resolved from the caller-provided
+context.  Anything else (calls, attributes, subscripts, lambdas, ...) is
+rejected with :class:`ExprError`.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from typing import Any, Mapping
+
+_BIN_OPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+}
+
+_CMP_OPS = {
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+}
+
+_UNARY_OPS = {
+    ast.Not: operator.not_,
+    ast.USub: operator.neg,
+    ast.UAdd: operator.pos,
+}
+
+_ALLOWED_CONST_TYPES = (bool, int, float, str, type(None))
+
+
+class ExprError(ValueError):
+    """Raised for syntax errors, disallowed constructs, or unknown names."""
+
+
+def _eval_node(node: ast.AST, context: Mapping[str, Any]) -> Any:
+    if isinstance(node, ast.Expression):
+        return _eval_node(node.body, context)
+    if isinstance(node, ast.Constant):
+        if not isinstance(node.value, _ALLOWED_CONST_TYPES):
+            raise ExprError(f"disallowed constant {node.value!r}")
+        return node.value
+    if isinstance(node, ast.Name):
+        if node.id not in context:
+            raise ExprError(f"unknown name {node.id!r} in condition")
+        return context[node.id]
+    if isinstance(node, ast.BoolOp):
+        values = (_eval_node(v, context) for v in node.values)
+        if isinstance(node.op, ast.And):
+            result = True
+            for value in values:
+                result = value
+                if not value:
+                    return value
+            return result
+        result = False
+        for value in values:
+            result = value
+            if value:
+                return value
+        return result
+    if isinstance(node, ast.UnaryOp):
+        op = _UNARY_OPS.get(type(node.op))
+        if op is None:
+            raise ExprError(f"disallowed unary op {type(node.op).__name__}")
+        return op(_eval_node(node.operand, context))
+    if isinstance(node, ast.BinOp):
+        op = _BIN_OPS.get(type(node.op))
+        if op is None:
+            raise ExprError(f"disallowed operator {type(node.op).__name__}")
+        return op(_eval_node(node.left, context), _eval_node(node.right, context))
+    if isinstance(node, ast.Compare):
+        left = _eval_node(node.left, context)
+        for cmp_op, comparator in zip(node.ops, node.comparators):
+            op = _CMP_OPS.get(type(cmp_op))
+            if op is None:
+                raise ExprError(f"disallowed comparison {type(cmp_op).__name__}")
+            right = _eval_node(comparator, context)
+            if not op(left, right):
+                return False
+            left = right
+        return True
+    raise ExprError(f"disallowed construct {type(node).__name__}")
+
+
+def evaluate_expr(expression: str, context: Mapping[str, Any]) -> Any:
+    """Evaluate a restricted expression against a variable context.
+
+    >>> evaluate_expr("iteration > 10000", {"iteration": 20000})
+    True
+    >>> evaluate_expr("epoch % 2 == 0 and iteration < 50", {"epoch": 4, "iteration": 3})
+    True
+    """
+    if expression.strip().lower() == "else":
+        # "else" is the configuration API's catch-all branch marker.
+        return True
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError as exc:
+        raise ExprError(f"invalid condition {expression!r}: {exc}") from exc
+    return _eval_node(tree, context)

@@ -1,0 +1,443 @@
+"""The augmentation op library.
+
+Every op is split into two phases:
+
+1. ``sample_params(rng, clip_shape)`` draws the op's random choices (crop
+   position, flip coin, jitter factors, ...) and returns them as a plain,
+   JSON-able dict;
+2. ``apply(clip, params)`` deterministically transforms the clip given
+   those params.
+
+This split is what makes SAND's reuse sound: two tasks that end up with
+identical ``(op name, params)`` chains produce bit-identical outputs, so
+the concrete-graph planner can merge their nodes (S5.2), and the shared
+crop-window mechanism can constrain sampling without touching application.
+
+Clips are ``(T, H, W, C)`` uint8 arrays (C=3) except after ``normalize``,
+which produces float32.  Frame-scoped ops broadcast over T.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+Params = Dict[str, Any]
+ClipShape = Tuple[int, int, int, int]  # (T, H, W, C)
+
+
+def stable_params_key(params: Params) -> str:
+    """Canonical hashable encoding of a params dict (for node merging)."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+def _require_clip(clip: np.ndarray) -> None:
+    if clip.ndim != 4:
+        raise ValueError(f"clip must be (T, H, W, C), got shape {clip.shape}")
+
+
+class AugmentOp:
+    """Base class for augmentation ops.
+
+    Subclasses set :attr:`name`, :attr:`deterministic` and
+    :attr:`spatial_window` (True when the op's randomness is the placement
+    of a spatial window, making it eligible for shared-window
+    coordination, S5.2), and implement :meth:`sample_params`,
+    :meth:`apply` and :meth:`output_shape`.
+
+    ``cost_weight`` is the op's relative computational cost per frame
+    megapixel; the concrete graph uses it as its edge weight (S5.3).
+    """
+
+    name: str = "base"
+    deterministic: bool = True
+    spatial_window: bool = False
+    scope: str = "frame"  # or "clip" for temporal ops
+    cost_weight: float = 1.0
+
+    def __init__(self, config: Optional[Params] = None):
+        self.config: Params = dict(config or {})
+        self.validate_config()
+
+    def validate_config(self) -> None:
+        """Raise ValueError on malformed configuration."""
+
+    def sample_params(self, rng: np.random.Generator, clip_shape: ClipShape) -> Params:
+        """Draw the op's random parameters (empty for deterministic ops)."""
+        del rng, clip_shape
+        return {}
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        raise NotImplementedError
+
+    def output_shape(self, clip_shape: ClipShape, params: Params) -> ClipShape:
+        del params
+        return clip_shape
+
+    # -- shared-window coordination hooks (stochastic spatial ops only) ----
+    def window_size(self, clip_shape: ClipShape) -> Tuple[int, int]:
+        """(h, w) of the region this op's randomness ranges over."""
+        raise NotImplementedError(f"{self.name} has no spatial window")
+
+    def sample_params_within(
+        self,
+        rng: np.random.Generator,
+        clip_shape: ClipShape,
+        window: Tuple[int, int, int, int],
+    ) -> Params:
+        """Sample constrained to a shared ``(top, left, h, w)`` window."""
+        raise NotImplementedError(f"{self.name} has no spatial window")
+
+    def describe(self) -> str:
+        return f"{self.name}({stable_params_key(self.config)})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+def _resize_bilinear(clip: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Vectorized bilinear resize of a (T, H, W, C) uint8/float clip."""
+    t, h, w, c = clip.shape
+    if (h, w) == (out_h, out_w):
+        return clip.copy()
+    # Align-corners=False convention (matches torch/OpenCV defaults).
+    ys = (np.arange(out_h) + 0.5) * (h / out_h) - 0.5
+    xs = (np.arange(out_w) + 0.5) * (w / out_w) - 0.5
+    ys = np.clip(ys, 0, h - 1)
+    xs = np.clip(xs, 0, w - 1)
+    y0 = np.floor(ys).astype(np.int64)
+    x0 = np.floor(xs).astype(np.int64)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0)[None, :, None, None]
+    wx = (xs - x0)[None, None, :, None]
+    work = clip.astype(np.float32)
+    top = work[:, y0][:, :, x0] * (1 - wx) + work[:, y0][:, :, x1] * wx
+    bot = work[:, y1][:, :, x0] * (1 - wx) + work[:, y1][:, :, x1] * wx
+    out = top * (1 - wy) + bot * wy
+    if clip.dtype == np.uint8:
+        return np.clip(np.rint(out), 0, 255).astype(np.uint8)
+    return out.astype(clip.dtype)
+
+
+class Resize(AugmentOp):
+    """Deterministic resize to ``shape: [h, w]`` (bilinear)."""
+
+    name = "resize"
+    deterministic = True
+    cost_weight = 1.6
+
+    def validate_config(self) -> None:
+        shape = self.config.get("shape")
+        if (
+            not isinstance(shape, (list, tuple))
+            or len(shape) != 2
+            or any(int(s) < 1 for s in shape)
+        ):
+            raise ValueError(f"resize needs shape: [h, w], got {shape!r}")
+        interp = self.config.get("interpolation", ["bilinear"])
+        if isinstance(interp, str):
+            interp = [interp]
+        if any(mode not in ("bilinear",) for mode in interp):
+            raise ValueError(f"unsupported interpolation {interp!r}")
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        _require_clip(clip)
+        h, w = (int(s) for s in self.config["shape"])
+        return _resize_bilinear(clip, h, w)
+
+    def output_shape(self, clip_shape: ClipShape, params: Params) -> ClipShape:
+        t, _, _, c = clip_shape
+        h, w = (int(s) for s in self.config["shape"])
+        return (t, h, w, c)
+
+
+class CenterCrop(AugmentOp):
+    """Deterministic central crop to ``size: [h, w]``."""
+
+    name = "center_crop"
+    deterministic = True
+    cost_weight = 0.3
+
+    def validate_config(self) -> None:
+        size = self.config.get("size")
+        if (
+            not isinstance(size, (list, tuple))
+            or len(size) != 2
+            or any(int(s) < 1 for s in size)
+        ):
+            raise ValueError(f"center_crop needs size: [h, w], got {size!r}")
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        _require_clip(clip)
+        ch, cw = (int(s) for s in self.config["size"])
+        t, h, w, c = clip.shape
+        if ch > h or cw > w:
+            raise ValueError(f"crop {ch}x{cw} larger than clip {h}x{w}")
+        top = (h - ch) // 2
+        left = (w - cw) // 2
+        return clip[:, top : top + ch, left : left + cw].copy()
+
+    def output_shape(self, clip_shape: ClipShape, params: Params) -> ClipShape:
+        t, _, _, c = clip_shape
+        ch, cw = (int(s) for s in self.config["size"])
+        return (t, ch, cw, c)
+
+
+class RandomCrop(AugmentOp):
+    """Random spatial crop to ``size: [h, w]``.
+
+    The sampled randomness is the crop's top-left corner — a spatial
+    window, so this op participates in SAND's shared-window coordination.
+    """
+
+    name = "random_crop"
+    deterministic = False
+    spatial_window = True
+    cost_weight = 0.3
+
+    def validate_config(self) -> None:
+        size = self.config.get("size")
+        if (
+            not isinstance(size, (list, tuple))
+            or len(size) != 2
+            or any(int(s) < 1 for s in size)
+        ):
+            raise ValueError(f"random_crop needs size: [h, w], got {size!r}")
+
+    def window_size(self, clip_shape: ClipShape) -> Tuple[int, int]:
+        ch, cw = (int(s) for s in self.config["size"])
+        return (ch, cw)
+
+    def sample_params(self, rng: np.random.Generator, clip_shape: ClipShape) -> Params:
+        _, h, w, _ = clip_shape
+        ch, cw = self.window_size(clip_shape)
+        if ch > h or cw > w:
+            raise ValueError(f"crop {ch}x{cw} larger than clip {h}x{w}")
+        top = int(rng.integers(0, h - ch + 1))
+        left = int(rng.integers(0, w - cw + 1))
+        return {"top": top, "left": left}
+
+    def sample_params_within(
+        self,
+        rng: np.random.Generator,
+        clip_shape: ClipShape,
+        window: Tuple[int, int, int, int],
+    ) -> Params:
+        wtop, wleft, wh, ww = window
+        ch, cw = self.window_size(clip_shape)
+        if ch > wh or cw > ww:
+            raise ValueError(
+                f"crop {ch}x{cw} does not fit shared window {wh}x{ww}"
+            )
+        top = wtop + int(rng.integers(0, wh - ch + 1))
+        left = wleft + int(rng.integers(0, ww - cw + 1))
+        return {"top": top, "left": left}
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        _require_clip(clip)
+        ch, cw = (int(s) for s in self.config["size"])
+        top, left = int(params["top"]), int(params["left"])
+        t, h, w, c = clip.shape
+        if top < 0 or left < 0 or top + ch > h or left + cw > w:
+            raise ValueError(
+                f"crop [{top}:{top+ch}, {left}:{left+cw}] outside clip {h}x{w}"
+            )
+        return clip[:, top : top + ch, left : left + cw].copy()
+
+    def output_shape(self, clip_shape: ClipShape, params: Params) -> ClipShape:
+        t, _, _, c = clip_shape
+        ch, cw = (int(s) for s in self.config["size"])
+        return (t, ch, cw, c)
+
+
+class Flip(AugmentOp):
+    """Horizontal flip with probability ``flip_prob`` (default 0.5)."""
+
+    name = "flip"
+    deterministic = False
+    cost_weight = 0.2
+
+    def validate_config(self) -> None:
+        prob = self.config.get("flip_prob", 0.5)
+        if not 0.0 <= float(prob) <= 1.0:
+            raise ValueError(f"flip_prob must be in [0, 1], got {prob}")
+
+    def sample_params(self, rng: np.random.Generator, clip_shape: ClipShape) -> Params:
+        prob = float(self.config.get("flip_prob", 0.5))
+        return {"flipped": bool(rng.random() < prob)}
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        _require_clip(clip)
+        if params.get("flipped"):
+            return clip[:, :, ::-1].copy()
+        return clip.copy()
+
+
+class ColorJitter(AugmentOp):
+    """Random brightness/contrast scaling.
+
+    ``brightness`` and ``contrast`` give the max relative deviation (e.g.
+    0.4 samples factors in [0.6, 1.4]), matching torchvision semantics.
+    """
+
+    name = "color_jitter"
+    deterministic = False
+    cost_weight = 0.8
+
+    def validate_config(self) -> None:
+        for key in ("brightness", "contrast"):
+            val = float(self.config.get(key, 0.0))
+            if val < 0:
+                raise ValueError(f"{key} must be >= 0, got {val}")
+
+    def sample_params(self, rng: np.random.Generator, clip_shape: ClipShape) -> Params:
+        out: Params = {}
+        for key in ("brightness", "contrast"):
+            dev = float(self.config.get(key, 0.0))
+            low, high = max(0.0, 1.0 - dev), 1.0 + dev
+            out[key] = float(rng.uniform(low, high))
+        return out
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        _require_clip(clip)
+        work = clip.astype(np.float32)
+        work = work * float(params.get("brightness", 1.0))
+        mean = work.mean(axis=(1, 2, 3), keepdims=True)
+        work = (work - mean) * float(params.get("contrast", 1.0)) + mean
+        if clip.dtype == np.uint8:
+            return np.clip(np.rint(work), 0, 255).astype(np.uint8)
+        return work.astype(clip.dtype)
+
+
+class Rotate(AugmentOp):
+    """Rotation by a random choice from ``angles`` (multiples of 90)."""
+
+    name = "rotate"
+    deterministic = False
+    cost_weight = 0.4
+
+    def validate_config(self) -> None:
+        angles = self.config.get("angles", [0, 90, 180, 270])
+        if not angles or any(int(a) % 90 != 0 for a in angles):
+            raise ValueError(f"angles must be multiples of 90, got {angles!r}")
+
+    def sample_params(self, rng: np.random.Generator, clip_shape: ClipShape) -> Params:
+        angles = [int(a) for a in self.config.get("angles", [0, 90, 180, 270])]
+        return {"angle": int(angles[int(rng.integers(0, len(angles)))])}
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        _require_clip(clip)
+        quarter_turns = (int(params["angle"]) // 90) % 4
+        return np.rot90(clip, k=quarter_turns, axes=(1, 2)).copy()
+
+    def output_shape(self, clip_shape: ClipShape, params: Params) -> ClipShape:
+        t, h, w, c = clip_shape
+        if (int(params.get("angle", 0)) // 90) % 2 == 1:
+            return (t, w, h, c)
+        return clip_shape
+
+
+class GaussianBlur(AugmentOp):
+    """Deterministic separable Gaussian blur with ``sigma`` (default 1.0)."""
+
+    name = "blur"
+    deterministic = True
+    cost_weight = 2.0
+
+    def validate_config(self) -> None:
+        sigma = float(self.config.get("sigma", 1.0))
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        _require_clip(clip)
+        sigma = float(self.config.get("sigma", 1.0))
+        radius = max(1, int(round(3 * sigma)))
+        xs = np.arange(-radius, radius + 1, dtype=np.float32)
+        kernel = np.exp(-(xs**2) / (2 * sigma**2))
+        kernel /= kernel.sum()
+        work = clip.astype(np.float32)
+        # Separable convolution along H then W, edge-padded.
+        padded = np.pad(work, ((0, 0), (radius, radius), (0, 0), (0, 0)), "edge")
+        work = sum(
+            padded[:, i : i + work.shape[1]] * kernel[i]
+            for i in range(len(kernel))
+        )
+        padded = np.pad(work, ((0, 0), (0, 0), (radius, radius), (0, 0)), "edge")
+        work = sum(
+            padded[:, :, i : i + clip.shape[2]] * kernel[i]
+            for i in range(len(kernel))
+        )
+        if clip.dtype == np.uint8:
+            return np.clip(np.rint(work), 0, 255).astype(np.uint8)
+        return work.astype(clip.dtype)
+
+
+class Normalize(AugmentOp):
+    """Scale to float32 and normalize with per-channel ``mean``/``std``.
+
+    Defaults match the ImageNet statistics the paper's codebases use.
+    """
+
+    name = "normalize"
+    deterministic = True
+    cost_weight = 0.5
+
+    def validate_config(self) -> None:
+        for key, default in (("mean", [0.45, 0.45, 0.45]), ("std", [0.225, 0.225, 0.225])):
+            val = self.config.get(key, default)
+            if not isinstance(val, (list, tuple)) or len(val) != 3:
+                raise ValueError(f"{key} must have 3 channels, got {val!r}")
+        if any(float(s) <= 0 for s in self.config.get("std", [0.225] * 3)):
+            raise ValueError("std entries must be positive")
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        _require_clip(clip)
+        mean = np.asarray(
+            self.config.get("mean", [0.45, 0.45, 0.45]), dtype=np.float32
+        )
+        std = np.asarray(
+            self.config.get("std", [0.225, 0.225, 0.225]), dtype=np.float32
+        )
+        work = clip.astype(np.float32) / 255.0
+        return (work - mean) / std
+
+
+class InvSample(AugmentOp):
+    """Clip-scoped temporal reversal (the paper's ``inv_sample`` example)."""
+
+    name = "inv_sample"
+    deterministic = True
+    scope = "clip"
+    cost_weight = 0.05
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        _require_clip(clip)
+        return clip[::-1].copy()
+
+
+class Subsample(AugmentOp):
+    """Clip-scoped temporal subsampling: keep every ``rate``-th frame."""
+
+    name = "subsample"
+    deterministic = True
+    scope = "clip"
+    cost_weight = 0.05
+
+    def validate_config(self) -> None:
+        rate = int(self.config.get("rate", 2))
+        if rate < 1:
+            raise ValueError(f"rate must be >= 1, got {rate}")
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        _require_clip(clip)
+        rate = int(self.config.get("rate", 2))
+        return clip[::rate].copy()
+
+    def output_shape(self, clip_shape: ClipShape, params: Params) -> ClipShape:
+        t, h, w, c = clip_shape
+        rate = int(self.config.get("rate", 2))
+        return ((t + rate - 1) // rate, h, w, c)

@@ -1,0 +1,82 @@
+"""Op registry and the custom-op extension interface (paper S5.5).
+
+SAND ships a default transform library but lets users plug in
+specialized ops "through a well-defined interface ... without modifying
+the underlying system core".  Here that interface is: subclass
+:class:`~repro.augment.ops.AugmentOp`, then register the class under its
+``name`` — either on the default registry via the :func:`register_op`
+decorator or on a private :class:`OpRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Type
+
+from repro.augment.ops import (
+    AugmentOp,
+    CenterCrop,
+    ColorJitter,
+    Flip,
+    GaussianBlur,
+    InvSample,
+    Normalize,
+    RandomCrop,
+    Resize,
+    Rotate,
+    Subsample,
+)
+
+
+class OpRegistry:
+    """Maps op names to :class:`AugmentOp` subclasses."""
+
+    def __init__(self):
+        self._ops: Dict[str, Type[AugmentOp]] = {}
+
+    def register(self, op_cls: Type[AugmentOp]) -> Type[AugmentOp]:
+        name = op_cls.name
+        if not name or name == "base":
+            raise ValueError(f"op class {op_cls.__name__} must set a name")
+        if name in self._ops and self._ops[name] is not op_cls:
+            raise ValueError(f"op {name!r} already registered")
+        self._ops[name] = op_cls
+        return op_cls
+
+    def create(self, name: str, config: Optional[Mapping[str, Any]] = None) -> AugmentOp:
+        if name not in self._ops:
+            raise KeyError(
+                f"unknown augmentation op {name!r}; known: {sorted(self._ops)}"
+            )
+        return self._ops[name](dict(config or {}))
+
+    def known(self) -> list[str]:
+        return sorted(self._ops)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+
+_DEFAULT = OpRegistry()
+for _cls in (
+    Resize,
+    CenterCrop,
+    RandomCrop,
+    Flip,
+    ColorJitter,
+    Rotate,
+    GaussianBlur,
+    Normalize,
+    InvSample,
+    Subsample,
+):
+    _DEFAULT.register(_cls)
+
+
+def default_registry() -> OpRegistry:
+    """The registry holding SAND's built-in transform library."""
+    return _DEFAULT
+
+
+def register_op(op_cls: Type[AugmentOp]) -> Type[AugmentOp]:
+    """Class decorator: add a custom op to the default registry."""
+    return _DEFAULT.register(op_cls)

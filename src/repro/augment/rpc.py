@@ -1,0 +1,193 @@
+"""Out-of-process execution of custom augmentation ops (paper S5.5).
+
+    "SAND addresses this by offering an RPC service mechanism, enabling
+    custom functions to be executed in separate processes."
+
+:class:`RpcAugmentService` spawns a worker subprocess (``python -m
+repro.augment.rpc``) and ships it op invocations over a length-prefixed
+pickle protocol on stdin/stdout.  :class:`RemoteOp` is an
+:class:`~repro.augment.ops.AugmentOp` whose :meth:`apply` delegates to the
+service, so external-library transforms plug into pipelines without
+loading their dependencies into the SAND service process.
+
+The worker imports ops by dotted path (``package.module:ClassName``), so
+a custom op only needs to be importable in the *worker's* environment.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pickle
+import struct
+import subprocess
+import sys
+import threading
+from typing import Any, BinaryIO, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.augment.ops import AugmentOp, ClipShape, Params
+
+_LEN_FMT = "<I"
+_LEN_SIZE = struct.calcsize(_LEN_FMT)
+
+
+class RpcError(RuntimeError):
+    """Raised when the worker fails or returns an error response."""
+
+
+def _write_msg(stream: BinaryIO, obj: Any) -> None:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(struct.pack(_LEN_FMT, len(payload)))
+    stream.write(payload)
+    stream.flush()
+
+
+def _read_msg(stream: BinaryIO) -> Any:
+    header = stream.read(_LEN_SIZE)
+    if len(header) < _LEN_SIZE:
+        raise RpcError("worker closed the connection")
+    (length,) = struct.unpack(_LEN_FMT, header)
+    payload = stream.read(length)
+    if len(payload) < length:
+        raise RpcError("truncated message from worker")
+    return pickle.loads(payload)
+
+
+def _load_op(dotted_path: str, config: Dict[str, Any]) -> AugmentOp:
+    module_name, _, class_name = dotted_path.partition(":")
+    if not module_name or not class_name:
+        raise RpcError(f"op path must be 'module:Class', got {dotted_path!r}")
+    module = importlib.import_module(module_name)
+    op_cls = getattr(module, class_name)
+    if not issubclass(op_cls, AugmentOp):
+        raise RpcError(f"{dotted_path} is not an AugmentOp subclass")
+    return op_cls(config)
+
+
+def worker_main(stdin: BinaryIO, stdout: BinaryIO) -> None:
+    """The worker loop: apply requests until EOF or a ``shutdown``."""
+    op_cache: Dict[Tuple[str, bytes], AugmentOp] = {}
+    while True:
+        try:
+            request = _read_msg(stdin)
+        except RpcError:
+            return
+        if request.get("method") == "shutdown":
+            _write_msg(stdout, {"ok": True})
+            return
+        try:
+            if request.get("method") != "apply":
+                raise RpcError(f"unknown method {request.get('method')!r}")
+            key = (request["op_path"], pickle.dumps(request["config"]))
+            if key not in op_cache:
+                op_cache[key] = _load_op(request["op_path"], request["config"])
+            result = op_cache[key].apply(request["clip"], request["params"])
+            _write_msg(stdout, {"ok": True, "clip": result})
+        except Exception as exc:  # noqa: BLE001 - serialized back to client
+            _write_msg(stdout, {"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+
+
+class RpcAugmentService:
+    """Client side: owns the worker subprocess and serializes calls."""
+
+    def __init__(self, python: Optional[str] = None):
+        self._python = python or sys.executable
+        self._proc: Optional[subprocess.Popen] = None
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        if self._proc is not None:
+            return
+        self._proc = subprocess.Popen(
+            [self._python, "-m", "repro.augment.rpc"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+        )
+
+    @property
+    def running(self) -> bool:
+        return self._proc is not None and self._proc.poll() is None
+
+    def apply(
+        self,
+        op_path: str,
+        config: Dict[str, Any],
+        clip: np.ndarray,
+        params: Params,
+    ) -> np.ndarray:
+        if self._proc is None:
+            self.start()
+        assert self._proc is not None
+        with self._lock:
+            if self._proc.poll() is not None:
+                raise RpcError("worker process has exited")
+            _write_msg(self._proc.stdin, {
+                "method": "apply",
+                "op_path": op_path,
+                "config": config,
+                "clip": clip,
+                "params": params,
+            })
+            response = _read_msg(self._proc.stdout)
+        if not response.get("ok"):
+            raise RpcError(response.get("error", "unknown worker error"))
+        return response["clip"]
+
+    def stop(self) -> None:
+        if self._proc is None:
+            return
+        with self._lock:
+            proc, self._proc = self._proc, None
+        if proc.poll() is None:
+            try:
+                _write_msg(proc.stdin, {"method": "shutdown"})
+                _read_msg(proc.stdout)
+            except (RpcError, OSError, ValueError):
+                pass
+            proc.stdin.close()
+            proc.wait(timeout=5)
+
+    def __enter__(self) -> "RpcAugmentService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+class RemoteOp(AugmentOp):
+    """An op applied in the RPC worker instead of in-process.
+
+    ``config`` must contain ``op_path`` (``module:Class``) plus the wrapped
+    op's own configuration under ``op_config``.  Sampling stays local (it
+    needs no external dependencies); only ``apply`` crosses the process
+    boundary.
+    """
+
+    name = "remote"
+    deterministic = False  # conservatively assume the wrapped op is stochastic
+
+    _shared_service: Optional[RpcAugmentService] = None
+
+    def validate_config(self) -> None:
+        if "op_path" not in self.config:
+            raise ValueError("remote op needs 'op_path' (module:Class)")
+
+    @classmethod
+    def service(cls) -> RpcAugmentService:
+        if cls._shared_service is None:
+            cls._shared_service = RpcAugmentService()
+        return cls._shared_service
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        return self.service().apply(
+            self.config["op_path"],
+            dict(self.config.get("op_config") or {}),
+            clip,
+            params,
+        )
+
+
+if __name__ == "__main__":
+    worker_main(sys.stdin.buffer, sys.stdout.buffer)

@@ -1,0 +1,24 @@
+"""Baseline preprocessing pipelines (paper S7.1).
+
+The paper compares SAND against on-demand CPU preprocessing (PyAV/decord
++ CPU torchvision), on-demand GPU preprocessing (DALI/NVDEC), a naive
+frame cache, and an ideal pre-stored pipeline.  Functionally, the
+baselines are "SAND with everything turned off": independent
+randomization, no node merging, no cache, fresh decode every batch —
+built from the same planning/materialization code so their outputs are
+statistically identical to SAND's and their costs are honestly counted.
+
+Timing behaviour of the same pipelines is modeled in
+:mod:`repro.simlab`, which this package's classes parameterize.
+"""
+
+from repro.baselines.ondemand import OnDemandPipeline, PipelineStats
+from repro.baselines.naive_cache import NaiveCachePipeline
+from repro.baselines.ideal import IdealPipeline
+
+__all__ = [
+    "IdealPipeline",
+    "NaiveCachePipeline",
+    "OnDemandPipeline",
+    "PipelineStats",
+]

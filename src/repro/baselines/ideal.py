@@ -1,0 +1,61 @@
+"""The ideal baseline: every batch pre-stored, zero preprocessing online.
+
+The paper's upper bound ("all final training batches are pre-stored,
+ensuring no GPU stalls").  Functionally: materialize every planned
+batch once up front — any batch source can feed the pre-store — then
+serve copies with no online decode or augmentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.concrete_graph import build_plan_window
+from repro.core.config import TaskConfig
+from repro.core.engine import PreprocessingEngine
+
+
+class IdealPipeline:
+    """Pre-stored batches for a fixed range of epochs."""
+
+    def __init__(
+        self,
+        config: TaskConfig,
+        dataset,
+        epochs: int,
+        seed: int = 0,
+        coordinated: bool = True,
+    ):
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.config = config
+        plan = build_plan_window(
+            [config], dataset, 0, epochs, seed=seed, coordinated=coordinated
+        )
+        engine = PreprocessingEngine(plan, dataset, num_workers=0)
+        self._store: Dict[Tuple[str, int, int], Tuple[np.ndarray, Dict]] = {}
+        for key in sorted(plan.batches):
+            self._store[key] = engine.get_batch(*key)
+        self._iters = plan.iterations_per_epoch[config.tag]
+
+    def iterations_per_epoch(self) -> int:
+        return self._iters
+
+    def get_batch(
+        self, task: str, epoch: int, iteration: int
+    ) -> Tuple[np.ndarray, Dict]:
+        key = (task, epoch, iteration)
+        if key not in self._store:
+            raise KeyError(f"batch {key} was not pre-stored")
+        batch, metadata = self._store[key]
+        return batch.copy(), dict(metadata)
+
+    @property
+    def stored_batches(self) -> int:
+        return len(self._store)
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(batch.nbytes for batch, _ in self._store.values())

@@ -1,0 +1,109 @@
+"""The naive caching baseline (paper S7.2, "naive caching").
+
+Caches decoded frames in local storage up to the budget and serves
+repeats from there — the obvious fix that does not work: random temporal
+selection picks different frames every epoch, so with realistic budgets
+(<4% of the decoded dataset) the hit rate stays negligible and nearly
+every batch still decodes from scratch.  The paper measures only a 2.7%
+speedup; the op-level shape is reproduced here by the miss counters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.augment.registry import OpRegistry
+from repro.baselines.ondemand import OnDemandPipeline
+from repro.core.config import TaskConfig
+from repro.core.materializer import VideoMaterializer
+from repro.storage.objectstore import ObjectStore
+
+
+class NaiveCachePipeline(OnDemandPipeline):
+    """On-demand decode with a budgeted decoded-frame cache."""
+
+    def __init__(
+        self,
+        config: TaskConfig,
+        dataset,
+        cache_budget_bytes: int,
+        seed: int = 0,
+        registry: Optional[OpRegistry] = None,
+    ):
+        super().__init__(config, dataset, seed=seed, device="cpu", registry=registry)
+        self.frame_cache = ObjectStore(cache_budget_bytes)
+        self.cached_frame_hits = 0
+
+    def get_batch(
+        self, task: str, epoch: int, iteration: int
+    ) -> Tuple[np.ndarray, Dict]:
+        if task != self.config.tag:
+            raise KeyError(f"unknown task {task!r}")
+        plan = self._plan_for(epoch)
+        assembly = plan.batches[(task, epoch, iteration)]
+
+        samples = []
+        videos, timestamps, labels, frame_lists = [], [], [], []
+        per_video: Dict[str, VideoMaterializer] = {}
+        for video_id, leaf_key in assembly.samples:
+            if video_id not in per_video:
+                graph = plan.graphs[video_id]
+                # Frontier = this video's frame nodes: decoded frames are
+                # what this baseline caches (StorageFullError inside the
+                # materializer silently skips frames that do not fit).
+                frame_keys = {n.key for n in graph.frames()}
+                per_video[video_id] = VideoMaterializer(
+                    graph,
+                    self.dataset.get_bytes(video_id),
+                    cache=self.frame_cache,
+                    frontier=frame_keys,
+                    registry=self.registry,
+                )
+            materializer = per_video[video_id]
+            samples.append(materializer.get(leaf_key))
+            leaf = plan.graphs[video_id].nodes[leaf_key]
+            indices = list(leaf.frame_indices or ())
+            md = plan.graphs[video_id].metadata
+            videos.append(video_id)
+            frame_lists.append(indices)
+            timestamps.append([round(i / md.fps, 6) for i in indices])
+            label = getattr(self.dataset, "label", None)
+            labels.append(label(video_id) if callable(label) else None)
+            self.stats.frames_used += len(indices)
+
+        for materializer in per_video.values():
+            self.stats.frames_decoded_cpu += materializer.stats.frames_decoded
+            self.cached_frame_hits += materializer.stats.cache_hits
+            self.stats.merge_ops(materializer.stats.ops_applied)
+            materializer.release_all()
+
+        self.stats.batches_served += 1
+        batch = np.stack(samples, axis=0)
+        metadata = {
+            "task": task,
+            "epoch": epoch,
+            "iteration": iteration,
+            "videos": videos,
+            "frame_indices": frame_lists,
+            "timestamps": timestamps,
+            "labels": labels,
+        }
+        return batch, metadata
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of *wanted* frames served from the cache."""
+        if self.stats.frames_used == 0:
+            return 0.0
+        return min(1.0, self.cached_frame_hits / self.stats.frames_used)
+
+    def cache_fraction_of_dataset(self) -> float:
+        """Cached bytes / bytes of all decoded frames in the dataset."""
+        total = 0
+        for md in self.dataset.iter_metadata():
+            total += md.num_frames * md.width * md.height * 3
+        if total == 0:
+            return 0.0
+        return min(1.0, self.frame_cache.capacity_bytes / total)

@@ -1,0 +1,141 @@
+"""The on-demand baseline: decode-per-iteration, zero reuse (S3, Fig 3).
+
+This is how PyAV/decord- or DALI-based loaders behave: every batch
+decodes its own frames (paying the GOP lead-in each time), applies fresh
+random augmentation, and discards everything afterwards.  Implemented as
+SAND-without-planning: an *uncoordinated* one-epoch plan provides the
+batch schedule and sampling semantics, and each batch materializes its
+samples with a throwaway per-video materializer — so decoded frames
+never survive an iteration, exactly like the baseline loaders.
+
+``device`` only affects which counter decode lands in (``cpu`` vs
+``nvdec``) — pixel results are identical; the timing difference is the
+simulation harness's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.augment.registry import OpRegistry
+from repro.core.concrete_graph import MaterializationPlan, build_plan_window
+from repro.core.config import TaskConfig
+from repro.core.materializer import VideoMaterializer
+
+
+@dataclass
+class PipelineStats:
+    """What the baseline actually did."""
+
+    batches_served: int = 0
+    frames_used: int = 0
+    frames_decoded_cpu: int = 0
+    frames_decoded_nvdec: int = 0
+    ops_applied: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def frames_decoded(self) -> int:
+        return self.frames_decoded_cpu + self.frames_decoded_nvdec
+
+    @property
+    def decode_amplification(self) -> float:
+        if self.frames_used == 0:
+            return 0.0
+        return self.frames_decoded / self.frames_used
+
+    def merge_ops(self, ops: Dict[str, int]) -> None:
+        for name, count in ops.items():
+            self.ops_applied[name] = self.ops_applied.get(name, 0) + count
+
+
+class OnDemandPipeline:
+    """Fresh-decode, fresh-randomness batch source."""
+
+    def __init__(
+        self,
+        config: TaskConfig,
+        dataset,
+        seed: int = 0,
+        device: str = "cpu",
+        registry: Optional[OpRegistry] = None,
+    ):
+        if device not in ("cpu", "gpu"):
+            raise ValueError(f"device must be 'cpu' or 'gpu', got {device!r}")
+        self.config = config
+        self.dataset = dataset
+        self.seed = seed
+        self.device = device
+        self.registry = registry
+        self.stats = PipelineStats()
+        self._plans: Dict[int, MaterializationPlan] = {}
+
+    def _plan_for(self, epoch: int) -> MaterializationPlan:
+        if epoch not in self._plans:
+            self._plans[epoch] = build_plan_window(
+                [self.config],
+                self.dataset,
+                epoch,
+                1,
+                seed=self.seed,
+                coordinated=False,
+            )
+        return self._plans[epoch]
+
+    def iterations_per_epoch(self) -> int:
+        return self._plan_for(0).iterations_per_epoch[self.config.tag]
+
+    def get_batch(
+        self, task: str, epoch: int, iteration: int
+    ) -> Tuple[np.ndarray, Dict]:
+        if task != self.config.tag:
+            raise KeyError(f"unknown task {task!r}")
+        plan = self._plan_for(epoch)
+        assembly = plan.batches[(task, epoch, iteration)]
+
+        samples = []
+        videos, timestamps, labels, frame_lists = [], [], [], []
+        # One throwaway materializer per video per batch: nothing decoded
+        # here outlives this call — the baseline's defining property.
+        per_video: Dict[str, VideoMaterializer] = {}
+        for video_id, leaf_key in assembly.samples:
+            if video_id not in per_video:
+                per_video[video_id] = VideoMaterializer(
+                    plan.graphs[video_id],
+                    self.dataset.get_bytes(video_id),
+                    registry=self.registry,
+                )
+            materializer = per_video[video_id]
+            samples.append(materializer.get(leaf_key))
+            leaf = plan.graphs[video_id].nodes[leaf_key]
+            indices = list(leaf.frame_indices or ())
+            md = plan.graphs[video_id].metadata
+            videos.append(video_id)
+            frame_lists.append(indices)
+            timestamps.append([round(i / md.fps, 6) for i in indices])
+            label = getattr(self.dataset, "label", None)
+            labels.append(label(video_id) if callable(label) else None)
+            self.stats.frames_used += len(indices)
+
+        for materializer in per_video.values():
+            if self.device == "cpu":
+                self.stats.frames_decoded_cpu += materializer.stats.frames_decoded
+            else:
+                self.stats.frames_decoded_nvdec += materializer.stats.frames_decoded
+            self.stats.merge_ops(materializer.stats.ops_applied)
+            materializer.release_all()  # and now it is all gone
+
+        self.stats.batches_served += 1
+        batch = np.stack(samples, axis=0)
+        metadata = {
+            "task": task,
+            "epoch": epoch,
+            "iteration": iteration,
+            "videos": videos,
+            "frame_indices": frame_lists,
+            "timestamps": timestamps,
+            "labels": labels,
+        }
+        return batch, metadata

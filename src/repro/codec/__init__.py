@@ -1,0 +1,49 @@
+"""Synthetic video codec substrate.
+
+The paper's pipelines decode H.264/VP9 with openh264/libvpx.  What SAND
+exploits about those codecs is structural, not perceptual: frames are
+grouped into GOPs, non-key (P) frames depend on their predecessor, so
+decoding any frame requires decoding forward from the preceding keyframe
+— which is why on-demand pipelines decode far more frames than they use
+(Fig 3).
+
+This package implements a real codec with exactly those semantics:
+
+* :mod:`repro.codec.synthetic` — deterministic procedural frame content,
+* :mod:`repro.codec.container` — the ``SVC1`` byte format (header, frame
+  records, seek index),
+* :mod:`repro.codec.encoder` — I/P encoding with zlib entropy coding and
+  temporal delta prediction,
+* :mod:`repro.codec.decoder` — dependency-aware decoding with statistics
+  (frames decoded vs frames requested, bytes read),
+* :mod:`repro.codec.model` — GOP/frame-type model and video metadata.
+"""
+
+from repro.codec.model import FrameType, GopStructure, VideoMetadata
+from repro.codec.synthetic import SyntheticVideoSource, frame_pixels, video_class_of
+from repro.codec.container import ContainerError, read_container, write_container
+from repro.codec.encoder import encode_video
+from repro.codec.decoder import DecodeStats, Decoder, frames_to_decode
+from repro.codec.intra import IntraDecoder, encode_intra_video
+from repro.codec.registry import UnknownCodecError, decoder_for_path, open_decoder
+
+__all__ = [
+    "ContainerError",
+    "DecodeStats",
+    "Decoder",
+    "FrameType",
+    "GopStructure",
+    "SyntheticVideoSource",
+    "VideoMetadata",
+    "IntraDecoder",
+    "UnknownCodecError",
+    "decoder_for_path",
+    "encode_intra_video",
+    "encode_video",
+    "open_decoder",
+    "frame_pixels",
+    "frames_to_decode",
+    "read_container",
+    "video_class_of",
+    "write_container",
+]

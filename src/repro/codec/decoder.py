@@ -1,0 +1,135 @@
+"""Dependency-aware decoder for the synthetic codec.
+
+The decoder reproduces the inefficiency at the heart of the paper's
+motivation (S3, Fig 3): requesting a sparse set of frames forces
+decoding every *anchor* from each touched GOP's keyframe up to the
+request — and, for B frames, the following anchor as well.  B frames
+nothing depends on can be skipped, exactly as in real decoders.
+:class:`DecodeStats` counts the amplification so benchmarks can report
+decoded-vs-used frame ratios.
+
+:func:`frames_to_decode` is the pure planning version of the same rule;
+SAND's materialization planner and the cost model use it to price a
+decode without performing it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set
+
+import numpy as np
+
+from repro.codec.container import FrameRecord, read_container
+from repro.codec.encoder import bidirectional_predictor
+from repro.codec.model import FrameType, GopStructure, VideoMetadata
+
+
+def frames_to_decode(
+    gop: GopStructure, indices: Iterable[int], num_frames: int
+) -> List[int]:
+    """Frames that must actually be decoded to obtain ``indices``.
+
+    The union of every requested frame's dependency chain: the anchor
+    chain from its GOP's keyframe, plus the following anchor for B
+    frames, plus the frame itself.  Returned sorted and de-duplicated.
+    """
+    needed: Set[int] = set()
+    for index in indices:
+        if not 0 <= index < num_frames:
+            raise IndexError(f"frame {index} out of range [0, {num_frames})")
+        needed.update(gop.dependency_chain(index, num_frames))
+    return sorted(needed)
+
+
+@dataclass
+class DecodeStats:
+    """Counters for decode amplification and I/O."""
+
+    frames_requested: int = 0
+    frames_decoded: int = 0
+    bytes_read: int = 0
+    decode_calls: int = 0
+
+    @property
+    def amplification(self) -> float:
+        """Decoded / requested frame ratio (>= 1 in steady state)."""
+        if self.frames_requested == 0:
+            return 0.0
+        return self.frames_decoded / self.frames_requested
+
+    def merge(self, other: "DecodeStats") -> None:
+        self.frames_requested += other.frames_requested
+        self.frames_decoded += other.frames_decoded
+        self.bytes_read += other.bytes_read
+        self.decode_calls += other.decode_calls
+
+
+class Decoder:
+    """Decodes frames from SVC1 bytes, tracking amplification stats.
+
+    The decoder is stateless between calls — like the on-demand baselines
+    in the paper, nothing decoded survives the call unless the caller
+    keeps it.  (SAND's whole contribution is to keep it, at the system
+    level, on the caller's behalf.)
+    """
+
+    def __init__(self, data: bytes):
+        self._data = data
+        metadata, records = read_container(data)
+        self.metadata: VideoMetadata = metadata
+        self._records: List[FrameRecord] = records
+        self.stats = DecodeStats()
+
+    def _payload(self, index: int) -> bytes:
+        record = self._records[index]
+        payload = self._data[record.offset : record.offset + record.length]
+        self.stats.bytes_read += len(payload)
+        return zlib.decompress(payload)
+
+    def _as_array(self, raw: bytes) -> np.ndarray:
+        md = self.metadata
+        return np.frombuffer(raw, dtype=np.uint8).reshape(md.height, md.width, 3)
+
+    def decode_frames(self, indices: Sequence[int]) -> Dict[int, np.ndarray]:
+        """Decode the requested frames, plus their codec dependencies."""
+        wanted: Set[int] = set(indices)
+        md = self.metadata
+        gop = md.gop
+        plan = frames_to_decode(gop, wanted, md.num_frames)
+        self.stats.frames_requested += len(wanted)
+        self.stats.decode_calls += 1
+
+        # Pass 1: anchors, in order (each P references the previous anchor).
+        decoded: Dict[int, np.ndarray] = {}
+        for index in plan:
+            ftype = gop.frame_type(index, md.num_frames)
+            if ftype is FrameType.B:
+                continue
+            raw = self._as_array(self._payload(index))
+            self.stats.frames_decoded += 1
+            if ftype is FrameType.I:
+                decoded[index] = raw.copy()
+            else:  # P: delta against its reference anchor
+                reference = decoded.get(gop.reference_anchor(index, md.num_frames))
+                if reference is None:  # pragma: no cover - plan guarantees it
+                    raise ValueError(f"P frame {index} decoded without its anchor")
+                decoded[index] = reference + raw
+
+        # Pass 2: B frames, from their two (now decoded) anchors.
+        for index in plan:
+            if gop.frame_type(index, md.num_frames) is not FrameType.B:
+                continue
+            prev_idx = gop.prev_anchor(index)
+            next_idx = gop.next_anchor(index, md.num_frames)
+            assert next_idx is not None
+            predictor = bidirectional_predictor(decoded[prev_idx], decoded[next_idx])
+            raw = self._as_array(self._payload(index))
+            self.stats.frames_decoded += 1
+            decoded[index] = predictor + raw
+
+        return {index: decoded[index] for index in wanted}
+
+    def decode_all(self) -> Dict[int, np.ndarray]:
+        return self.decode_frames(range(self.metadata.num_frames))

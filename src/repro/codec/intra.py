@@ -1,0 +1,161 @@
+"""An all-intra codec: every frame independent (MJPEG-class).
+
+The paper's preprocessing engine dispatches decoders by file extension
+(S6: "uses decoders such as libvpx and openh264 ... based on file
+extensions").  This is the second format of this repo's family: the
+``SVI1`` container stores every frame as an independent zlib-compressed
+blob, so any frame decodes alone — zero GOP amplification, at several
+times the storage of inter-coded ``SVC1``.  It reuses
+:class:`~repro.codec.model.VideoMetadata` with ``gop_size == 1``, so all
+planning math (``frames_to_decode`` etc.) holds without special cases.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Dict, Iterable, List, Sequence, Set
+
+import numpy as np
+
+from repro.codec.decoder import DecodeStats
+from repro.codec.model import VideoMetadata
+from repro.codec.synthetic import SyntheticVideoSource
+
+MAGIC = b"SVI1"
+_HEADER_FMT = "<4sHHHIf H"  # magic, version, w, h, frames, fps, id_len
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_FOOTER_FMT = "<Q4s"
+_FOOTER_SIZE = struct.calcsize(_FOOTER_FMT)
+FOOTER_MAGIC = b"SVIX"
+VERSION = 1
+_ZLIB_LEVEL = 1
+
+
+class IntraContainerError(ValueError):
+    """Raised when parsing malformed SVI1 bytes."""
+
+
+def encode_intra_frames(
+    metadata: VideoMetadata, frames: Iterable[np.ndarray]
+) -> bytes:
+    """Encode frames as independent blobs into SVI1 bytes."""
+    video_id = metadata.video_id.encode()
+    parts: List[bytes] = [
+        struct.pack(
+            _HEADER_FMT,
+            MAGIC,
+            VERSION,
+            metadata.width,
+            metadata.height,
+            metadata.num_frames,
+            metadata.fps,
+            len(video_id),
+        ),
+        video_id,
+    ]
+    offsets: List[int] = []
+    lengths: List[int] = []
+    cursor = 0
+    count = 0
+    for index, frame in enumerate(frames):
+        if frame.shape != (metadata.height, metadata.width, 3):
+            raise ValueError(f"frame {index} has shape {frame.shape}")
+        if frame.dtype != np.uint8:
+            raise ValueError(f"frame {index} dtype {frame.dtype}, expected uint8")
+        payload = zlib.compress(frame.tobytes(), _ZLIB_LEVEL)
+        offsets.append(cursor)
+        lengths.append(len(payload))
+        parts.append(payload)
+        cursor += len(payload)
+        count += 1
+    if count != metadata.num_frames:
+        raise ValueError(
+            f"metadata declares {metadata.num_frames} frames, got {count}"
+        )
+    index_offset = sum(len(p) for p in parts)
+    parts.append(struct.pack(f"<{count}Q", *offsets))
+    parts.append(struct.pack(f"<{count}I", *lengths))
+    parts.append(struct.pack(_FOOTER_FMT, index_offset, FOOTER_MAGIC))
+    return b"".join(parts)
+
+
+def encode_intra_video(source: SyntheticVideoSource) -> bytes:
+    # All-intra: override the GOP to 1 so planners see no inter deps.
+    md = source.metadata
+    intra_md = VideoMetadata(
+        video_id=md.video_id,
+        width=md.width,
+        height=md.height,
+        num_frames=md.num_frames,
+        fps=md.fps,
+        gop_size=1,
+        b_frames=0,
+    )
+    return encode_intra_frames(intra_md, source.frames())
+
+
+class IntraDecoder:
+    """Decoder for SVI1: decodes exactly the requested frames."""
+
+    def __init__(self, data: bytes):
+        if len(data) < _HEADER_SIZE + _FOOTER_SIZE:
+            raise IntraContainerError("container truncated")
+        (
+            magic,
+            version,
+            width,
+            height,
+            num_frames,
+            fps,
+            id_len,
+        ) = struct.unpack_from(_HEADER_FMT, data, 0)
+        if magic != MAGIC:
+            raise IntraContainerError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise IntraContainerError(f"unsupported version {version}")
+        video_id = data[_HEADER_SIZE : _HEADER_SIZE + id_len].decode()
+        self._payload_base = _HEADER_SIZE + id_len
+        index_offset, footer_magic = struct.unpack_from(
+            _FOOTER_FMT, data, len(data) - _FOOTER_SIZE
+        )
+        if footer_magic != FOOTER_MAGIC:
+            raise IntraContainerError(f"bad footer magic {footer_magic!r}")
+        self._offsets = struct.unpack_from(f"<{num_frames}Q", data, index_offset)
+        self._lengths = struct.unpack_from(
+            f"<{num_frames}I", data, index_offset + 8 * num_frames
+        )
+        self.metadata = VideoMetadata(
+            video_id=video_id,
+            width=width,
+            height=height,
+            num_frames=num_frames,
+            fps=fps,
+            gop_size=1,
+        )
+        self._data = data
+        self.stats = DecodeStats()
+
+    def decode_frames(self, indices: Sequence[int]) -> Dict[int, np.ndarray]:
+        wanted: Set[int] = set(indices)
+        md = self.metadata
+        self.stats.frames_requested += len(wanted)
+        self.stats.decode_calls += 1
+        out: Dict[int, np.ndarray] = {}
+        for index in sorted(wanted):
+            if not 0 <= index < md.num_frames:
+                raise IndexError(
+                    f"frame {index} out of range [0, {md.num_frames})"
+                )
+            start = self._payload_base + self._offsets[index]
+            payload = self._data[start : start + self._lengths[index]]
+            self.stats.bytes_read += len(payload)
+            raw = zlib.decompress(payload)
+            out[index] = np.frombuffer(raw, dtype=np.uint8).reshape(
+                md.height, md.width, 3
+            )
+            self.stats.frames_decoded += 1
+        return out
+
+    def decode_all(self) -> Dict[int, np.ndarray]:
+        return self.decode_frames(range(self.metadata.num_frames))

@@ -1,0 +1,130 @@
+"""SAND core: the paper's contribution.
+
+The pieces, in dependency order:
+
+* :mod:`repro.core.yamlmini` / :mod:`repro.core.config` — the Fig-9
+  configuration API,
+* :mod:`repro.core.views` — the Table-1 view types and path scheme,
+* :mod:`repro.core.abstract_graph` — per-task abstract view dependency
+  graphs (S5.2),
+* :mod:`repro.core.coordination` — shared frame pool and shared crop
+  windows preserving temporal/spatial randomness (S5.2),
+* :mod:`repro.core.concrete_graph` — the k-epoch concrete object
+  dependency graphs with cross-task node merging (S5.2),
+* :mod:`repro.core.pruning` — Algorithm 1 under a storage budget (S5.3),
+* :mod:`repro.core.scheduling` — deadline/SJF materialization scheduling
+  (S5.4),
+* :mod:`repro.core.materializer` / :mod:`repro.core.engine` — the
+  threaded preprocessing engine executing plans on real arrays (S5.4),
+* :mod:`repro.core.cache` — budgeted caching with the S6 eviction order,
+* :mod:`repro.core.service` / :mod:`repro.core.posix` — the SAND service,
+  its filesystem provider, and the Table-2 POSIX facade,
+* :mod:`repro.core.recovery` — checkpoint/scan/replan fault tolerance
+  (S5.5).
+"""
+
+from repro.core.config import (
+    ConfigError,
+    SamplingPolicy,
+    TaskConfig,
+    load_task_config,
+    load_task_configs,
+)
+from repro.core.views import (
+    AugFrameView,
+    BatchView,
+    FrameView,
+    VideoView,
+    ViewKind,
+    ViewPathError,
+    parse_view_path,
+    try_parse_view_path,
+)
+from repro.core.abstract_graph import AbstractViewGraph, group_tasks_by_dataset
+from repro.core.coordination import (
+    EpochSchedule,
+    FramePoolCoordinator,
+    SharedWindowSampler,
+    TaskRequirement,
+    stable_rng,
+)
+from repro.core.concrete_graph import (
+    BatchAssembly,
+    MaterializationPlan,
+    ObjectNode,
+    Use,
+    VideoGraph,
+    build_plan_window,
+)
+from repro.core.pruning import (
+    PruningOutcome,
+    cache_everything,
+    naive_budgeted_leaves,
+    prune_plan,
+)
+from repro.core.scheduling import (
+    MaterializationScheduler,
+    SchedulingMode,
+    VideoJob,
+    build_jobs,
+)
+from repro.core.materializer import MaterializeStats, VideoMaterializer
+from repro.core.cache import CacheManager
+from repro.core.engine import EngineStats, PreprocessingEngine
+from repro.core.service import SandService
+from repro.core.posix import SandClient, mount_sand
+from repro.core.recovery import (
+    RecoveryReport,
+    read_checkpoint,
+    recover,
+    write_checkpoint,
+)
+
+__all__ = [
+    "AbstractViewGraph",
+    "AugFrameView",
+    "BatchAssembly",
+    "BatchView",
+    "CacheManager",
+    "ConfigError",
+    "EngineStats",
+    "EpochSchedule",
+    "FramePoolCoordinator",
+    "FrameView",
+    "MaterializationPlan",
+    "MaterializationScheduler",
+    "MaterializeStats",
+    "ObjectNode",
+    "PreprocessingEngine",
+    "PruningOutcome",
+    "RecoveryReport",
+    "SamplingPolicy",
+    "SandClient",
+    "SandService",
+    "SchedulingMode",
+    "SharedWindowSampler",
+    "TaskConfig",
+    "TaskRequirement",
+    "Use",
+    "VideoGraph",
+    "VideoJob",
+    "VideoMaterializer",
+    "VideoView",
+    "ViewKind",
+    "ViewPathError",
+    "build_jobs",
+    "build_plan_window",
+    "cache_everything",
+    "group_tasks_by_dataset",
+    "load_task_config",
+    "load_task_configs",
+    "mount_sand",
+    "naive_budgeted_leaves",
+    "parse_view_path",
+    "prune_plan",
+    "read_checkpoint",
+    "recover",
+    "stable_rng",
+    "try_parse_view_path",
+    "write_checkpoint",
+]

@@ -1,0 +1,132 @@
+"""Abstract view dependency graphs (paper S5.2, Fig 10).
+
+One per task: a small meta-graph whose nodes are *view types* (Table 1)
+and whose edges are the operations between them — the "blueprint" SAND
+traverses to find cross-task sharing before building concrete plans.
+Two tasks share videos when their roots carry the same dataset path;
+their frame selections are coordinatable when the sampling sections are
+compatible; their augmented views are mergeable up to the longest common
+prefix of augmentation blocks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Sequence, Tuple
+
+from repro.core.config import TaskConfig
+from repro.core.views import ViewKind
+
+
+@dataclass(frozen=True)
+class AbstractNode:
+    """A view type in the preprocessing flow."""
+
+    node_id: str
+    kind: ViewKind
+    label: str
+
+
+@dataclass(frozen=True)
+class AbstractEdge:
+    """An operation between view types, with a canonical signature."""
+
+    src: str
+    dst: str
+    operation: str
+    signature: str
+
+
+def _block_signature(block: Mapping[str, Any]) -> str:
+    """Canonical JSON of an augmentation block, ignoring its display name."""
+    slim = {k: v for k, v in block.items() if k != "name"}
+    return json.dumps(slim, sort_keys=True, separators=(",", ":"), default=str)
+
+
+@dataclass
+class AbstractViewGraph:
+    """The per-task dependency chain of view types."""
+
+    task: str
+    dataset_path: str
+    nodes: List[AbstractNode] = field(default_factory=list)
+    edges: List[AbstractEdge] = field(default_factory=list)
+
+    @classmethod
+    def from_config(cls, config: TaskConfig) -> "AbstractViewGraph":
+        graph = cls(task=config.tag, dataset_path=config.video_dataset_path)
+        root = AbstractNode("video", ViewKind.VIDEO, config.video_dataset_path)
+        frame = AbstractNode("frame", ViewKind.FRAME, "decoded frames")
+        graph.nodes = [root, frame]
+        sampling_sig = json.dumps(
+            {
+                "frames_per_video": config.sampling.frames_per_video,
+                "frame_stride": config.sampling.frame_stride,
+                "samples_per_video": config.sampling.samples_per_video,
+            },
+            sort_keys=True,
+        )
+        graph.edges.append(AbstractEdge("video", "frame", "decode", sampling_sig))
+
+        prev = frame
+        for depth, block in enumerate(config.augmentation_raw):
+            node = AbstractNode(
+                f"aug{depth}",
+                ViewKind.AUG_FRAME,
+                str(block.get("name", f"aug{depth}")),
+            )
+            graph.nodes.append(node)
+            graph.edges.append(
+                AbstractEdge(
+                    prev.node_id,
+                    node.node_id,
+                    str(block.get("branch_type", "single")),
+                    _block_signature(block),
+                )
+            )
+            prev = node
+
+        batch = AbstractNode("batch", ViewKind.BATCH, "training batch")
+        graph.nodes.append(batch)
+        graph.edges.append(
+            AbstractEdge(
+                prev.node_id,
+                "batch",
+                "collate",
+                json.dumps({"videos_per_batch": config.sampling.videos_per_batch}),
+            )
+        )
+        return graph
+
+    @property
+    def root(self) -> AbstractNode:
+        return self.nodes[0]
+
+    def aug_signatures(self) -> List[str]:
+        """Signatures of the augmentation edges, in pipeline order."""
+        return [e.signature for e in self.edges if e.dst.startswith("aug")]
+
+    def shares_dataset_with(self, other: "AbstractViewGraph") -> bool:
+        """Same root pathname: tasks access the same video dataset."""
+        return self.dataset_path == other.dataset_path
+
+    def shared_aug_prefix(self, other: "AbstractViewGraph") -> int:
+        """Blocks mergeable between the two tasks (common prefix length)."""
+        mine, theirs = self.aug_signatures(), other.aug_signatures()
+        depth = 0
+        for a, b in zip(mine, theirs):
+            if a != b:
+                break
+            depth += 1
+        return depth
+
+
+def group_tasks_by_dataset(
+    graphs: Sequence[AbstractViewGraph],
+) -> List[Tuple[str, List[AbstractViewGraph]]]:
+    """Partition tasks by shared dataset root (the merge precondition)."""
+    groups: dict[str, List[AbstractViewGraph]] = {}
+    for graph in graphs:
+        groups.setdefault(graph.dataset_path, []).append(graph)
+    return sorted(groups.items())

@@ -1,0 +1,163 @@
+"""The materialized-object cache manager (paper S6).
+
+Wraps the budgeted local store with SAND's eviction policy: when usage
+crosses 75% of the budget, evict in order
+
+1. objects that have already been used and are not required again in the
+   current plan window, then
+2. objects with the longest deadlines (furthest future first use),
+
+until usage is back under the watermark.  Deadlines come from the plan's
+batch table; the trainer's progress is reported via :meth:`advance`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.concrete_graph import MaterializationPlan
+from repro.core.pruning import PruningOutcome
+from repro.storage.local import LocalStore
+from repro.storage.objectstore import StorageFullError
+
+
+class CacheManager:
+    """Deadline-aware eviction over a :class:`LocalStore`.
+
+    ``policy`` selects the eviction order: ``"deadline"`` is the paper's
+    S6 policy; ``"fifo"`` evicts oldest-inserted first, ignoring the
+    plan — the ablation baseline showing why deadline awareness matters.
+    """
+
+    POLICIES = ("deadline", "fifo")
+
+    def __init__(self, store: LocalStore, policy: str = "deadline"):
+        if policy not in self.POLICIES:
+            raise ValueError(f"policy must be one of {self.POLICIES}, got {policy!r}")
+        self.store = store
+        self.policy = policy
+        self._lock = threading.RLock()
+        # key -> sorted steps at which the object is consumed (min over
+        # tasks per use; conservative for multi-task objects).
+        self._use_steps: Dict[str, List[int]] = {}
+        self._current_step = 0
+        self._insert_seq: Dict[str, int] = {}
+        self._next_seq = 0
+        self.evictions = 0
+
+    # -- plan registration ----------------------------------------------------
+    def register_plan(
+        self, plan: MaterializationPlan, pruning: Optional[PruningOutcome] = None
+    ) -> None:
+        """Record when each cacheable object will be needed."""
+        with self._lock:
+            self._use_steps.clear()
+            self._current_step = 0
+            for video_id, graph in plan.graphs.items():
+                frontier = (
+                    pruning.frontier_of(video_id)
+                    if pruning is not None
+                    else {leaf.key for leaf in graph.leaves()}
+                )
+                for key in frontier:
+                    node = graph.nodes[key]
+                    steps: List[int] = []
+                    # A cached node is needed whenever any leaf below it is.
+                    for desc_key in graph.subtree_keys(key):
+                        desc = graph.nodes[desc_key]
+                        for use in desc.uses:
+                            steps.append(
+                                plan.global_step(use.task, use.epoch, use.iteration)
+                            )
+                    if not steps and node.uses:
+                        steps = [
+                            plan.global_step(u.task, u.epoch, u.iteration)
+                            for u in node.uses
+                        ]
+                    self._use_steps[key] = sorted(steps)
+
+    def advance(self, step: int) -> None:
+        """Report training progress (max step across tasks is fine)."""
+        with self._lock:
+            self._current_step = max(self._current_step, step)
+
+    # -- policy ------------------------------------------------------------------
+    def deadline_of(self, key: str) -> Optional[int]:
+        """Next future use step of ``key``; None if never needed again."""
+        steps = self._use_steps.get(key)
+        if not steps:
+            return None
+        for step in steps:
+            if step >= self._current_step:
+                return step
+        return None
+
+    def _eviction_order(self) -> List[Tuple[int, int, str]]:
+        """Keys in eviction order (policy-dependent)."""
+        ranked = []
+        for key in self.store.keys():
+            if self.policy == "fifo":
+                ranked.append((0, self._insert_seq.get(key, 0), key))
+                continue
+            deadline = self.deadline_of(key)
+            if deadline is None:
+                ranked.append((0, 0, key))  # class 1: never needed again
+            else:
+                ranked.append((1, -deadline, key))  # class 2: longest first
+        ranked.sort()
+        return ranked
+
+    def maybe_evict(self) -> int:
+        """Enforce the watermark; returns number of objects evicted."""
+        with self._lock:
+            if not self.store.above_watermark():
+                return 0
+            target = self.store.bytes_over_watermark()
+            return self._evict_bytes(target)
+
+    def _evict_bytes(self, nbytes: int) -> int:
+        freed = 0
+        count = 0
+        for _, _, key in self._eviction_order():
+            if freed >= nbytes:
+                break
+            size = self.store.size_of(key) or 0
+            if self.store.delete(key):
+                freed += size
+                count += 1
+                self.evictions += 1
+        return count
+
+    # -- store facade ---------------------------------------------------------------
+    def put(self, key: str, data: bytes) -> bool:
+        """Store an object, evicting by policy if needed.
+
+        Returns False when the object cannot fit even after eviction
+        (e.g. larger than the whole budget) — the caller keeps it in
+        memory or recomputes, it is never an error.
+        """
+        with self._lock:
+            needed = len(data)
+            if needed > self.store.capacity_bytes:
+                return False
+            if needed > self.store.free_bytes:
+                self._evict_bytes(needed - self.store.free_bytes)
+            try:
+                self.store.put(key, data)
+            except StorageFullError:
+                return False
+            self._insert_seq[key] = self._next_seq
+            self._next_seq += 1
+            self.maybe_evict()
+            return True
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self.store.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.store
+
+    def delete(self, key: str) -> bool:
+        with self._lock:
+            return self.store.delete(key)

@@ -1,0 +1,152 @@
+"""Task configuration: the Fig-9 API, validated into typed objects.
+
+A task config has two sections (paper S5.1): *video handling* (dataset
+path, input source, the sampling policy) and *augmentation* (the
+branch-structured pipeline).  Configs arrive as YAML text, a file path,
+or an already-parsed mapping, and are validated into a
+:class:`TaskConfig`, which owns the task's built
+:class:`~repro.augment.pipeline.AugmentationPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, List, Mapping, Optional, Sequence, Union
+
+from repro.augment.pipeline import AugmentationPlan, build_plan
+from repro.augment.registry import OpRegistry
+from repro.core import yamlmini
+
+INPUT_SOURCES = ("file", "streaming")
+
+
+class ConfigError(ValueError):
+    """Raised for missing/invalid configuration fields."""
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """The video-handling half of a task config (Fig 9 ``sampling``)."""
+
+    videos_per_batch: int = 8
+    frames_per_video: int = 8
+    frame_stride: int = 1
+    samples_per_video: int = 1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "videos_per_batch",
+            "frames_per_video",
+            "frame_stride",
+            "samples_per_video",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ConfigError(f"sampling.{name} must be a positive int, got {value!r}")
+
+    @property
+    def clip_span(self) -> int:
+        """Source frames one sample's selection window covers."""
+        return (self.frames_per_video - 1) * self.frame_stride + 1
+
+    @property
+    def samples_per_batch(self) -> int:
+        return self.videos_per_batch * self.samples_per_video
+
+
+@dataclass
+class TaskConfig:
+    """One validated training task."""
+
+    tag: str
+    video_dataset_path: str
+    sampling: SamplingPolicy
+    augmentation_raw: List[Mapping[str, Any]] = field(default_factory=list)
+    input_source: str = "file"
+    plan: AugmentationPlan = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.tag:
+            raise ConfigError("dataset.tag is required")
+        if self.input_source not in INPUT_SOURCES:
+            raise ConfigError(
+                f"input_source must be one of {INPUT_SOURCES}, got {self.input_source!r}"
+            )
+        if not self.video_dataset_path:
+            raise ConfigError("dataset.video_dataset_path is required")
+
+
+def _as_mapping(source: Union[str, Path, Mapping[str, Any]]) -> Mapping[str, Any]:
+    if isinstance(source, Mapping):
+        return source
+    if isinstance(source, Path) or (
+        isinstance(source, str) and "\n" not in source and source.endswith((".yaml", ".yml"))
+    ):
+        parsed = yamlmini.load_file(source)
+    else:
+        parsed = yamlmini.loads(str(source))
+    if not isinstance(parsed, Mapping):
+        raise ConfigError(f"config must be a mapping, got {type(parsed).__name__}")
+    return parsed
+
+
+def load_task_config(
+    source: Union[str, Path, Mapping[str, Any]],
+    registry: Optional[OpRegistry] = None,
+) -> TaskConfig:
+    """Parse and validate one task config (YAML text, file path, or dict)."""
+    raw = _as_mapping(source)
+    dataset = raw.get("dataset", raw)
+    if not isinstance(dataset, Mapping):
+        raise ConfigError("'dataset' section must be a mapping")
+
+    unknown = set(dataset) - {
+        "tag",
+        "input_source",
+        "video_dataset_path",
+        "sampling",
+        "augmentation",
+    }
+    if unknown:
+        raise ConfigError(f"unknown dataset keys: {sorted(unknown)}")
+
+    sampling_raw = dataset.get("sampling") or {}
+    if not isinstance(sampling_raw, Mapping):
+        raise ConfigError("'sampling' must be a mapping")
+    unknown = set(sampling_raw) - {
+        "videos_per_batch",
+        "frames_per_video",
+        "frame_stride",
+        "samples_per_video",
+    }
+    if unknown:
+        raise ConfigError(f"unknown sampling keys: {sorted(unknown)}")
+    sampling = SamplingPolicy(**dict(sampling_raw))
+
+    augmentation = dataset.get("augmentation") or []
+    if not isinstance(augmentation, Sequence) or isinstance(augmentation, str):
+        raise ConfigError("'augmentation' must be a list of blocks")
+    plan = build_plan(augmentation, registry=registry)
+
+    config = TaskConfig(
+        tag=str(dataset.get("tag", "")),
+        input_source=str(dataset.get("input_source", "file")),
+        video_dataset_path=str(dataset.get("video_dataset_path", "")),
+        sampling=sampling,
+        augmentation_raw=list(augmentation),
+    )
+    config.plan = plan
+    return config
+
+
+def load_task_configs(
+    sources: Sequence[Union[str, Path, Mapping[str, Any]]],
+    registry: Optional[OpRegistry] = None,
+) -> List[TaskConfig]:
+    """Load several task configs, enforcing unique tags."""
+    configs = [load_task_config(src, registry=registry) for src in sources]
+    tags = [cfg.tag for cfg in configs]
+    if len(set(tags)) != len(tags):
+        raise ConfigError(f"task tags must be unique, got {tags}")
+    return configs

@@ -1,0 +1,264 @@
+"""The preprocessing engine: worker threads executing the plan (S5.4).
+
+Two kinds of work, as in the paper:
+
+* **Demand feeding** — ``get_batch`` runs on the caller's thread (the
+  trainer's data loader).  It loads each sample leaf from memory or the
+  cache, materializes anything missing immediately, and collates the
+  batch.  Being synchronous with the trainer, it is by construction the
+  highest-priority work in the system.
+* **Pre-materialization** — background workers pull video subtrees off
+  the scheduler (deadline order, SJF under memory pressure) and
+  materialize each subtree's caching frontier ahead of need, releasing
+  decoded raw frames as soon as the subtree completes.
+
+Memory accounting sums every materializer's in-memory bytes; the
+scheduler's memory-pressure probe reads it to trigger the SJF flip.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.augment.registry import OpRegistry
+from repro.core.cache import CacheManager
+from repro.core.concrete_graph import BatchAssembly, MaterializationPlan
+from repro.core.materializer import VideoMaterializer
+from repro.core.pruning import PruningOutcome
+from repro.core.scheduling import (
+    MaterializationScheduler,
+    SchedulingMode,
+    build_jobs,
+)
+
+
+@dataclass
+class EngineStats:
+    batches_served: int = 0
+    demand_materializations: int = 0
+    pre_materializations: int = 0
+    peak_memory_bytes: int = 0
+    frames_decoded: int = 0
+    raw_frame_releases: int = 0
+
+
+class PreprocessingEngine:
+    """Executes one plan window with real threads and real arrays."""
+
+    def __init__(
+        self,
+        plan: MaterializationPlan,
+        dataset,
+        pruning: Optional[PruningOutcome] = None,
+        cache: Optional[CacheManager] = None,
+        num_workers: int = 2,
+        memory_budget_bytes: int = 512 * 1024 * 1024,
+        memory_threshold: float = 0.8,
+        scheduling_mode: SchedulingMode = SchedulingMode.DEADLINE,
+        registry: Optional[OpRegistry] = None,
+    ):
+        if num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+        self.plan = plan
+        self.dataset = dataset
+        self.pruning = pruning
+        self.cache = cache
+        self.registry = registry
+        self.memory_budget_bytes = memory_budget_bytes
+        self.stats = EngineStats()
+
+        self._materializers: Dict[str, VideoMaterializer] = {}
+        self._mat_lock = threading.Lock()
+        self._progress: Dict[str, int] = {t: 0 for t in plan.tasks}
+        self._progress_lock = threading.Lock()
+
+        jobs = build_jobs(plan, pruning)
+        self.scheduler = MaterializationScheduler(
+            jobs,
+            memory_fraction=self._memory_fraction,
+            memory_threshold=memory_threshold,
+            mode=scheduling_mode,
+        )
+        self._num_workers = num_workers
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Launch pre-materialization workers (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for i in range(self._num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"sand-premat-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=10)
+        self._threads.clear()
+        self._started = False
+
+    def drain(self) -> None:
+        """Block until all pre-materialization jobs are done.
+
+        With live workers this waits for them; without any (``num_workers=0``
+        or not started), it runs the remaining jobs on the calling thread.
+        """
+        if not any(t.is_alive() for t in self._threads):
+            while self._run_one_job():
+                pass
+            return
+        import time
+
+        while self.scheduler.pending_count and not self._stop.is_set():
+            time.sleep(0.005)
+
+    def __enter__(self) -> "PreprocessingEngine":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- demand feeding -------------------------------------------------------
+    def get_batch(
+        self, task: str, epoch: int, iteration: int
+    ) -> Tuple[np.ndarray, Dict]:
+        """Materialize and collate one training batch (demand path)."""
+        key = (task, epoch, iteration)
+        if key not in self.plan.batches:
+            raise KeyError(f"no batch planned for {key}")
+        assembly = self.plan.batches[key]
+        step = self.plan.global_step(task, epoch, iteration)
+        with self._progress_lock:
+            self._progress[task] = max(self._progress[task], step)
+        if self.cache is not None:
+            self.cache.advance(step)
+
+        samples: List[np.ndarray] = []
+        metadata = self._batch_metadata(assembly)
+        for video_id, leaf_key in assembly.samples:
+            materializer = self._materializer(video_id)
+            if not materializer.in_memory(leaf_key) and (
+                self.cache is None or leaf_key not in self.cache
+            ):
+                self.stats.demand_materializations += 1
+            samples.append(materializer.get(leaf_key))
+        batch = np.stack(samples, axis=0)
+        self.stats.batches_served += 1
+        self._note_memory()
+        return batch, metadata
+
+    def _batch_metadata(self, assembly: BatchAssembly) -> Dict:
+        videos, timestamps, labels, frame_lists = [], [], [], []
+        for video_id, leaf_key in assembly.samples:
+            graph = self.plan.graphs[video_id]
+            leaf = graph.nodes[leaf_key]
+            videos.append(video_id)
+            indices = list(leaf.frame_indices or ())
+            frame_lists.append(indices)
+            md = graph.metadata
+            timestamps.append([round(i / md.fps, 6) for i in indices])
+            label = getattr(self.dataset, "label", None)
+            labels.append(label(video_id) if callable(label) else None)
+        return {
+            "task": assembly.task,
+            "epoch": assembly.epoch,
+            "iteration": assembly.iteration,
+            "videos": videos,
+            "frame_indices": frame_lists,
+            "timestamps": timestamps,
+            "labels": labels,
+        }
+
+    # -- pre-materialization ---------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            if not self._run_one_job():
+                if self._stop.wait(timeout=0.01):
+                    return
+
+    def _run_one_job(self) -> bool:
+        job = self.scheduler.next_job(self._current_step())
+        if job is None:
+            return False
+        # Claim it before working so other workers skip it.
+        self.scheduler.mark_done(job.video_id)
+        materializer = self._materializer(job.video_id)
+        frontier = (
+            self.pruning.frontier_of(job.video_id)
+            if self.pruning is not None
+            else {leaf.key for leaf in self.plan.graphs[job.video_id].leaves()}
+        )
+        for node_key in sorted(frontier):
+            if self._stop.is_set():
+                return False
+            materializer.get(node_key)
+            self.stats.pre_materializations += 1
+        released = materializer.release_raw_frames()
+        self.stats.raw_frame_releases += released
+        self.stats.frames_decoded = sum(
+            m.stats.frames_decoded for m in self._materializers.values()
+        )
+        self._note_memory()
+        self._maybe_trim_memory()
+        return True
+
+    # -- shared state ------------------------------------------------------------
+    def _materializer(self, video_id: str) -> VideoMaterializer:
+        with self._mat_lock:
+            if video_id not in self._materializers:
+                frontier = (
+                    self.pruning.frontier_of(video_id)
+                    if self.pruning is not None
+                    else None
+                )
+                self._materializers[video_id] = VideoMaterializer(
+                    self.plan.graphs[video_id],
+                    self.dataset.get_bytes(video_id),
+                    cache=self.cache,
+                    frontier=frontier,
+                    registry=self.registry,
+                )
+            return self._materializers[video_id]
+
+    def _current_step(self) -> int:
+        with self._progress_lock:
+            return max(self._progress.values(), default=0)
+
+    def memory_bytes(self) -> int:
+        with self._mat_lock:
+            return sum(m.stats.bytes_in_memory for m in self._materializers.values())
+
+    def _memory_fraction(self) -> float:
+        if self.memory_budget_bytes <= 0:
+            return 0.0
+        return self.memory_bytes() / self.memory_budget_bytes
+
+    def _note_memory(self) -> None:
+        current = self.memory_bytes()
+        if current > self.stats.peak_memory_bytes:
+            self.stats.peak_memory_bytes = current
+
+    def _maybe_trim_memory(self) -> None:
+        """Over budget: drop memoized arrays that are safely in the cache."""
+        if self._memory_fraction() < 1.0:
+            return
+        with self._mat_lock:
+            materializers = list(self._materializers.values())
+        for materializer in materializers:
+            if self.cache is None:
+                break
+            materializer.release_all()
+            if self._memory_fraction() < 0.5:
+                break

@@ -1,0 +1,230 @@
+"""Turning graph nodes into real arrays: the per-video materializer.
+
+A :class:`VideoMaterializer` executes one video's concrete graph: it
+decodes the union of wanted frames in a single dependency-aware pass
+("decode once", the paper's core amortization), memoizes intermediate
+arrays in memory, consults/fills the persistent cache for nodes on the
+caching frontier, and applies augmentation ops reconstructed from the
+node's stored ``(name, config, params)`` identity.  Once a window's work
+for the video is done, :meth:`release_raw_frames` drops decoded frames
+from memory — the S5.4 step that keeps memory pressure bounded.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.augment.ops import AugmentOp
+from repro.augment.registry import OpRegistry, default_registry
+from repro.codec.registry import VideoDecoder, open_decoder
+from repro.core.concrete_graph import ObjectNode, VideoGraph
+from repro.storage.blobs import BlobError, decode_array, encode_array
+from repro.storage.objectstore import ObjectStore, StorageFullError
+
+
+@dataclass
+class MaterializeStats:
+    """Counters for one materializer's work."""
+
+    frames_decoded: int = 0
+    ops_applied: Dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_stores: int = 0
+    corrupt_evictions: int = 0
+    bytes_in_memory: int = 0
+
+    def count_op(self, name: str) -> None:
+        self.ops_applied[name] = self.ops_applied.get(name, 0) + 1
+
+
+def _op_from_args(
+    registry: OpRegistry, op_args: Tuple[str, str, str]
+) -> Tuple[AugmentOp, dict]:
+    name, config_json, params_json = op_args
+    op = registry.create(name, json.loads(config_json))
+    return op, json.loads(params_json)
+
+
+class VideoMaterializer:
+    """Computes any node of one video's graph, with memoization and cache.
+
+    ``frontier`` (from pruning) is the set of node keys that should be
+    persisted to ``cache``; other nodes are held in memory only.  Thread
+    safe: concurrent ``get`` calls on the same materializer serialize on
+    an internal lock (one video = one subtree = effectively one worker,
+    per the paper's thread-per-subtree assignment, but demand feeding may
+    race a pre-materialization worker on the same video).
+    """
+
+    def __init__(
+        self,
+        graph: VideoGraph,
+        encoded: bytes,
+        cache: Optional[ObjectStore] = None,
+        frontier: Optional[Set[str]] = None,
+        registry: Optional[OpRegistry] = None,
+    ):
+        self.graph = graph
+        self._encoded = encoded
+        self.cache = cache
+        self.frontier = frontier or set()
+        self.registry = registry or default_registry()
+        self.stats = MaterializeStats()
+        self._memo: Dict[str, np.ndarray] = {}
+        self._decoder: Optional[VideoDecoder] = None
+        self._lock = threading.RLock()
+
+    # -- public API ---------------------------------------------------------
+    def get(self, key: str) -> np.ndarray:
+        """Materialize one node (frames: (1,H,W,3); samples: (T,h,w,C))."""
+        with self._lock:
+            return self._get_locked(key)
+
+    def materialize_frontier(self) -> int:
+        """Compute and persist every frontier node; returns nodes stored."""
+        stored = 0
+        for key in sorted(self.frontier):
+            self.get(key)
+            stored += 1
+        return stored
+
+    def release_raw_frames(self) -> int:
+        """Drop decoded frames (and the decoder) from memory (S5.4)."""
+        with self._lock:
+            dropped = 0
+            for key in list(self._memo):
+                if self.graph.nodes[key].kind == "frame":
+                    self.stats.bytes_in_memory -= self._memo[key].nbytes
+                    del self._memo[key]
+                    dropped += 1
+            self._decoder = None
+            return dropped
+
+    def release_all(self) -> None:
+        with self._lock:
+            self._memo.clear()
+            self.stats.bytes_in_memory = 0
+            self._decoder = None
+
+    def in_memory(self, key: str) -> bool:
+        with self._lock:
+            return key in self._memo
+
+    # -- internals ------------------------------------------------------------
+    def _get_locked(self, key: str) -> np.ndarray:
+        if key in self._memo:
+            # Frames land in the memo in bulk (one decode pass covers the
+            # whole wanted set), so a memoized frontier object may not
+            # have been persisted yet — do it on first access.
+            self._persist_if_frontier(key, self._memo[key])
+            return self._memo[key]
+        node = self.graph.nodes.get(key)
+        if node is None:
+            raise KeyError(f"{self.graph.video_id}: unknown node {key!r}")
+
+        if self.cache is not None and key in self.cache:
+            blob = self.cache.get(key)
+            if blob is not None:
+                try:
+                    array = decode_array(blob)
+                except BlobError:
+                    # Corrupted cache entry (torn write, bit rot): drop it
+                    # and recompute — the graph can always regenerate.
+                    self.cache.delete(key)
+                    self.stats.corrupt_evictions += 1
+                else:
+                    self.stats.cache_hits += 1
+                    self._remember(key, array)
+                    return array
+
+        array = self._compute(node)
+        if key not in self._memo:
+            self._remember(key, array)
+        self._persist_if_frontier(key, array)
+        return array
+
+    def _persist_if_frontier(self, key: str, array: np.ndarray) -> None:
+        if self.cache is None or key not in self.frontier or key in self.cache:
+            return
+        try:
+            self.cache.put(key, encode_array(array))
+            self.stats.cache_stores += 1
+        except StorageFullError:
+            # The cache manager is responsible for eviction; if space is
+            # exhausted mid-window we keep the object in memory and
+            # recompute later rather than fail the pipeline.
+            pass
+
+    def _remember(self, key: str, array: np.ndarray) -> None:
+        self._memo[key] = array
+        self.stats.bytes_in_memory += array.nbytes
+
+    def _compute(self, node: ObjectNode) -> np.ndarray:
+        if node.kind == "video":
+            raise ValueError("the encoded video is not a materializable array")
+        if node.kind == "frame":
+            self._decode_wanted()
+            if node.key not in self._memo:  # pragma: no cover - defensive
+                raise RuntimeError(f"decode did not produce {node.key}")
+            return self._memo[node.key]
+        if node.kind == "aug":
+            assert node.op_args is not None
+            parent = self._get_locked(node.parents[0])
+            op, params = _op_from_args(self.registry, node.op_args)
+            self.stats.count_op(op.name)
+            return op.apply(parent, params)
+        if node.kind == "sample":
+            frames = [self._get_locked(p) for p in node.parents]
+            clip = np.concatenate(frames, axis=0)
+            for op_args in node.clip_ops:
+                op, params = _op_from_args(self.registry, op_args)
+                self.stats.count_op(op.name)
+                clip = op.apply(clip, params)
+            self.stats.count_op("collate")
+            return clip
+        raise ValueError(f"unknown node kind {node.kind!r}")
+
+    def _decode_wanted(self) -> None:
+        """Decode the union of wanted frames once and memoize them all."""
+        missing = [
+            n.frame_index
+            for n in self.graph.frames()
+            if n.key not in self._memo and n.frame_index is not None
+        ]
+        to_decode: Iterable[int] = missing
+        if self.cache is not None:
+            # Frames already persisted (frontier at frame level) load from
+            # cache instead of decode; only truly absent ones decode.
+            pending = []
+            for index in missing:
+                key = f"frame:{self.graph.video_id}:{index}"
+                if key in self.cache:
+                    blob = self.cache.get(key)
+                    if blob is not None:
+                        try:
+                            array = decode_array(blob)
+                        except BlobError:
+                            self.cache.delete(key)
+                            self.stats.corrupt_evictions += 1
+                        else:
+                            self.stats.cache_hits += 1
+                            self._remember(key, array)
+                            continue
+                pending.append(index)
+            to_decode = pending
+        to_decode = list(to_decode)
+        if not to_decode:
+            return
+        if self._decoder is None:
+            self._decoder = open_decoder(self._encoded)
+        frames = self._decoder.decode_frames(to_decode)
+        self.stats.frames_decoded = self._decoder.stats.frames_decoded
+        for index, pixels in frames.items():
+            self._remember(
+                f"frame:{self.graph.video_id}:{index}", pixels[np.newaxis, ...]
+            )

@@ -1,0 +1,242 @@
+"""Object graph pruning under a storage budget (paper S5.3, Algorithm 1).
+
+Caching every materialized object would need tens of terabytes; SAND
+instead maintains, per video graph, a *caching frontier*: the set of
+nodes whose materializations are persisted.  Everything below the
+frontier is recomputed at feed time; everything above it never needs to
+exist again.  The frontier starts at the leaves (fully preprocessed
+samples, zero recompute) and Algorithm 1 greedily collapses subtrees
+upward — preferring the candidate parent with the smallest subtree edge
+weight (least added recomputation) that yields a net space saving —
+until the cache fits the budget.
+
+Two corrections to the paper's pseudocode, both clearly intended:
+
+* the main loop's exit test reads ``if dataSize > Budget then break``,
+  which would stop while still over budget; we stop when the cache
+  *fits* (``dataSize <= budget``),
+* the loop must also terminate when no graph can be pruned further
+  (every frontier has collapsed to its root), otherwise an unmeetable
+  budget loops forever; we surface that case in the outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.concrete_graph import MaterializationPlan, VideoGraph
+
+
+@dataclass
+class PrunedVideo:
+    """Final caching decision for one video graph."""
+
+    video_id: str
+    frontier: Set[str]  # node keys to materialize and cache
+    cached_bytes: float
+    recompute_cost_s: float  # feed-time work to serve all leaves once
+
+
+@dataclass
+class PruningOutcome:
+    """Result of pruning a whole plan."""
+
+    budget_bytes: float
+    initial_bytes: float
+    final_bytes: float
+    met_budget: bool
+    prune_steps: int
+    videos: Dict[str, PrunedVideo] = field(default_factory=dict)
+
+    @property
+    def total_recompute_s(self) -> float:
+        return sum(v.recompute_cost_s for v in self.videos.values())
+
+    def frontier_of(self, video_id: str) -> Set[str]:
+        return self.videos[video_id].frontier
+
+
+class _Frontier:
+    """Mutable caching frontier over one :class:`VideoGraph`."""
+
+    def __init__(self, graph: VideoGraph):
+        self.graph = graph
+        self.cached: Set[str] = {leaf.key for leaf in graph.leaves()}
+
+    def size_bytes(self) -> float:
+        return sum(self.graph.nodes[k].size_bytes for k in self.cached)
+
+    def candidates(self) -> List[str]:
+        """Parents of current frontier nodes (Get-Parents-of-Leaf)."""
+        out: Set[str] = set()
+        for key in self.cached:
+            for parent in self.graph.nodes[key].parents:
+                if parent not in self.cached:
+                    out.add(parent)
+        return sorted(out)
+
+    def collapse_gain(self, parent: str) -> float:
+        """Bytes saved by caching ``parent`` instead of its cached subtree."""
+        subtree = set(self.graph.subtree_keys(parent))
+        below = (subtree - {parent}) & self.cached
+        if not below:
+            return 0.0
+        saved = sum(self.graph.nodes[k].size_bytes for k in below)
+        return saved - self.graph.nodes[parent].size_bytes
+
+    def collapse(self, parent: str) -> float:
+        """Prune-Subtree: replace the cached subtree with ``parent``."""
+        gain = self.collapse_gain(parent)
+        subtree = set(self.graph.subtree_keys(parent))
+        self.cached -= subtree
+        self.cached.add(parent)
+        return gain
+
+    def prune_once(self) -> float:
+        """One Prune-Graph pass: collapse the cheapest winning candidate.
+
+        Candidates are ordered by subtree edge weight (ascending): smaller
+        sums imply less recomputation per byte saved.  Returns the bytes
+        saved, or 0.0 if no candidate yields a net saving.
+        """
+        ranked = sorted(
+            self.candidates(), key=lambda k: (self.graph.subtree_edge_cost(k), k)
+        )
+        for parent in ranked:
+            if self.collapse_gain(parent) > 0:
+                return self.collapse(parent)
+        return 0.0
+
+    def recompute_cost(self) -> float:
+        """Feed-time op cost to produce every leaf from the frontier.
+
+        Shared uncached intermediates are counted once (the engine
+        computes them once per window and fans out), matching how
+        materialization actually executes.
+        """
+        needed: Set[str] = set()
+        for leaf in self.graph.leaves():
+            stack = [leaf.key]
+            while stack:
+                key = stack.pop()
+                if key in needed or key in self.cached:
+                    continue
+                node = self.graph.nodes[key]
+                if node.kind == "video":
+                    continue  # the encoded source is always available
+                needed.add(key)
+                stack.extend(node.parents)
+        return sum(self.graph.nodes[k].op_cost_s for k in needed)
+
+
+def prune_plan(plan: MaterializationPlan, budget_bytes: float) -> PruningOutcome:
+    """Run Algorithm 1 over every video graph of a plan."""
+    if budget_bytes <= 0:
+        raise ValueError(f"budget must be positive, got {budget_bytes}")
+    frontiers = {vid: _Frontier(g) for vid, g in plan.graphs.items()}
+    data_size = sum(f.size_bytes() for f in frontiers.values())
+    initial = data_size
+    steps = 0
+
+    if data_size > budget_bytes:
+        done = False
+        while not done:
+            progressed = False
+            for frontier in frontiers.values():
+                reduced = frontier.prune_once()
+                if reduced > 0:
+                    data_size -= reduced
+                    steps += 1
+                    progressed = True
+                if data_size <= budget_bytes:
+                    done = True
+                    break
+            if not progressed:
+                break  # nothing left to collapse anywhere
+
+    outcome = PruningOutcome(
+        budget_bytes=budget_bytes,
+        initial_bytes=initial,
+        final_bytes=data_size,
+        met_budget=data_size <= budget_bytes,
+        prune_steps=steps,
+    )
+    for vid, frontier in frontiers.items():
+        outcome.videos[vid] = PrunedVideo(
+            video_id=vid,
+            frontier=set(frontier.cached),
+            cached_bytes=frontier.size_bytes(),
+            recompute_cost_s=frontier.recompute_cost(),
+        )
+    return outcome
+
+
+def cache_everything(plan: MaterializationPlan) -> PruningOutcome:
+    """The no-pruning policy: cache all leaves regardless of budget.
+
+    The Fig 17 baseline ("without object pruning ... only the final
+    training batches generated based on a naively materialized plan are
+    cached"): leaves are kept up to the budget in plan order; leaves that
+    do not fit are simply not cached and must be recomputed from source
+    every time.
+    """
+    outcome = PruningOutcome(
+        budget_bytes=float("inf"),
+        initial_bytes=0.0,
+        final_bytes=0.0,
+        met_budget=True,
+        prune_steps=0,
+    )
+    for vid, graph in plan.graphs.items():
+        frontier = _Frontier(graph)
+        outcome.videos[vid] = PrunedVideo(
+            video_id=vid,
+            frontier=set(frontier.cached),
+            cached_bytes=frontier.size_bytes(),
+            recompute_cost_s=0.0,
+        )
+        outcome.initial_bytes += frontier.size_bytes()
+        outcome.final_bytes += frontier.size_bytes()
+    return outcome
+
+
+def naive_budgeted_leaves(
+    plan: MaterializationPlan, budget_bytes: float
+) -> PruningOutcome:
+    """Cache leaves first-come until the budget is full; recompute the rest.
+
+    This is the Fig 17 "w/o pruning" policy: no subtree collapsing, so
+    once the budget runs out, every remaining sample is rebuilt from the
+    encoded video at feed time (full decode + augmentation cost).
+    """
+    if budget_bytes <= 0:
+        raise ValueError(f"budget must be positive, got {budget_bytes}")
+    outcome = PruningOutcome(
+        budget_bytes=budget_bytes,
+        initial_bytes=0.0,
+        final_bytes=0.0,
+        met_budget=True,
+        prune_steps=0,
+    )
+    used = 0.0
+    for vid, graph in plan.graphs.items():
+        frontier: Set[str] = set()
+        recompute = 0.0
+        for leaf in graph.leaves():
+            if used + leaf.size_bytes <= budget_bytes:
+                frontier.add(leaf.key)
+                used += leaf.size_bytes
+            else:
+                # Recomputed from scratch: everything on its path.
+                recompute += graph.path_cost(leaf.key, stop_at=())
+        cached_bytes = sum(graph.nodes[k].size_bytes for k in frontier)
+        outcome.videos[vid] = PrunedVideo(
+            video_id=vid,
+            frontier=frontier,
+            cached_bytes=cached_bytes,
+            recompute_cost_s=recompute,
+        )
+        outcome.initial_bytes += sum(n.size_bytes for n in graph.leaves())
+        outcome.final_bytes += cached_bytes
+    return outcome

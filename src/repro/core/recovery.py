@@ -1,0 +1,119 @@
+"""Fault tolerance and recovery (paper S5.5).
+
+SAND persists all unpruned objects to the filesystem, so a crash loses
+only in-memory state.  Recovery is the paper's three steps:
+
+1. **Regenerate the concrete dependency tree from configuration files** —
+   plan construction is deterministic given (configs, dataset, seed,
+   window), so the rebuilt plan is bit-identical to the lost one; the
+   checkpoint manifest records those inputs plus the pruning frontier.
+2. **Scan disk for previously persisted objects** — the directory-backed
+   object store rebuilds its index from files.
+3. **Determine optimal recovery points** — diff the frontier against the
+   scanned store: only objects that are planned-but-missing need
+   recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Set
+
+from repro.core.concrete_graph import MaterializationPlan
+from repro.core.pruning import PruningOutcome
+from repro.storage.objectstore import ObjectStore
+
+MANIFEST_NAME = "sand-checkpoint.json"
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class RecoveryReport:
+    """Result of step 3: what survives and what must be recomputed."""
+
+    window_start: int
+    k_epochs: int
+    planned_objects: int
+    recovered_objects: int
+    missing: Dict[str, List[str]] = field(default_factory=dict)  # video -> keys
+    stale_keys: List[str] = field(default_factory=list)  # on disk, not planned
+
+    @property
+    def missing_count(self) -> int:
+        return sum(len(keys) for keys in self.missing.values())
+
+    @property
+    def recovered_fraction(self) -> float:
+        if self.planned_objects == 0:
+            return 1.0
+        return self.recovered_objects / self.planned_objects
+
+
+def write_checkpoint(
+    path: Path,
+    plan: MaterializationPlan,
+    pruning: PruningOutcome,
+    seed: int,
+) -> Path:
+    """Persist the manifest ("checkpointed every k epochs", S5.5)."""
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "seed": seed,
+        "window_start": plan.epoch_start,
+        "k_epochs": plan.k_epochs,
+        "tasks": sorted(plan.tasks),
+        "frontier": {
+            vid: sorted(pruning.frontier_of(vid)) for vid in plan.graphs
+        },
+    }
+    path = Path(path)
+    if path.is_dir():
+        path = path / MANIFEST_NAME
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(manifest, indent=1))
+    tmp.replace(path)
+    return path
+
+
+def read_checkpoint(path: Path) -> dict:
+    path = Path(path)
+    if path.is_dir():
+        path = path / MANIFEST_NAME
+    manifest = json.loads(path.read_text())
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise ValueError(f"unsupported checkpoint version {manifest.get('version')}")
+    return manifest
+
+
+def recover(
+    manifest: dict,
+    store: ObjectStore,
+) -> RecoveryReport:
+    """Steps 2-3: rescan the store and diff it against the manifest."""
+    store.scan()
+    on_disk: Set[str] = set(store.keys())
+    planned = 0
+    recovered = 0
+    missing: Dict[str, List[str]] = {}
+    planned_keys: Set[str] = set()
+    for video_id, keys in manifest["frontier"].items():
+        lost = []
+        for key in keys:
+            planned += 1
+            planned_keys.add(key)
+            if key in on_disk:
+                recovered += 1
+            else:
+                lost.append(key)
+        if lost:
+            missing[video_id] = lost
+    return RecoveryReport(
+        window_start=manifest["window_start"],
+        k_epochs=manifest["k_epochs"],
+        planned_objects=planned,
+        recovered_objects=recovered,
+        missing=missing,
+        stale_keys=sorted(on_disk - planned_keys),
+    )

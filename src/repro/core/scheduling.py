@@ -1,0 +1,154 @@
+"""Priority-based materialization scheduling (paper S5.4).
+
+SAND assigns each materialization worker to a video subtree and orders
+pending subtrees by *deadline*: the number of iterations until the GPU
+first needs one of the subtree's training objects.  Demand feeding always
+outranks pre-materialization.  When memory pressure crosses a threshold
+(80% in the paper), the policy flips to Shortest-Job-First on the count
+of unprocessed edges, so nearly-finished subtrees complete and release
+their decoded raw frames instead of many half-done subtrees pinning
+memory.
+
+This module is pure policy — no threads — so the real engine
+(:mod:`repro.core.engine`) and the simulation harness share it and the
+benchmarks can test scheduling decisions deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.concrete_graph import MaterializationPlan
+from repro.core.pruning import PruningOutcome
+
+
+class SchedulingMode(enum.Enum):
+    DEADLINE = "deadline"
+    SJF = "sjf"
+    FIFO = "fifo"  # the no-scheduling ablation (Fig 18)
+
+
+@dataclass
+class VideoJob:
+    """One subtree's pending materialization work."""
+
+    video_id: str
+    first_needed_step: int  # earliest global step any leaf is consumed
+    total_edges: int  # ops in the subtree
+    processed_edges: int = 0
+    done: bool = False
+
+    @property
+    def remaining_edges(self) -> int:
+        return max(0, self.total_edges - self.processed_edges)
+
+
+def build_jobs(
+    plan: MaterializationPlan, pruning: Optional[PruningOutcome] = None
+) -> Dict[str, VideoJob]:
+    """One job per video graph, with deadlines from the batch table.
+
+    When a pruning outcome is given, a job's work is the ops needed to
+    materialize its caching frontier (plus leaves' feed-time ops are the
+    demand path's problem); otherwise all ops in the graph.
+    """
+    jobs: Dict[str, VideoJob] = {}
+    for video_id, graph in plan.graphs.items():
+        steps = [
+            plan.first_use_step(leaf)
+            for leaf in graph.leaves()
+            if leaf.uses
+        ]
+        first_needed = min(s for s in steps if s is not None) if steps else 0
+        if pruning is not None:
+            frontier = pruning.frontier_of(video_id)
+            work: Set[str] = set()
+            for key in frontier:
+                stack = [key]
+                while stack:
+                    current = stack.pop()
+                    if current in work:
+                        continue
+                    node = graph.nodes[current]
+                    if node.kind == "video":
+                        continue
+                    work.add(current)
+                    stack.extend(node.parents)
+            total = len(work)
+        else:
+            total = sum(1 for n in graph.nodes.values() if n.kind != "video")
+        jobs[video_id] = VideoJob(
+            video_id=video_id,
+            first_needed_step=first_needed,
+            total_edges=total,
+        )
+    return jobs
+
+
+class MaterializationScheduler:
+    """Chooses which pending video subtree a worker should process next."""
+
+    def __init__(
+        self,
+        jobs: Dict[str, VideoJob],
+        memory_fraction: Optional[Callable[[], float]] = None,
+        memory_threshold: float = 0.8,
+        mode: SchedulingMode = SchedulingMode.DEADLINE,
+    ):
+        if not 0.0 < memory_threshold <= 1.0:
+            raise ValueError(f"memory threshold must be in (0,1], got {memory_threshold}")
+        self.jobs = jobs
+        self.memory_fraction = memory_fraction or (lambda: 0.0)
+        self.memory_threshold = memory_threshold
+        self.base_mode = mode
+        self._arrival: Dict[str, int] = {
+            vid: i for i, vid in enumerate(jobs)
+        }
+
+    def current_mode(self) -> SchedulingMode:
+        """Deadline normally; SJF under memory pressure (S5.4)."""
+        if self.base_mode is SchedulingMode.FIFO:
+            return SchedulingMode.FIFO
+        if self.memory_fraction() >= self.memory_threshold:
+            return SchedulingMode.SJF
+        return self.base_mode
+
+    def priority_key(self, job: VideoJob, current_step: int) -> Tuple:
+        mode = self.current_mode()
+        if mode is SchedulingMode.FIFO:
+            return (self._arrival[job.video_id],)
+        if mode is SchedulingMode.SJF:
+            # Fewest unprocessed edges first: finish and free memory.
+            return (job.remaining_edges, self._arrival[job.video_id])
+        # Deadline: smallest slack (steps until first need) first.
+        slack = job.first_needed_step - current_step
+        return (slack, self._arrival[job.video_id])
+
+    def next_job(self, current_step: int = 0) -> Optional[VideoJob]:
+        pending = [j for j in self.jobs.values() if not j.done]
+        if not pending:
+            return None
+        return min(pending, key=lambda j: self.priority_key(j, current_step))
+
+    def mark_progress(self, video_id: str, edges: int = 1) -> None:
+        job = self.jobs[video_id]
+        job.processed_edges += edges
+        if job.processed_edges >= job.total_edges:
+            job.done = True
+
+    def mark_done(self, video_id: str) -> None:
+        job = self.jobs[video_id]
+        job.processed_edges = job.total_edges
+        job.done = True
+
+    @property
+    def pending_count(self) -> int:
+        return sum(1 for j in self.jobs.values() if not j.done)
+
+    def order_preview(self, current_step: int = 0) -> List[str]:
+        """Full pending order under the current mode (for tests/benches)."""
+        pending = [j for j in self.jobs.values() if not j.done]
+        pending.sort(key=lambda j: self.priority_key(j, current_step))
+        return [j.video_id for j in pending]

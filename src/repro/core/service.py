@@ -1,0 +1,471 @@
+"""The SAND service: planning, engine, cache, and the view filesystem.
+
+This is the composition root of the system.  Given task configs and one
+or more datasets, the service:
+
+1. builds abstract view graphs and groups tasks by shared dataset root
+   (S5.2 — only tasks on the same root can merge objects),
+2. builds, per group, the k-epoch concrete plan window with coordinated
+   randomization (S5.2),
+3. prunes it to the storage budget (S5.3, Algorithm 1),
+4. runs a preprocessing engine over it (S5.4), rolling each group to its
+   next window before the current one expires, and
+5. mounts itself as a filesystem provider so applications reach every
+   view through POSIX calls (S5.1, Fig 8, Tables 1-2).
+
+Views served:
+
+* ``/{task}/{epoch}/{iteration}/view`` — training batch (array blob;
+  xattrs: shape, dtype, timestamps, labels, videos),
+* ``/{task}/{video}.mp4`` — the encoded source video,
+* ``/{task}/{video}/frame{i}`` — a decoded frame,
+* ``/{task}/{video}/frame{i}/aug{d}`` — an augmented frame at depth d,
+* ``/{task}/ctrl`` — the task-lifecycle control file: opening it marks
+  the task started, closing it marks the task finished (the paper's
+  remaining "4 lines ... communicate the start and end of tasks").
+
+``dataset`` may be a single dataset object (used by every task) or a
+mapping from ``video_dataset_path`` to dataset, one entry per distinct
+root the task configs name.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.augment.registry import OpRegistry
+from repro.core.abstract_graph import AbstractViewGraph, group_tasks_by_dataset
+from repro.core.cache import CacheManager
+from repro.core.concrete_graph import MaterializationPlan, build_plan_window
+from repro.core.config import TaskConfig
+from repro.core.engine import PreprocessingEngine
+from repro.core.pruning import PruningOutcome, prune_plan
+from repro.core.recovery import (
+    RecoveryReport,
+    read_checkpoint,
+    recover,
+    write_checkpoint,
+)
+from repro.core.scheduling import SchedulingMode
+from repro.core.views import (
+    AugFrameView,
+    BatchView,
+    FrameView,
+    VideoView,
+    parse_view_path,
+    try_parse_view_path,
+)
+from repro.storage.blobs import encode_array
+from repro.storage.local import LocalStore
+from repro.vfs.errors import (
+    FileNotFoundVfsError,
+    IsADirectoryVfsError,
+    NoAttributeError,
+    NotADirectoryVfsError,
+)
+from repro.vfs.provider import FileHandle, FileSystemProvider, NodeInfo
+
+CTRL_NAME = "ctrl"
+
+
+class _Group:
+    """One dataset root: its tasks and window state."""
+
+    def __init__(self, path: str, tasks: List[TaskConfig], dataset):
+        self.path = path
+        self.tasks = tasks
+        self.dataset = dataset
+        self.window_start: Optional[int] = None
+        self.plan: Optional[MaterializationPlan] = None
+        self.pruning: Optional[PruningOutcome] = None
+        self.engine: Optional[PreprocessingEngine] = None
+
+
+class SandService(FileSystemProvider):
+    """The user-facing SAND instance."""
+
+    def __init__(
+        self,
+        tasks: Sequence[TaskConfig],
+        dataset,
+        storage_budget_bytes: int = 64 * 1024 * 1024,
+        k_epochs: int = 2,
+        num_workers: int = 2,
+        seed: int = 0,
+        coordinated: bool = True,
+        prune: bool = True,
+        scheduling_mode: SchedulingMode = SchedulingMode.DEADLINE,
+        registry: Optional[OpRegistry] = None,
+        store: Optional[LocalStore] = None,
+        memory_budget_bytes: int = 512 * 1024 * 1024,
+    ):
+        if not tasks:
+            raise ValueError("need at least one task config")
+        self.tasks: Dict[str, TaskConfig] = {t.tag: t for t in tasks}
+        self.k_epochs = k_epochs
+        self.seed = seed
+        self.coordinated = coordinated
+        self.prune = prune
+        self.scheduling_mode = scheduling_mode
+        self.registry = registry
+        self.num_workers = num_workers
+        self.memory_budget_bytes = memory_budget_bytes
+
+        self.abstract_graphs: Dict[str, AbstractViewGraph] = {
+            t.tag: AbstractViewGraph.from_config(t) for t in tasks
+        }
+        self.dataset_groups = group_tasks_by_dataset(
+            list(self.abstract_graphs.values())
+        )
+
+        self._groups: Dict[str, _Group] = {}
+        self._task_group: Dict[str, str] = {}
+        for path, graphs in self.dataset_groups:
+            group_tasks = [self.tasks[g.task] for g in graphs]
+            group_dataset = self._resolve_dataset(dataset, path)
+            self._groups[path] = _Group(path, group_tasks, group_dataset)
+            for config in group_tasks:
+                self._task_group[config.tag] = path
+
+        # Note: `store or ...` would be wrong — an empty ObjectStore has
+        # len() == 0 and is falsy.
+        self.store = store if store is not None else LocalStore(storage_budget_bytes)
+        self.cache = CacheManager(self.store)
+
+        self._window_lock = threading.RLock()
+        self._active_tasks: Set[str] = set()
+
+    @staticmethod
+    def _resolve_dataset(dataset, path: str):
+        if isinstance(dataset, Mapping):
+            if path not in dataset:
+                raise KeyError(
+                    f"no dataset provided for video_dataset_path {path!r}; "
+                    f"known: {sorted(dataset)}"
+                )
+            return dataset[path]
+        return dataset
+
+    # -- group plumbing -------------------------------------------------------
+    def _group(self, task: str) -> _Group:
+        if task not in self._task_group:
+            raise KeyError(f"unknown task {task!r}")
+        return self._groups[self._task_group[task]]
+
+    def _single_group(self) -> _Group:
+        (group,) = self._groups.values()
+        return group
+
+    @property
+    def dataset(self):
+        """The dataset (single-group services; ambiguous otherwise)."""
+        return self._single_group().dataset
+
+    # Backward-compatible single-group accessors (most deployments have
+    # every task on one dataset, like the paper's scenarios).
+    @property
+    def plan(self) -> Optional[MaterializationPlan]:
+        return self._single_group().plan
+
+    @property
+    def pruning(self) -> Optional[PruningOutcome]:
+        return self._single_group().pruning
+
+    @property
+    def engine(self) -> Optional[PreprocessingEngine]:
+        return self._single_group().engine
+
+    # -- window management ----------------------------------------------------
+    def ensure_window(self, epoch: int, task: Optional[str] = None) -> PreprocessingEngine:
+        """Plan/prune/start the k-epoch window containing ``epoch``.
+
+        With multiple dataset groups, ``task`` selects which group;
+        single-group services may omit it.
+        """
+        group = self._group(task) if task is not None else self._single_group()
+        with self._window_lock:
+            if (
+                group.window_start is not None
+                and group.window_start <= epoch < group.window_start + self.k_epochs
+            ):
+                assert group.engine is not None
+                group.engine.start()  # no-op if already running
+                return group.engine
+            start = (epoch // self.k_epochs) * self.k_epochs
+            return self._build_window(group, start)
+
+    def _build_window(self, group: _Group, epoch_start: int) -> PreprocessingEngine:
+        if group.engine is not None:
+            group.engine.stop()
+        plan = build_plan_window(
+            group.tasks,
+            group.dataset,
+            epoch_start,
+            self.k_epochs,
+            seed=self.seed,
+            coordinated=self.coordinated,
+        )
+        pruning = prune_plan(plan, self.store.capacity_bytes) if self.prune else None
+        self.cache.register_plan(plan, pruning)
+        engine = PreprocessingEngine(
+            plan,
+            group.dataset,
+            pruning=pruning,
+            cache=self.cache,
+            num_workers=self.num_workers,
+            memory_budget_bytes=self.memory_budget_bytes,
+            scheduling_mode=self.scheduling_mode,
+            registry=self.registry,
+        )
+        engine.start()
+        group.window_start = epoch_start
+        group.plan = plan
+        group.pruning = pruning
+        group.engine = engine
+        return engine
+
+    def shutdown(self) -> None:
+        with self._window_lock:
+            for group in self._groups.values():
+                if group.engine is not None:
+                    group.engine.stop()
+
+    # -- fault tolerance (S5.5) -------------------------------------------------
+    def checkpoint(self, directory) -> Path:
+        """Persist the current window's manifest for crash recovery."""
+        with self._window_lock:
+            group = self._single_group()
+            if group.plan is None or group.pruning is None:
+                raise RuntimeError("no active window to checkpoint")
+            return write_checkpoint(Path(directory), group.plan, group.pruning, self.seed)
+
+    def recover_from(self, directory) -> RecoveryReport:
+        """Three-step restart: replan, rescan the store, diff (S5.5).
+
+        The window named in the manifest is rebuilt (plan construction is
+        deterministic), the persistent store is rescanned, and the
+        returned report lists exactly the objects that must be
+        rematerialized — the engine then does so lazily on demand or
+        eagerly via its pre-materialization workers.
+        """
+        manifest = read_checkpoint(Path(directory))
+        report = recover(manifest, self.store)
+        self.ensure_window(manifest["window_start"])
+        return report
+
+    # -- typed access (used by the provider and directly by trainers) ---------------
+    def batch(self, task: str, epoch: int, iteration: int) -> Tuple[np.ndarray, Dict]:
+        engine = self.ensure_window(epoch, task=task)
+        return engine.get_batch(task, epoch, iteration)
+
+    # BatchSource protocol alias (trainers consume any batch source).
+    get_batch = batch
+
+    def iterations_per_epoch(self, task: str, epoch: int = 0) -> int:
+        """Iterations of ``epoch`` (streaming corpora can grow per window)."""
+        engine = self.ensure_window(epoch, task=task)
+        return engine.plan.iterations_per_epoch[task]
+
+    def frame_array(self, task: str, video: str, index: int) -> np.ndarray:
+        group = self._group(task)
+        engine = self.ensure_window(group.window_start or 0, task=task)
+        graph = engine.plan.graphs.get(video)
+        key = f"frame:{video}:{index}"
+        if graph is None or key not in graph.nodes:
+            raise KeyError(f"frame {index} of {video!r} is not in the current plan")
+        return engine._materializer(video).get(key)
+
+    def aug_frame_array(self, task: str, video: str, index: int, depth: int) -> np.ndarray:
+        """Best-effort: the depth-``d`` augmented view of a planned frame."""
+        group = self._group(task)
+        engine = self.ensure_window(group.window_start or 0, task=task)
+        graph = engine.plan.graphs.get(video)
+        if graph is None:
+            raise KeyError(f"video {video!r} is not in the current plan")
+        # Chain depth of an aug node = number of aug ancestors + itself.
+        candidates = []
+        for node in graph.nodes.values():
+            if node.kind != "aug":
+                continue
+            if not node.key.startswith(f"aug:{video}:{index}:"):
+                continue
+            d, cursor = 0, node
+            while cursor.kind == "aug":
+                d += 1
+                cursor = graph.nodes[cursor.parents[0]]
+            if d == depth:
+                candidates.append(node.key)
+        if not candidates:
+            raise KeyError(
+                f"no depth-{depth} augmented view of frame {index} of {video!r}"
+            )
+        return engine._materializer(video).get(sorted(candidates)[0])
+
+    # -- task lifecycle --------------------------------------------------------------
+    def start_task(self, task: str) -> None:
+        if task not in self.tasks:
+            raise KeyError(f"unknown task {task!r}")
+        self._active_tasks.add(task)
+        self.ensure_window(0, task=task)
+
+    def end_task(self, task: str) -> None:
+        self._active_tasks.discard(task)
+        if not self._active_tasks:
+            for group in self._groups.values():
+                if group.engine is not None:
+                    group.engine.stop()
+
+    @property
+    def active_tasks(self) -> Set[str]:
+        return set(self._active_tasks)
+
+    # -- FileSystemProvider ------------------------------------------------------
+    def _parts(self, path: str) -> List[str]:
+        return [p for p in path.split("/") if p]
+
+    def lookup(self, path: str) -> NodeInfo:
+        parts = self._parts(path)
+        if not parts:
+            return NodeInfo(path, is_dir=True)
+        if parts[0] not in self.tasks:
+            raise FileNotFoundVfsError(path)
+        if len(parts) == 1:
+            return NodeInfo(path, is_dir=True)
+        if parts[-1] == CTRL_NAME and len(parts) == 2:
+            return NodeInfo(path, is_dir=False, size=0)
+        view = try_parse_view_path("/" + "/".join(parts))
+        if view is not None:
+            return NodeInfo(path, is_dir=False, size=0)
+        # Intermediate directory levels of the Table-1 namespace.
+        return NodeInfo(path, is_dir=True)
+
+    def open(self, path: str) -> FileHandle:
+        parts = self._parts(path)
+        if len(parts) == 2 and parts[1] == CTRL_NAME:
+            if parts[0] not in self.tasks:
+                raise FileNotFoundVfsError(path)
+            self.start_task(parts[0])
+            return _CtrlHandle(self, parts[0], path)
+        try:
+            view = parse_view_path(path)
+        except ValueError as exc:
+            raise FileNotFoundVfsError(path, str(exc)) from exc
+        if view.task not in self.tasks:
+            raise FileNotFoundVfsError(path, f"unknown task {view.task!r}")
+        dataset = self._group(view.task).dataset
+        try:
+            if isinstance(view, BatchView):
+                batch, metadata = self.batch(view.task, view.epoch, view.iteration)
+                handle = FileHandle(encode_array(batch), path)
+                handle.metadata = metadata  # type: ignore[attr-defined]
+                return handle
+            if isinstance(view, VideoView):
+                if view.video not in dataset.video_ids:
+                    raise FileNotFoundVfsError(path)
+                return FileHandle(dataset.get_bytes(view.video), path)
+            if isinstance(view, FrameView):
+                return FileHandle(
+                    encode_array(self.frame_array(view.task, view.video, view.index)),
+                    path,
+                )
+            if isinstance(view, AugFrameView):
+                return FileHandle(
+                    encode_array(
+                        self.aug_frame_array(
+                            view.task, view.video, view.index, view.depth
+                        )
+                    ),
+                    path,
+                )
+        except KeyError as exc:
+            raise FileNotFoundVfsError(path, str(exc)) from exc
+        raise IsADirectoryVfsError(path)
+
+    def getxattr(self, path: str, name: str) -> bytes:
+        view = try_parse_view_path(path)
+        if view is None or view.task not in self.tasks:
+            raise FileNotFoundVfsError(path)
+        dataset = self._group(view.task).dataset
+        if isinstance(view, BatchView):
+            batch, metadata = self.batch(view.task, view.epoch, view.iteration)
+            if name == "shape":
+                return json.dumps(list(batch.shape)).encode()
+            if name == "dtype":
+                return str(batch.dtype).encode()
+            if name in metadata:
+                return json.dumps(metadata[name]).encode()
+            raise NoAttributeError(path, f"no xattr {name!r}")
+        if isinstance(view, (FrameView, AugFrameView)):
+            md = dataset.metadata(view.video)
+            if name == "timestamp":
+                return json.dumps(round(view.index / md.fps, 6)).encode()
+            if name == "video":
+                return view.video.encode()
+            raise NoAttributeError(path, f"no xattr {name!r}")
+        if isinstance(view, VideoView):
+            md = dataset.metadata(view.video)
+            if name == "metadata":
+                return json.dumps(
+                    {
+                        "width": md.width,
+                        "height": md.height,
+                        "num_frames": md.num_frames,
+                        "fps": md.fps,
+                        "gop_size": md.gop_size,
+                    }
+                ).encode()
+            raise NoAttributeError(path, f"no xattr {name!r}")
+        raise NoAttributeError(path, f"no xattr {name!r}")
+
+    def listdir(self, path: str) -> List[str]:
+        parts = self._parts(path)
+        if not parts:
+            return sorted(self.tasks)
+        task = parts[0]
+        if task not in self.tasks:
+            raise FileNotFoundVfsError(path)
+        if try_parse_view_path(path) is not None:
+            raise NotADirectoryVfsError(path)
+        group = self._group(task)
+        engine = self.ensure_window(group.window_start or 0, task=task)
+        plan = engine.plan
+        if len(parts) == 1:
+            entries = {CTRL_NAME}
+            entries.update(f"{vid}.mp4" for vid in group.dataset.video_ids)
+            entries.update(str(e) for e in plan.epochs)
+            return sorted(entries)
+        if len(parts) == 2 and parts[1].isdigit():
+            epoch = int(parts[1])
+            iters = [
+                str(b.iteration)
+                for b in plan.batches.values()
+                if b.task == task and b.epoch == epoch
+            ]
+            if not iters:
+                raise FileNotFoundVfsError(path)
+            return sorted(iters, key=int)
+        if len(parts) == 3 and parts[1].isdigit() and parts[2].isdigit():
+            return ["view"]
+        raise FileNotFoundVfsError(path)
+
+    def release(self, handle: FileHandle) -> None:
+        handle.close()
+
+
+class _CtrlHandle(FileHandle):
+    """The task control file: close() signals task completion."""
+
+    def __init__(self, service: SandService, task: str, path: str):
+        super().__init__(b"", path)
+        self._service = service
+        self._task = task
+
+    def close(self) -> None:
+        if not self.closed:
+            self._service.end_task(self._task)
+        super().close()

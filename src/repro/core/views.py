@@ -1,0 +1,163 @@
+"""View types and the Table-1 path scheme.
+
+SAND exposes every stage of the preprocessing pipeline as a *view* — a
+virtual object addressed by a unique file path (paper Table 1):
+
+======  =====================================================
+View    Path
+======  =====================================================
+Video   ``/{task_name}/{video_name}.mp4``
+Frame   ``/{task_name}/{video_name}/frame{index}``
+Aug.    ``/{task_name}/{video_name}/frame{index}/aug{depth}``
+View    ``/{task_name}/{epoch}/{iteration}/view``
+======  =====================================================
+
+:func:`parse_view_path` and the ``path()`` constructors are exact
+inverses, and parsing is unambiguous: the batch-view form is recognized
+by its ``/view`` leaf and numeric epoch/iteration components, the video
+form by its ``.mp4`` suffix, and frames by their ``frame{index}``
+component.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+class ViewKind(enum.Enum):
+    """The four view types of Table 1."""
+
+    VIDEO = "video"
+    FRAME = "frame"
+    AUG_FRAME = "aug_frame"
+    BATCH = "view"
+
+
+class ViewPathError(ValueError):
+    """Raised when a path does not match any Table-1 form."""
+
+
+_FRAME_RE = re.compile(r"^frame(\d+)$")
+_AUG_RE = re.compile(r"^aug(\d+)$")
+_INT_RE = re.compile(r"^\d+$")
+
+
+@dataclass(frozen=True)
+class VideoView:
+    """``/{task}/{video}.mp4`` — the encoded source video."""
+
+    task: str
+    video: str
+
+    kind = ViewKind.VIDEO
+
+    def path(self) -> str:
+        return f"/{self.task}/{self.video}.mp4"
+
+
+@dataclass(frozen=True)
+class FrameView:
+    """``/{task}/{video}/frame{index}`` — one decoded frame."""
+
+    task: str
+    video: str
+    index: int
+
+    kind = ViewKind.FRAME
+
+    def path(self) -> str:
+        return f"/{self.task}/{self.video}/frame{self.index}"
+
+
+@dataclass(frozen=True)
+class AugFrameView:
+    """``/{task}/{video}/frame{index}/aug{depth}`` — an augmented frame.
+
+    ``depth`` counts applied augmentation steps along the pipeline.
+    """
+
+    task: str
+    video: str
+    index: int
+    depth: int
+
+    kind = ViewKind.AUG_FRAME
+
+    def path(self) -> str:
+        return f"/{self.task}/{self.video}/frame{self.index}/aug{self.depth}"
+
+
+@dataclass(frozen=True)
+class BatchView:
+    """``/{task}/{epoch}/{iteration}/view`` — a ready training batch."""
+
+    task: str
+    epoch: int
+    iteration: int
+
+    kind = ViewKind.BATCH
+
+    def path(self) -> str:
+        return f"/{self.task}/{self.epoch}/{self.iteration}/view"
+
+
+View = Union[VideoView, FrameView, AugFrameView, BatchView]
+
+
+def _validate_name(name: str, what: str, path: str) -> None:
+    if not name or "/" in name:
+        raise ViewPathError(f"bad {what} {name!r} in {path!r}")
+
+
+def parse_view_path(path: str) -> View:
+    """Parse a Table-1 path into its typed view.
+
+    >>> parse_view_path("/train/vid_07.mp4")
+    VideoView(task='train', video='vid_07')
+    >>> parse_view_path("/train/3/120/view")
+    BatchView(task='train', epoch=3, iteration=120)
+    """
+    parts = [p for p in path.split("/") if p]
+    if len(parts) < 2:
+        raise ViewPathError(f"path too short: {path!r}")
+    task = parts[0]
+    _validate_name(task, "task name", path)
+
+    if len(parts) == 2 and parts[1].endswith(".mp4"):
+        video = parts[1][: -len(".mp4")]
+        _validate_name(video, "video name", path)
+        return VideoView(task, video)
+
+    if (
+        len(parts) == 4
+        and parts[3] == "view"
+        and _INT_RE.match(parts[1])
+        and _INT_RE.match(parts[2])
+    ):
+        return BatchView(task, int(parts[1]), int(parts[2]))
+
+    if len(parts) == 3:
+        match = _FRAME_RE.match(parts[2])
+        if match:
+            return FrameView(task, parts[1], int(match.group(1)))
+
+    if len(parts) == 4:
+        frame_match = _FRAME_RE.match(parts[2])
+        aug_match = _AUG_RE.match(parts[3])
+        if frame_match and aug_match:
+            return AugFrameView(
+                task, parts[1], int(frame_match.group(1)), int(aug_match.group(1))
+            )
+
+    raise ViewPathError(f"path matches no view form: {path!r}")
+
+
+def try_parse_view_path(path: str) -> Optional[View]:
+    """Like :func:`parse_view_path` but returns None on mismatch."""
+    try:
+        return parse_view_path(path)
+    except ViewPathError:
+        return None

@@ -1,0 +1,247 @@
+"""A self-contained YAML-subset parser for SAND configuration files.
+
+The paper's configuration API (Fig 9) is YAML; this repo avoids a PyYAML
+dependency by parsing the subset those configs need:
+
+* block mappings and block sequences nested by indentation,
+* ``-`` list items, including inline ``- key: value`` mapping starts,
+* scalars: integers, floats, booleans (``true``/``false``), ``null``/
+  ``None``, quoted strings, bare strings,
+* inline (flow) lists ``[a, b, c]``,
+* ``#`` comments and blank lines.
+
+It intentionally rejects anchors, aliases, tags, multi-line scalars and
+flow mappings — none appear in SAND configs, and failing loudly beats
+misparsing silently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+
+class YamlError(ValueError):
+    """Raised with a line number when the input cannot be parsed."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    quote: Optional[str] = None
+    for ch in line:
+        if quote:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            out.append(ch)
+        elif ch == "#":
+            break
+        else:
+            out.append(ch)
+    return "".join(out).rstrip()
+
+
+def parse_scalar(text: str, lineno: int = 0) -> Any:
+    text = text.strip()
+    if text == "" or text in ("null", "~", "None"):
+        return None
+    if text in ("true", "True"):
+        return True
+    if text in ("false", "False"):
+        return False
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise YamlError(lineno, f"unterminated flow list: {text!r}")
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        items, depth, start = [], 0, 0
+        for i, ch in enumerate(inner):
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                items.append(inner[start:i])
+                start = i + 1
+        items.append(inner[start:])
+        return [parse_scalar(item, lineno) for item in items]
+    if text.startswith("{"):
+        raise YamlError(lineno, "flow mappings are not supported")
+    if text.startswith(("&", "*", "!")):
+        raise YamlError(lineno, f"anchors/aliases/tags are not supported: {text!r}")
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _split_key(text: str, lineno: int) -> Optional[Tuple[str, str]]:
+    """Split ``key: rest`` respecting quotes; None if there is no key."""
+    quote: Optional[str] = None
+    for i, ch in enumerate(text):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == ":":
+            if i + 1 == len(text) or text[i + 1] in " \t":
+                key = text[:i].strip()
+                if not key:
+                    raise YamlError(lineno, "empty mapping key")
+                if key[0] in "'\"" and key[-1] == key[0]:
+                    key = key[1:-1]
+                return key, text[i + 1 :].strip()
+    return None
+
+
+class _Lines:
+    def __init__(self, text: str):
+        self.items: List[Tuple[int, int, str]] = []  # (lineno, indent, content)
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            stripped = _strip_comment(raw)
+            if not stripped.strip():
+                continue
+            if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+                raise YamlError(lineno, "tabs are not allowed in indentation")
+            indent = len(stripped) - len(stripped.lstrip())
+            self.items.append((lineno, indent, stripped.strip()))
+        self.pos = 0
+
+    def peek(self) -> Optional[Tuple[int, int, str]]:
+        return self.items[self.pos] if self.pos < len(self.items) else None
+
+    def next(self) -> Tuple[int, int, str]:
+        item = self.items[self.pos]
+        self.pos += 1
+        return item
+
+
+def _parse_block(lines: _Lines, indent: int) -> Any:
+    first = lines.peek()
+    assert first is not None
+    lineno, _, content = first
+    if content.startswith("- ") or content == "-":
+        return _parse_sequence(lines, indent)
+    if _split_key(content, lineno) is None:
+        # A nested bare scalar, e.g. "config:" followed by indented "None".
+        lines.next()
+        return parse_scalar(content, lineno)
+    return _parse_mapping(lines, indent)
+
+
+def _parse_sequence(lines: _Lines, indent: int) -> List[Any]:
+    out: List[Any] = []
+    while True:
+        item = lines.peek()
+        if item is None:
+            return out
+        lineno, ind, content = item
+        if ind < indent:
+            return out
+        if ind > indent:
+            raise YamlError(lineno, f"unexpected indent {ind} (expected {indent})")
+        if not (content.startswith("- ") or content == "-"):
+            return out
+        lines.next()
+        rest = content[1:].strip()
+        if not rest:
+            nxt = lines.peek()
+            if nxt is not None and nxt[1] > indent:
+                out.append(_parse_block(lines, nxt[1]))
+            else:
+                out.append(None)
+            continue
+        keyed = _split_key(rest, lineno)
+        if keyed is not None:
+            # "- key: value" starts a mapping whose keys align after "- ".
+            item_indent = indent + 2
+            mapping = _parse_inline_map_start(lines, lineno, item_indent, keyed)
+            out.append(mapping)
+        else:
+            out.append(parse_scalar(rest, lineno))
+
+
+def _parse_inline_map_start(
+    lines: _Lines, lineno: int, item_indent: int, keyed: Tuple[str, str]
+) -> dict:
+    key, rest = keyed
+    mapping: dict = {}
+    if rest:
+        mapping[key] = parse_scalar(rest, lineno)
+    else:
+        nxt = lines.peek()
+        if nxt is not None and nxt[1] > item_indent:
+            mapping[key] = _parse_block(lines, nxt[1])
+        else:
+            mapping[key] = None
+    # Continue consuming keys at the item indent.
+    more = _parse_mapping(lines, item_indent, initial=mapping)
+    return more
+
+
+def _parse_mapping(
+    lines: _Lines, indent: int, initial: Optional[dict] = None
+) -> dict:
+    out: dict = initial if initial is not None else {}
+    while True:
+        item = lines.peek()
+        if item is None:
+            return out
+        lineno, ind, content = item
+        if ind < indent:
+            return out
+        if ind > indent:
+            raise YamlError(lineno, f"unexpected indent {ind} (expected {indent})")
+        if content.startswith("- ") or content == "-":
+            return out
+        keyed = _split_key(content, lineno)
+        if keyed is None:
+            raise YamlError(lineno, f"expected 'key: value', got {content!r}")
+        key, rest = keyed
+        if key in out:
+            raise YamlError(lineno, f"duplicate key {key!r}")
+        lines.next()
+        if rest:
+            out[key] = parse_scalar(rest, lineno)
+        else:
+            nxt = lines.peek()
+            if nxt is not None and nxt[1] > ind:
+                out[key] = _parse_block(lines, nxt[1])
+            elif nxt is not None and nxt[1] == ind and (
+                nxt[2].startswith("- ") or nxt[2] == "-"
+            ):
+                # Sequences are commonly written at the parent key's indent.
+                out[key] = _parse_sequence(lines, ind)
+            else:
+                out[key] = None
+
+
+def loads(text: str) -> Any:
+    """Parse a YAML-subset document into Python objects."""
+    lines = _Lines(text)
+    if lines.peek() is None:
+        return None
+    result = _parse_block(lines, lines.peek()[1])
+    leftover = lines.peek()
+    if leftover is not None:
+        raise YamlError(leftover[0], f"unparsed content: {leftover[2]!r}")
+    return result
+
+
+def load_file(path) -> Any:
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

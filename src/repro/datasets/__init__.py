@@ -1,0 +1,31 @@
+"""Synthetic dataset substrate.
+
+The paper trains on Kinetics-400 (250k videos, <=720p), HD-VILA (100k
+videos, 720p) and a curated YouTube 1080p corpus (S7.1) — none of which
+can ship with a reproduction.  Reuse behaviour depends on dataset
+*statistics* (video count, frames per video, bytes per frame), not pixel
+content, so this package provides:
+
+* :mod:`repro.datasets.generator` — real, decodable synthetic datasets
+  (encoded with :mod:`repro.codec`) for functional experiments, plus
+  directory materialization/loading so ``input_source: file`` paths work,
+* :mod:`repro.datasets.profiles` — statistical profiles of the paper's
+  corpora for the simulation-driven experiments, scaled but proportionate.
+"""
+
+from repro.datasets.generator import (
+    DatasetSpec,
+    SyntheticDataset,
+    load_dataset_dir,
+)
+from repro.datasets.profiles import DATASET_PROFILES, DatasetProfile
+from repro.datasets.streaming import StreamingDataset
+
+__all__ = [
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "DatasetSpec",
+    "StreamingDataset",
+    "SyntheticDataset",
+    "load_dataset_dir",
+]

@@ -1,0 +1,197 @@
+"""Real synthetic datasets: encoded, decodable, deterministic.
+
+A :class:`SyntheticDataset` is a corpus of procedurally generated videos
+(see :mod:`repro.codec.synthetic`) with per-video frame counts drawn
+deterministically from the dataset seed.  Encoded bytes are produced
+lazily and cached, so planners can work from metadata alone while
+functional pipelines can decode real pixels.
+
+Datasets can be materialized to a directory of ``.svc`` files and loaded
+back — that is what a task config's ``video_dataset_path`` points at when
+``input_source: file``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.codec.container import read_container
+from repro.codec.encoder import encode_video
+from repro.codec.intra import encode_intra_video
+from repro.codec.model import VideoMetadata
+from repro.codec.registry import open_decoder
+from repro.codec.synthetic import SyntheticVideoSource, video_class_of
+
+import numpy as np
+
+VIDEO_SUFFIX = ".svc"
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Parameters of a synthetic corpus."""
+
+    name: str = "synthetic"
+    num_videos: int = 8
+    min_frames: int = 40
+    max_frames: int = 80
+    width: int = 64
+    height: int = 36
+    fps: float = 30.0
+    gop_size: int = 10
+    b_frames: int = 0
+    codec: str = "inter"  # "inter" (SVC1, .svc) or "intra" (SVI1, .svi)
+    num_classes: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.codec not in ("inter", "intra"):
+            raise ValueError(f"codec must be inter|intra, got {self.codec!r}")
+        if self.num_videos < 1:
+            raise ValueError(f"need at least one video, got {self.num_videos}")
+        if not 1 <= self.min_frames <= self.max_frames:
+            raise ValueError(
+                f"bad frame range [{self.min_frames}, {self.max_frames}]"
+            )
+        if self.num_classes < 1:
+            raise ValueError(f"num_classes must be >= 1, got {self.num_classes}")
+
+
+class SyntheticDataset:
+    """A corpus of synthetic videos with lazy, cached encoding."""
+
+    def __init__(self, spec: DatasetSpec):
+        self.spec = spec
+        rng = np.random.default_rng(spec.seed)
+        self._metadata: Dict[str, VideoMetadata] = {}
+        for i in range(spec.num_videos):
+            video_id = f"{spec.name}_{i:05d}"
+            frames = int(rng.integers(spec.min_frames, spec.max_frames + 1))
+            self._metadata[video_id] = VideoMetadata(
+                video_id=video_id,
+                width=spec.width,
+                height=spec.height,
+                num_frames=frames,
+                fps=spec.fps,
+                # All-intra streams have no inter dependencies: planners
+                # see them as GOP size 1.
+                gop_size=1 if spec.codec == "intra" else spec.gop_size,
+                b_frames=0 if spec.codec == "intra" else spec.b_frames,
+            )
+        self._encoded: Dict[str, bytes] = {}
+
+    # -- corpus access -----------------------------------------------------
+    @property
+    def video_ids(self) -> List[str]:
+        return list(self._metadata)
+
+    def __len__(self) -> int:
+        return len(self._metadata)
+
+    def __contains__(self, video_id: str) -> bool:
+        return video_id in self._metadata
+
+    def metadata(self, video_id: str) -> VideoMetadata:
+        if video_id not in self._metadata:
+            raise KeyError(f"unknown video {video_id!r}")
+        return self._metadata[video_id]
+
+    def source(self, video_id: str) -> SyntheticVideoSource:
+        return SyntheticVideoSource(
+            self.metadata(video_id), num_classes=self.spec.num_classes
+        )
+
+    def label(self, video_id: str) -> int:
+        self.metadata(video_id)  # validate
+        return video_class_of(video_id, self.spec.num_classes)
+
+    def get_bytes(self, video_id: str) -> bytes:
+        """Encoded container bytes (rendered and cached on first use)."""
+        if video_id not in self._encoded:
+            encode = encode_intra_video if self.spec.codec == "intra" else encode_video
+            self._encoded[video_id] = encode(self.source(video_id))
+        return self._encoded[video_id]
+
+    def encoded_size(self, video_id: str) -> int:
+        return len(self.get_bytes(video_id))
+
+    def total_frames(self) -> int:
+        return sum(md.num_frames for md in self._metadata.values())
+
+    def iter_metadata(self) -> Iterator[VideoMetadata]:
+        return iter(self._metadata.values())
+
+    # -- directory form ------------------------------------------------------
+    def materialize(self, directory: Path) -> Path:
+        """Write every video under ``directory`` with its codec's suffix."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        suffix = ".svi" if self.spec.codec == "intra" else VIDEO_SUFFIX
+        for video_id in self.video_ids:
+            (directory / f"{video_id}{suffix}").write_bytes(
+                self.get_bytes(video_id)
+            )
+        return directory
+
+
+class DirectoryDataset:
+    """A dataset loaded from a directory of ``.svc`` files."""
+
+    def __init__(self, directory: Path, num_classes: int = 4):
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"dataset directory {directory} does not exist")
+        self.directory = directory
+        self.num_classes = num_classes
+        self._metadata: Dict[str, VideoMetadata] = {}
+        self._paths: Dict[str, Path] = {}
+        candidates = sorted(
+            list(directory.glob(f"*{VIDEO_SUFFIX}")) + list(directory.glob("*.svi"))
+        )
+        for path in candidates:
+            # Decoder dispatch by extension/magic (S6) also yields metadata.
+            metadata = open_decoder(path.read_bytes()).metadata
+            self._metadata[metadata.video_id] = metadata
+            self._paths[metadata.video_id] = path
+        if not self._metadata:
+            raise FileNotFoundError(
+                f"no {VIDEO_SUFFIX}/.svi files under {directory}"
+            )
+        self._cache: Dict[str, bytes] = {}
+
+    @property
+    def video_ids(self) -> List[str]:
+        return list(self._metadata)
+
+    def __len__(self) -> int:
+        return len(self._metadata)
+
+    def __contains__(self, video_id: str) -> bool:
+        return video_id in self._metadata
+
+    def metadata(self, video_id: str) -> VideoMetadata:
+        if video_id not in self._metadata:
+            raise KeyError(f"unknown video {video_id!r}")
+        return self._metadata[video_id]
+
+    def label(self, video_id: str) -> int:
+        self.metadata(video_id)
+        return video_class_of(video_id, self.num_classes)
+
+    def get_bytes(self, video_id: str) -> bytes:
+        if video_id not in self._cache:
+            self._cache[video_id] = self._paths[video_id].read_bytes()
+        return self._cache[video_id]
+
+    def encoded_size(self, video_id: str) -> int:
+        return self._paths[video_id].stat().st_size
+
+    def iter_metadata(self) -> Iterator[VideoMetadata]:
+        return iter(self._metadata.values())
+
+
+def load_dataset_dir(directory: Path, num_classes: int = 4) -> DirectoryDataset:
+    """Open a materialized dataset directory."""
+    return DirectoryDataset(directory, num_classes=num_classes)

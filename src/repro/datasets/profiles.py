@@ -1,0 +1,71 @@
+"""Statistical profiles of the paper's corpora (for simulation).
+
+Timing experiments never need real pixels — only how many videos exist,
+how long they are, and how many bytes each stage touches.  These profiles
+carry the paper's dataset statistics (S3, S7.1):
+
+* Kinetics-400: 250k videos, ~350 GB encoded, ~80 TB as raw frames
+  (~83.5 TB cited in S3), <=720p, ~10 s at 30 fps,
+* HD-VILA: 100k videos at 720p,
+* YouTube-1080p: curated 1080p corpus for super-resolution.
+
+Benchmarks scale ``num_videos`` down but keep per-video statistics, so
+ratios (frames decoded vs used, cache fraction, bandwidth demand) match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Per-corpus statistics used by the cost model and planners."""
+
+    name: str
+    num_videos: int
+    frames_per_video: int  # mean frames per video
+    width: int
+    height: int
+    fps: float = 30.0
+    gop_size: int = 30
+
+    @property
+    def megapixels(self) -> float:
+        return self.width * self.height / 1e6
+
+    @property
+    def total_frames(self) -> int:
+        return self.num_videos * self.frames_per_video
+
+    def scaled(self, num_videos: int) -> "DatasetProfile":
+        """Same per-video statistics over a smaller corpus."""
+        if num_videos < 1:
+            raise ValueError(f"need at least one video, got {num_videos}")
+        return replace(self, num_videos=num_videos)
+
+
+DATASET_PROFILES: Dict[str, DatasetProfile] = {
+    "kinetics400": DatasetProfile(
+        name="kinetics400",
+        num_videos=250_000,
+        frames_per_video=300,  # ~10 s @ 30 fps
+        width=1280,
+        height=720,
+    ),
+    "hdvila100m": DatasetProfile(
+        name="hdvila100m",
+        num_videos=100_000,
+        frames_per_video=400,
+        width=1280,
+        height=720,
+    ),
+    "youtube1080p": DatasetProfile(
+        name="youtube1080p",
+        num_videos=5_000,
+        frames_per_video=600,
+        width=1920,
+        height=1080,
+    ),
+}

@@ -1,0 +1,81 @@
+"""A streaming input source (paper S5.1: ``input_source: streaming``).
+
+The configuration API distinguishes file-based datasets from live
+sources (the paper cites online-learning ingest).  A
+:class:`StreamingDataset` starts with a base corpus and *publishes*
+additional videos over time; because the SAND service rebuilds its plan
+at every k-epoch window boundary from ``dataset.video_ids``, newly
+published videos join training at the next window without any code in
+the application.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codec.model import VideoMetadata
+from repro.datasets.generator import DatasetSpec, SyntheticDataset
+
+
+class StreamingDataset:
+    """A growing corpus: a window onto an (conceptually) endless stream."""
+
+    def __init__(self, spec: DatasetSpec, initially_available: int):
+        if not 1 <= initially_available <= spec.num_videos:
+            raise ValueError(
+                f"initially_available must be in [1, {spec.num_videos}], "
+                f"got {initially_available}"
+            )
+        self._backing = SyntheticDataset(spec)
+        self._available = initially_available
+
+    # -- stream control ------------------------------------------------------
+    def publish(self, count: int = 1) -> List[str]:
+        """Make ``count`` more videos visible; returns the new ids."""
+        if count < 0:
+            raise ValueError(f"negative publish count: {count}")
+        start = self._available
+        self._available = min(
+            self._available + count, len(self._backing.video_ids)
+        )
+        return self._backing.video_ids[start : self._available]
+
+    @property
+    def pending(self) -> int:
+        """Videos generated but not yet published."""
+        return len(self._backing.video_ids) - self._available
+
+    # -- dataset interface (what planners and engines consume) ------------------
+    @property
+    def video_ids(self) -> List[str]:
+        return self._backing.video_ids[: self._available]
+
+    def __len__(self) -> int:
+        return self._available
+
+    def __contains__(self, video_id: str) -> bool:
+        return video_id in self.video_ids
+
+    def _check_visible(self, video_id: str) -> None:
+        if video_id not in self.video_ids:
+            raise KeyError(f"video {video_id!r} has not been published yet")
+
+    def metadata(self, video_id: str) -> VideoMetadata:
+        self._check_visible(video_id)
+        return self._backing.metadata(video_id)
+
+    def get_bytes(self, video_id: str) -> bytes:
+        self._check_visible(video_id)
+        return self._backing.get_bytes(video_id)
+
+    def encoded_size(self, video_id: str) -> int:
+        self._check_visible(video_id)
+        return self._backing.encoded_size(video_id)
+
+    def label(self, video_id: str) -> int:
+        self._check_visible(video_id)
+        return self._backing.label(video_id)
+
+    def iter_metadata(self):
+        for video_id in self.video_ids:
+            yield self._backing.metadata(video_id)

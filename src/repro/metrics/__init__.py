@@ -1,0 +1,18 @@
+"""Result collection and paper-style reporting.
+
+* :mod:`repro.metrics.report` — fixed-width tables printed by every
+  benchmark, with paper-expected vs measured columns,
+* :mod:`repro.metrics.loc` — the lines-of-code counter behind Table 3
+  (counts logical preprocessing LoC the way the paper counts them).
+"""
+
+from repro.metrics.report import Table, fmt_ratio, fmt_seconds
+from repro.metrics.loc import count_loc, count_preprocessing_loc
+
+__all__ = [
+    "Table",
+    "count_loc",
+    "count_preprocessing_loc",
+    "fmt_ratio",
+    "fmt_seconds",
+]

@@ -1,0 +1,30 @@
+"""Ray-like substrate: actor pool, Tune-style driver, ASHA scheduler.
+
+The paper's hyperparameter-search scenario (S7.1) runs Ray Tune with the
+ASHA scheduler over four GPUs sharing one dataset.  Ray itself is out of
+scope; what the experiments require is (a) concurrent trials sharing a
+SAND service, (b) ASHA's asynchronous successive-halving promotion and
+early-stop rule, and (c) a Tune-shaped driver.  All three live here:
+
+* :mod:`repro.rayx.asha` — pure ASHA decision logic (also reused by the
+  simulation harness),
+* :mod:`repro.rayx.actors` — a thread-backed actor pool with futures,
+* :mod:`repro.rayx.tune` — the search driver: samples configs, runs
+  trainables, reports to the scheduler, collects results.
+"""
+
+from repro.rayx.asha import AshaScheduler, Decision
+from repro.rayx.actors import ActorPool, Future
+from repro.rayx.tune import Trial, TuneResult, grid_search, run_tune, sample_search_space
+
+__all__ = [
+    "ActorPool",
+    "AshaScheduler",
+    "Decision",
+    "Future",
+    "Trial",
+    "TuneResult",
+    "grid_search",
+    "run_tune",
+    "sample_search_space",
+]

@@ -1,0 +1,95 @@
+"""A small thread-backed actor pool with futures.
+
+Stands in for Ray's task/actor execution: ``submit`` schedules a callable
+onto one of N workers (the paper's "GPUs") and returns a
+:class:`Future`.  Deterministic enough for tests: tasks are dispatched
+FIFO and each worker processes one task at a time.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import traceback
+from typing import Any, Callable, List, Optional
+
+
+class Future:
+    """Result placeholder for a submitted task."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+
+    def _set_result(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def _set_exception(self, exc: BaseException) -> None:
+        self._exc = exc
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError("future not ready")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+
+class ActorPool:
+    """N workers pulling tasks from a shared queue."""
+
+    def __init__(self, num_workers: int = 4, name: str = "rayx"):
+        if num_workers < 1:
+            raise ValueError(f"need at least one worker, got {num_workers}")
+        self.num_workers = num_workers
+        self._queue: "queue.Queue" = queue.Queue()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        for i in range(num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"{name}-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def submit(self, fn: Callable, *args: Any, **kwargs: Any) -> Future:
+        if self._stop.is_set():
+            raise RuntimeError("pool is shut down")
+        future = Future()
+        self._queue.put((future, fn, args, kwargs))
+        return future
+
+    def map(self, fn: Callable, items) -> List[Any]:
+        futures = [self.submit(fn, item) for item in items]
+        return [f.result() for f in futures]
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._stop.set()
+        for _ in self._threads:
+            self._queue.put(None)  # wake workers
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=10)
+
+    def __enter__(self) -> "ActorPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            future, fn, args, kwargs = item
+            try:
+                future._set_result(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - delivered via future
+                future._set_exception(exc)

@@ -1,0 +1,95 @@
+"""ASHA: Asynchronous Successive Halving (Li et al., MLSys 2020).
+
+The scheduler the paper's hyperparameter search uses (S7.1).  Rungs sit
+at resource levels ``r * eta^k`` (epochs here).  When a trial reports at
+a rung, it is *promoted* to keep training iff its metric is in the top
+``1/eta`` of everything that has ever reported at that rung; otherwise
+it stops.  Asynchrony: decisions use whatever results exist now — no
+waiting for a full bracket, which is what keeps GPUs busy.
+
+Pure logic, no threads: the Tune driver and the simulation harness both
+call :meth:`on_result` and act on the returned :class:`Decision`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Decision(enum.Enum):
+    CONTINUE = "continue"  # below the next rung: keep training
+    STOP = "stop"  # at a rung, not in the top 1/eta: early-stop
+
+
+@dataclass
+class _Rung:
+    resource: int
+    # trial id -> best metric reported at this rung
+    results: Dict[str, float] = field(default_factory=dict)
+
+
+class AshaScheduler:
+    """Asynchronous successive halving on a minimized metric."""
+
+    def __init__(
+        self,
+        max_resource: int,
+        grace_period: int = 1,
+        reduction_factor: int = 3,
+        mode: str = "min",
+    ):
+        if grace_period < 1:
+            raise ValueError(f"grace_period must be >= 1, got {grace_period}")
+        if reduction_factor < 2:
+            raise ValueError(f"reduction_factor must be >= 2, got {reduction_factor}")
+        if max_resource < grace_period:
+            raise ValueError("max_resource must be >= grace_period")
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.max_resource = max_resource
+        self.grace_period = grace_period
+        self.eta = reduction_factor
+        self.mode = mode
+        self.rungs: List[_Rung] = []
+        resource = grace_period
+        while resource < max_resource:
+            self.rungs.append(_Rung(resource))
+            resource *= reduction_factor
+        self.stopped: set[str] = set()
+
+    def rung_levels(self) -> List[int]:
+        return [r.resource for r in self.rungs]
+
+    def _better(self, a: float, b: float) -> bool:
+        return a <= b if self.mode == "min" else a >= b
+
+    def _top_fraction(self, rung: _Rung, trial: str) -> bool:
+        """Is the trial's result within the top 1/eta at this rung?"""
+        values = sorted(rung.results.values(), reverse=(self.mode == "max"))
+        cutoff_count = max(1, math.floor(len(values) / self.eta))
+        cutoff = values[cutoff_count - 1]
+        return self._better(rung.results[trial], cutoff)
+
+    def on_result(self, trial: str, resource: int, metric: float) -> Decision:
+        """Report a trial's metric after consuming ``resource`` units."""
+        if trial in self.stopped:
+            return Decision.STOP
+        if resource >= self.max_resource:
+            return Decision.STOP  # ran to completion
+        for rung in reversed(self.rungs):
+            if resource >= rung.resource:
+                best = rung.results.get(trial)
+                if best is None or self._better(metric, best):
+                    rung.results[trial] = metric
+                if self._top_fraction(rung, trial):
+                    return Decision.CONTINUE
+                self.stopped.add(trial)
+                return Decision.STOP
+        return Decision.CONTINUE  # below the first rung (grace period)
+
+    def rung_summary(self) -> Dict[int, int]:
+        """resource level -> number of trials that reported there."""
+        return {rung.resource: len(rung.results) for rung in self.rungs}

@@ -1,0 +1,117 @@
+"""The Tune-style search driver.
+
+``run_tune`` samples trial configs from a search space (the paper
+searches optimizer hyperparameters: learning rate, weight decay, betas),
+runs each *trainable* on the actor pool, reports per-epoch metrics to
+the ASHA scheduler, and early-stops trials it rejects.  A trainable is a
+callable ``(config) -> iterator of (resource, metric)`` — exactly what
+:meth:`repro.train.trainer.Trainer.run_iterator` yields.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.rayx.actors import ActorPool
+from repro.rayx.asha import AshaScheduler, Decision
+
+Trainable = Callable[[Dict[str, Any]], Iterator[Tuple[int, float]]]
+
+
+@dataclass
+class Trial:
+    trial_id: str
+    config: Dict[str, Any]
+    metrics: List[Tuple[int, float]] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def best_metric(self) -> float:
+        if not self.metrics:
+            return float("inf")
+        return min(m for _, m in self.metrics)
+
+    @property
+    def resource_used(self) -> int:
+        return self.metrics[-1][0] + 1 if self.metrics else 0
+
+
+@dataclass
+class TuneResult:
+    trials: List[Trial]
+    best_trial: Trial
+
+    @property
+    def total_resource(self) -> int:
+        """Total epochs trained across all trials (ASHA's savings axis)."""
+        return sum(t.resource_used for t in self.trials)
+
+    @property
+    def early_stopped(self) -> int:
+        return sum(1 for t in self.trials if t.stopped_early)
+
+
+def sample_search_space(
+    space: Mapping[str, Any], num_trials: int, seed: int = 0
+) -> List[Dict[str, Any]]:
+    """Random-sample configs: lists are choices, (lo, hi) tuples log-uniform."""
+    rng = np.random.default_rng(seed)
+    configs = []
+    for _ in range(num_trials):
+        config: Dict[str, Any] = {}
+        for key, spec in space.items():
+            if isinstance(spec, (list, tuple)) and len(spec) == 2 and all(
+                isinstance(v, float) for v in spec
+            ):
+                lo, hi = spec
+                config[key] = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+            elif isinstance(spec, (list, tuple)):
+                config[key] = spec[int(rng.integers(0, len(spec)))]
+            else:
+                config[key] = spec
+        configs.append(config)
+    return configs
+
+
+def grid_search(space: Mapping[str, Iterable[Any]]) -> List[Dict[str, Any]]:
+    """Exhaustive cartesian product of per-key value lists."""
+    keys = list(space)
+    out = []
+    for combo in itertools.product(*(list(space[k]) for k in keys)):
+        out.append(dict(zip(keys, combo)))
+    return out
+
+
+def run_tune(
+    trainable: Trainable,
+    configs: List[Dict[str, Any]],
+    scheduler: Optional[AshaScheduler] = None,
+    num_workers: int = 4,
+    mode: str = "min",
+) -> TuneResult:
+    """Run trials concurrently; report results through the scheduler."""
+    if not configs:
+        raise ValueError("no trial configs given")
+    trials = [Trial(trial_id=f"trial_{i:03d}", config=c) for i, c in enumerate(configs)]
+
+    def run_trial(trial: Trial) -> Trial:
+        for resource, metric in trainable(trial.config):
+            trial.metrics.append((resource, metric))
+            if scheduler is not None:
+                decision = scheduler.on_result(trial.trial_id, resource + 1, metric)
+                if decision is Decision.STOP:
+                    trial.stopped_early = resource + 1 < scheduler.max_resource
+                    break
+        return trial
+
+    with ActorPool(num_workers=num_workers, name="tune") as pool:
+        futures = [pool.submit(run_trial, t) for t in trials]
+        finished = [f.result() for f in futures]
+
+    pick = min if mode == "min" else max
+    best = pick(finished, key=lambda t: t.best_metric)
+    return TuneResult(trials=finished, best_trial=best)

@@ -1,0 +1,62 @@
+"""Deterministic discrete-event simulation substrate.
+
+The SAND paper evaluates wall-clock training time, GPU utilization, and
+energy on GCP A2 instances (A100 GPUs, NVDEC, 12 vCPUs per GPU).  That
+hardware is unavailable here, so every timing experiment in this repo runs
+on this substrate instead: a generator-based discrete-event kernel
+(:mod:`repro.sim.kernel`), capacity resources with utilization accounting
+(:mod:`repro.sim.resources`), an energy model (:mod:`repro.sim.power`), and
+a cost model calibrated to the ratios the paper measures
+(:mod:`repro.sim.costs`).
+
+The simulation is fully deterministic: no wall-clock reads, no global
+random state.  Identical inputs always produce identical timelines.
+"""
+
+from repro.sim.kernel import (
+    Event,
+    Interrupt,
+    Process,
+    Simulation,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import (
+    Bandwidth,
+    Container,
+    Lease,
+    Resource,
+    UtilizationTracker,
+)
+from repro.sim.power import EnergyMeter, PowerModel, PowerRail
+from repro.sim.costs import (
+    CostModel,
+    GPUProfile,
+    ModelProfile,
+    MODEL_PROFILES,
+    NodeProfile,
+    default_cost_model,
+)
+
+__all__ = [
+    "Bandwidth",
+    "Container",
+    "CostModel",
+    "EnergyMeter",
+    "Event",
+    "GPUProfile",
+    "Interrupt",
+    "Lease",
+    "MODEL_PROFILES",
+    "ModelProfile",
+    "NodeProfile",
+    "PowerModel",
+    "PowerRail",
+    "Process",
+    "Resource",
+    "Simulation",
+    "SimulationError",
+    "Timeout",
+    "UtilizationTracker",
+    "default_cost_model",
+]

@@ -1,0 +1,353 @@
+"""Generator-based discrete-event simulation kernel.
+
+A tiny, deterministic SimPy-style kernel.  Simulation *processes* are
+Python generators that ``yield`` awaitables:
+
+* :class:`Timeout` — resume after a fixed amount of virtual time,
+* :class:`Event` — resume when the event is triggered (with its value),
+* another :class:`Process` — resume when that process finishes (join),
+* resource requests from :mod:`repro.sim.resources`.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so a given
+program always produces the same timeline.
+
+Example
+-------
+>>> sim = Simulation()
+>>> log = []
+>>> def worker(name, delay):
+...     yield Timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.spawn(worker("a", 2.0))
+>>> _ = sim.spawn(worker("b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. negative delays, re-triggered events)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The interrupting cause is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*; :meth:`trigger` fires it with a value (or
+    :meth:`fail` with an exception), waking every waiter.  Waiters that
+    subscribe after the event has fired resume immediately.
+    """
+
+    __slots__ = ("sim", "_value", "_exc", "_fired", "_waiters")
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._fired = False
+        self._waiters: list[Process] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError("event value read before trigger")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        if self._fired:
+            raise SimulationError("event triggered twice")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._schedule_resume(proc, value)
+
+    def fail(self, exc: BaseException) -> None:
+        if self._fired:
+            raise SimulationError("event triggered twice")
+        self._fired = True
+        self._exc = exc
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self.sim._schedule_throw(proc, exc)
+
+    # -- awaitable protocol -------------------------------------------------
+    def _subscribe(self, proc: "Process") -> None:
+        if self._fired:
+            if self._exc is not None:
+                self.sim._schedule_throw(proc, self._exc)
+            else:
+                self.sim._schedule_resume(proc, self._value)
+        else:
+            self._waiters.append(proc)
+
+    def _unsubscribe(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+
+class Timeout:
+    """Awaitable that resumes a process after ``delay`` units of time."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay!r}")
+        self.delay = float(delay)
+        self.value = value
+
+    def _subscribe(self, proc: "Process") -> None:
+        proc.sim._schedule_resume(proc, self.value, delay=self.delay)
+
+    def _unsubscribe(self, proc: "Process") -> None:
+        proc._cancelled_timeout = True
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    Yield awaitables from the generator to pause; the value the awaitable
+    produces becomes the result of the ``yield`` expression.  A process is
+    itself awaitable: yielding it joins it and produces its return value.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "_gen",
+        "_done",
+        "_result",
+        "_exc",
+        "_waiters",
+        "_waiting_on",
+        "_cancelled_timeout",
+        "_resume_seq",
+    )
+
+    def __init__(self, sim: "Simulation", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self._done = False
+        self._result: Any = None
+        self._exc: Optional[BaseException] = None
+        self._waiters: list[Process] = []
+        self._waiting_on: Any = None
+        self._cancelled_timeout = False
+        self._resume_seq = 0
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        if not self._done:
+            raise SimulationError(f"process {self.name!r} still running")
+        if self._exc is not None:
+            raise self._exc
+        return self._result
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._done:
+            return
+        if self._waiting_on is not None:
+            waiting, self._waiting_on = self._waiting_on, None
+            unsubscribe = getattr(waiting, "_unsubscribe", None)
+            if unsubscribe is not None:
+                unsubscribe(self)
+        self.sim._schedule_throw(self, Interrupt(cause))
+
+    # -- awaitable protocol -------------------------------------------------
+    def _subscribe(self, proc: "Process") -> None:
+        if self._done:
+            if self._exc is not None:
+                self.sim._schedule_throw(proc, self._exc)
+            else:
+                self.sim._schedule_resume(proc, self._result)
+        else:
+            self._waiters.append(proc)
+
+    def _unsubscribe(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+    # -- kernel internals ----------------------------------------------------
+    def _step(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        self._waiting_on = None
+        try:
+            if throw_exc is not None:
+                target = self._gen.throw(throw_exc)
+            else:
+                target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process failure path
+            self._finish(exc=exc)
+            return
+        subscribe = getattr(target, "_subscribe", None)
+        if subscribe is None:
+            self._finish(
+                exc=SimulationError(
+                    f"process {self.name!r} yielded non-awaitable {target!r}"
+                )
+            )
+            return
+        self._waiting_on = target
+        subscribe(self)
+
+    def _finish(
+        self, result: Any = None, exc: Optional[BaseException] = None
+    ) -> None:
+        self._done = True
+        self._result = result
+        self._exc = exc
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            if exc is not None:
+                self.sim._schedule_throw(proc, exc)
+            else:
+                self.sim._schedule_resume(proc, result)
+        if exc is not None and not waiters:
+            self.sim._unhandled.append((self, exc))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self._done else "running"
+        return f"<Process {self.name!r} {state} at t={self.sim.now:.3f}>"
+
+
+class Simulation:
+    """The event loop: a virtual clock plus a time-ordered callback heap."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._unhandled: list[tuple[Process, BaseException]] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds by convention)."""
+        return self._now
+
+    # -- public API -----------------------------------------------------------
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process from a generator; it first runs at `now`."""
+        proc = Process(self, gen, name=name)
+        self._schedule_resume(proc, None)
+        return proc
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(delay, value)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run a plain callback after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        self._push(self._now + delay, callback)
+
+    def all_of(self, awaitables: Iterable[Any]) -> Event:
+        """Event that fires with a list of values once every input fires."""
+        items = list(awaitables)
+        done_evt = self.event()
+        remaining = len(items)
+        results: list[Any] = [None] * len(items)
+        if remaining == 0:
+            done_evt.trigger([])
+            return done_evt
+
+        def waiter(i: int, item: Any) -> Generator:
+            results[i] = yield item
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                done_evt.trigger(list(results))
+
+        for i, item in enumerate(items):
+            self.spawn(waiter(i, item), name=f"all_of[{i}]")
+        return done_evt
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events until the heap is empty or ``until`` is reached."""
+        while self._heap:
+            when, _, callback = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            if when < self._now:  # pragma: no cover - defensive
+                raise SimulationError("time went backwards")
+            self._now = when
+            callback()
+            if self._unhandled:
+                proc, exc = self._unhandled[0]
+                raise SimulationError(
+                    f"unhandled failure in process {proc.name!r}"
+                ) from exc
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+
+    # -- kernel internals -------------------------------------------------------
+    def _push(self, when: float, callback: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, callback))
+
+    def _schedule_resume(
+        self, proc: Process, value: Any, delay: float = 0.0
+    ) -> None:
+        proc._resume_seq += 1
+        token = proc._resume_seq
+
+        def resume() -> None:
+            # A stale resume (e.g. a timeout that was interrupted away)
+            # must not re-enter the generator.
+            if proc._done or token != proc._resume_seq:
+                return
+            proc._step(value, None)
+
+        self._push(self._now + delay, resume)
+
+    def _schedule_throw(self, proc: Process, exc: BaseException) -> None:
+        proc._resume_seq += 1
+        token = proc._resume_seq
+
+        def throw() -> None:
+            if proc._done or token != proc._resume_seq:
+                return
+            proc._step(None, exc)
+
+        self._push(self._now, throw)

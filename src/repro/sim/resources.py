@@ -1,0 +1,291 @@
+"""Capacity resources for the simulation kernel.
+
+Models the hardware SAND's evaluation contends on: vCPU pools, the GPU
+(compute, NVDEC, memory), disk and network bandwidth.  Every resource
+integrates its in-use level over time so benchmarks can report utilization
+the same way the paper does (busy time / wall time).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from repro.sim.kernel import Event, Simulation, SimulationError
+
+
+class UtilizationTracker:
+    """Integrates a piecewise-constant level over virtual time.
+
+    ``add(now, delta)`` changes the level; :meth:`busy_time` returns the
+    integral (level x seconds) up to ``now``.  Used for resource
+    utilization and for energy integration.
+    """
+
+    __slots__ = ("level", "_integral", "_last_t", "peak")
+
+    def __init__(self, start_time: float = 0.0):
+        self.level = 0.0
+        self._integral = 0.0
+        self._last_t = start_time
+        self.peak = 0.0
+
+    def add(self, now: float, delta: float) -> None:
+        self._accumulate(now)
+        self.level += delta
+        if self.level > self.peak:
+            self.peak = self.level
+        if self.level < -1e-9:
+            raise SimulationError(f"utilization level went negative: {self.level}")
+
+    def busy_time(self, now: float) -> float:
+        self._accumulate(now)
+        return self._integral
+
+    def _accumulate(self, now: float) -> None:
+        if now < self._last_t - 1e-9:
+            raise SimulationError("utilization tracker observed time reversal")
+        self._integral += self.level * (now - self._last_t)
+        self._last_t = now
+
+
+class Lease:
+    """A granted share of a :class:`Resource`; release it when done."""
+
+    __slots__ = ("resource", "amount", "_active")
+
+    def __init__(self, resource: "Resource", amount: float):
+        self.resource = resource
+        self.amount = amount
+        self._active = True
+
+    def release(self) -> None:
+        if self._active:
+            self._active = False
+            self.resource._release(self.amount)
+
+    def __enter__(self) -> "Lease":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class _Request(Event):
+    """Pending acquisition; fires with a :class:`Lease` when granted."""
+
+    __slots__ = ("amount", "priority", "seq")
+
+    def __init__(self, resource: "Resource", amount: float, priority: float):
+        super().__init__(resource.sim)
+        self.amount = amount
+        self.priority = priority
+        resource._seq += 1
+        self.seq = resource._seq
+
+    def _unsubscribe(self, proc: Any) -> None:
+        # Called when the waiting process is interrupted: drop the waiter
+        # and mark the request abandoned so the grant loop skips it.
+        super()._unsubscribe(proc)
+        if not self._waiters and not self._fired:
+            self._fired = True  # poison: never grant
+
+
+class Resource:
+    """A capacity-limited resource with priority-ordered FIFO granting.
+
+    ``priority`` follows Unix convention: *lower values are served first*.
+    Requests of equal priority are granted in arrival order.  Grants are
+    non-preemptive.
+    """
+
+    def __init__(self, sim: Simulation, capacity: float, name: str = "resource"):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive: {capacity}")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.name = name
+        self.in_use = 0.0
+        self._queue: list[tuple[float, int, _Request]] = []
+        self._seq = 0
+        self.tracker = UtilizationTracker(sim.now)
+
+    # -- public API ---------------------------------------------------------
+    def acquire(self, amount: float = 1.0, priority: float = 0.0) -> _Request:
+        """Request ``amount`` units; yield the result to obtain a Lease."""
+        if amount <= 0 or amount > self.capacity + 1e-9:
+            raise SimulationError(
+                f"cannot acquire {amount} of {self.name} (capacity {self.capacity})"
+            )
+        req = _Request(self, amount, priority)
+        heapq.heappush(self._queue, (priority, req.seq, req))
+        self._grant()
+        return req
+
+    def using(self, amount: float = 1.0, priority: float = 0.0, duration: float = 0.0):
+        """Convenience process: acquire, hold for ``duration``, release.
+
+        Usage inside a process: ``yield from resource.using(1, duration=d)``.
+        """
+
+        def _proc() -> Generator:
+            lease = yield self.acquire(amount, priority)
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                lease.release()
+
+        return _proc()
+
+    def utilization(self, now: Optional[float] = None) -> float:
+        """Mean fraction of capacity in use since t=0."""
+        t = self.sim.now if now is None else now
+        if t <= 0:
+            return 0.0
+        return self.tracker.busy_time(t) / (self.capacity * t)
+
+    def busy_time(self, now: Optional[float] = None) -> float:
+        """Integral of in-use units over time (unit-seconds)."""
+        t = self.sim.now if now is None else now
+        return self.tracker.busy_time(t)
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.in_use
+
+    @property
+    def queued(self) -> int:
+        return sum(1 for _, _, r in self._queue if not r.triggered)
+
+    # -- internals ------------------------------------------------------------
+    def _grant(self) -> None:
+        while self._queue:
+            priority, seq, req = self._queue[0]
+            if req.triggered:  # abandoned request
+                heapq.heappop(self._queue)
+                continue
+            if req.amount > self.capacity - self.in_use + 1e-9:
+                break
+            heapq.heappop(self._queue)
+            self.in_use += req.amount
+            self.tracker.add(self.sim.now, req.amount)
+            req.trigger(Lease(self, req.amount))
+
+    def _release(self, amount: float) -> None:
+        self.in_use -= amount
+        if self.in_use < -1e-9:
+            raise SimulationError(f"{self.name}: released more than acquired")
+        self.tracker.add(self.sim.now, -amount)
+        self._grant()
+
+
+class Container:
+    """A level-based resource (e.g. bytes of memory).
+
+    ``get`` blocks until the requested amount is available; ``put`` adds to
+    the level up to ``capacity``.  Unlike :class:`Resource`, pieces put and
+    got need not match one-to-one.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        capacity: float,
+        initial: float = 0.0,
+        name: str = "container",
+    ):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive: {capacity}")
+        if not 0 <= initial <= capacity:
+            raise SimulationError(f"initial level {initial} out of [0, {capacity}]")
+        self.sim = sim
+        self.capacity = float(capacity)
+        self.level = float(initial)
+        self.name = name
+        self._getters: list[tuple[int, float, Event]] = []
+        self._putters: list[tuple[int, float, Event]] = []
+        self._seq = 0
+        self.tracker = UtilizationTracker(sim.now)
+        self.tracker.add(sim.now, initial)
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise SimulationError(f"negative get: {amount}")
+        self._seq += 1
+        evt = self.sim.event()
+        self._getters.append((self._seq, amount, evt))
+        self._settle()
+        return evt
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise SimulationError(f"negative put: {amount}")
+        self._seq += 1
+        evt = self.sim.event()
+        self._putters.append((self._seq, amount, evt))
+        self._settle()
+        return evt
+
+    def fraction(self) -> float:
+        return self.level / self.capacity
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                seq, amount, evt = self._putters[0]
+                if self.level + amount <= self.capacity + 1e-9:
+                    self._putters.pop(0)
+                    self.level += amount
+                    self.tracker.add(self.sim.now, amount)
+                    evt.trigger(amount)
+                    progressed = True
+            if self._getters:
+                seq, amount, evt = self._getters[0]
+                if amount <= self.level + 1e-9:
+                    self._getters.pop(0)
+                    self.level -= amount
+                    self.tracker.add(self.sim.now, -amount)
+                    evt.trigger(amount)
+                    progressed = True
+
+
+class Bandwidth:
+    """A shared link (disk or network) with a fixed aggregate rate.
+
+    Transfers are granted ``streams`` at a time; each active transfer moves
+    at ``rate / streams`` bytes per second, which approximates fair sharing
+    while keeping the event count linear in the number of transfers.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        rate_bytes_per_s: float,
+        streams: int = 1,
+        name: str = "link",
+    ):
+        if rate_bytes_per_s <= 0:
+            raise SimulationError("bandwidth rate must be positive")
+        self.sim = sim
+        self.rate = float(rate_bytes_per_s)
+        self.streams = int(streams)
+        self.name = name
+        self.bytes_transferred = 0
+        self._slots = Resource(sim, self.streams, name=f"{name}.slots")
+
+    def transfer(self, nbytes: float, priority: float = 0.0) -> Generator:
+        """Process fragment: ``yield from link.transfer(n)`` moves n bytes."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer: {nbytes}")
+        lease = yield self._slots.acquire(1, priority)
+        try:
+            per_stream_rate = self.rate / self.streams
+            yield self.sim.timeout(nbytes / per_stream_rate)
+            self.bytes_transferred += nbytes
+        finally:
+            lease.release()
+
+    def utilization(self) -> float:
+        return self._slots.utilization()

@@ -1,0 +1,44 @@
+"""Simulation laboratory: the paper's timing experiments on the DES.
+
+Wires the cost model (:mod:`repro.sim.costs`), the event kernel and
+resources (:mod:`repro.sim`), and pipeline strategies into runnable
+experiments.  Functional behaviour (which frames, which ops, which cache
+entries) is established by the real pipeline elsewhere; here the *same
+strategies* are priced in virtual time on a simulated a2-highgpu node so
+wall-time, GPU-utilization, energy, and bandwidth shapes can be measured
+deterministically without A100s.
+
+* :mod:`repro.simlab.workload` — per-iteration quantities derived from a
+  model profile + dataset profile (frames decoded, bytes moved, op time),
+* :mod:`repro.simlab.node` — the simulated node: vCPU pool, GPUs
+  (training compute, NVDEC, HBM), NVMe, WAN link, power rails,
+* :mod:`repro.simlab.pipelines` — batch-production strategies (CPU
+  on-demand, GPU/DALI on-demand, naive cache, ideal, SAND),
+* :mod:`repro.simlab.runner` — training-run drivers and reports.
+"""
+
+from repro.simlab.workload import Workload, max_batch_size
+from repro.simlab.node import SimGPU, SimNode
+from repro.simlab.pipelines import (
+    CpuOnDemandStrategy,
+    GpuOnDemandStrategy,
+    IdealStrategy,
+    NaiveCacheStrategy,
+    SandStrategy,
+)
+from repro.simlab.runner import TrainReport, run_multi_task, run_training
+
+__all__ = [
+    "CpuOnDemandStrategy",
+    "GpuOnDemandStrategy",
+    "IdealStrategy",
+    "NaiveCacheStrategy",
+    "SandStrategy",
+    "SimGPU",
+    "SimNode",
+    "TrainReport",
+    "Workload",
+    "max_batch_size",
+    "run_multi_task",
+    "run_training",
+]

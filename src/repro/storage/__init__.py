@@ -1,0 +1,34 @@
+"""Storage substrate: local SSD, remote WAN storage, and the object store.
+
+The paper's nodes pair 3 TB of NVMe local SSD with remote GCP Filestore
+reached over a WAN (S7.1); SAND caches materialized objects on the local
+SSD under a storage budget (S5.3, S6) using lossless libpng compression
+for uint8 frames.  This package provides:
+
+* :mod:`repro.storage.blobs` — array/blob serialization with the
+  png-stand-in lossless codec (zlib over uint8 planes),
+* :mod:`repro.storage.objectstore` — a capacity-accounted key-value blob
+  store (in-memory or directory-backed) with usage statistics,
+* :mod:`repro.storage.local` — the budgeted local cache tier,
+* :mod:`repro.storage.remote` — a bandwidth-tagged remote store that
+  counts bytes moved (Fig 14's network-traffic comparison).
+"""
+
+from repro.storage.blobs import decode_array, encode_array
+from repro.storage.objectstore import (
+    ObjectStore,
+    StorageFullError,
+    StoreStats,
+)
+from repro.storage.local import LocalStore
+from repro.storage.remote import RemoteStore
+
+__all__ = [
+    "LocalStore",
+    "ObjectStore",
+    "RemoteStore",
+    "StorageFullError",
+    "StoreStats",
+    "decode_array",
+    "encode_array",
+]

@@ -1,0 +1,63 @@
+"""Array/blob serialization with lossless compression.
+
+The paper caches frames and augmented frames "using lossless compression
+via libpng" (S6).  The equivalent here: a self-describing header (dtype,
+shape) followed by a zlib-compressed buffer — lossless for any numpy
+array, with compression behaviour comparable to PNG's DEFLATE stage for
+uint8 image data.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+_MAGIC = b"SBL1"
+_HEADER_FMT = "<4sB B"  # magic, ndim, dtype-code length
+_DTYPE_MAX = 16
+_ZLIB_LEVEL = 1
+
+
+class BlobError(ValueError):
+    """Raised when decoding malformed blob bytes."""
+
+
+def encode_array(array: np.ndarray, compress: bool = True) -> bytes:
+    """Serialize an array to self-describing, optionally compressed bytes."""
+    dtype_code = array.dtype.str.encode()
+    if len(dtype_code) > _DTYPE_MAX:
+        raise BlobError(f"dtype string too long: {dtype_code!r}")
+    if array.ndim > 255:
+        raise BlobError("too many dimensions")
+    header = struct.pack(_HEADER_FMT, _MAGIC, array.ndim, len(dtype_code))
+    shape = struct.pack(f"<{array.ndim}Q", *array.shape)
+    raw = np.ascontiguousarray(array).tobytes()
+    flag = b"\x01" if compress else b"\x00"
+    payload = zlib.compress(raw, _ZLIB_LEVEL) if compress else raw
+    return header + dtype_code + shape + flag + payload
+
+
+def decode_array(data: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    base = struct.calcsize(_HEADER_FMT)
+    if len(data) < base:
+        raise BlobError("blob truncated")
+    magic, ndim, dtype_len = struct.unpack_from(_HEADER_FMT, data, 0)
+    if magic != _MAGIC:
+        raise BlobError(f"bad magic {magic!r}")
+    pos = base
+    dtype = np.dtype(data[pos : pos + dtype_len].decode())
+    pos += dtype_len
+    shape = struct.unpack_from(f"<{ndim}Q", data, pos)
+    pos += 8 * ndim
+    if pos >= len(data):
+        raise BlobError("blob missing compression flag")
+    compressed = data[pos : pos + 1] == b"\x01"
+    payload = data[pos + 1 :]
+    raw = zlib.decompress(payload) if compressed else payload
+    expected = int(np.prod(shape)) * dtype.itemsize if ndim else dtype.itemsize
+    if len(raw) != expected:
+        raise BlobError(f"payload is {len(raw)} bytes, expected {expected}")
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()

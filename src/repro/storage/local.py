@@ -1,0 +1,50 @@
+"""The local-SSD cache tier.
+
+A thin policy wrapper over :class:`~repro.storage.objectstore.ObjectStore`
+that adds what SAND's cache manager needs (S6): a watermark check (SAND
+evicts when usage crosses 75% of the budget) and bandwidth parameters the
+simulator charges for reads and writes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+from repro.storage.objectstore import ObjectStore
+
+
+class LocalStore(ObjectStore):
+    """Local NVMe-like store: budgeted capacity + bandwidth parameters."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        root: Optional[Path] = None,
+        read_bw: float = 2.4e9,
+        write_bw: float = 1.2e9,
+        eviction_watermark: float = 0.75,
+    ):
+        super().__init__(capacity_bytes, root=root)
+        if not 0.0 < eviction_watermark <= 1.0:
+            raise ValueError(
+                f"eviction watermark must be in (0, 1], got {eviction_watermark}"
+            )
+        self.read_bw = float(read_bw)
+        self.write_bw = float(write_bw)
+        self.eviction_watermark = float(eviction_watermark)
+
+    def above_watermark(self) -> bool:
+        """True once usage crosses the eviction threshold (75% in S6)."""
+        return self.fraction_used() >= self.eviction_watermark
+
+    def bytes_over_watermark(self) -> int:
+        """How many bytes eviction must reclaim to get back under."""
+        target = int(self.capacity_bytes * self.eviction_watermark)
+        return max(0, self.used_bytes - target)
+
+    def read_time_s(self, nbytes: int) -> float:
+        return nbytes / self.read_bw
+
+    def write_time_s(self, nbytes: int) -> float:
+        return nbytes / self.write_bw

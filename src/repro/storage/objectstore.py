@@ -1,0 +1,183 @@
+"""Capacity-accounted key-value blob store.
+
+Backs SAND's materialized-object cache.  Two backends share one
+interface: a dict (fast, for tests and simulation-driven runs) and a
+directory on the real filesystem (for fault-tolerance tests — objects
+must survive a service restart, S5.5).  Capacity is enforced at put time:
+the store never silently exceeds its budget; callers (the cache manager)
+must evict first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+
+class StorageFullError(RuntimeError):
+    """A put would exceed the store's capacity."""
+
+    def __init__(self, key: str, needed: int, available: int):
+        super().__init__(
+            f"storing {key!r} needs {needed} bytes, only {available} available"
+        )
+        self.key = key
+        self.needed = needed
+        self.available = available
+
+
+@dataclass
+class StoreStats:
+    """Lifetime I/O counters."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    hits: int = 0
+    misses: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _key_to_relpath(key: str) -> Path:
+    """Map an arbitrary key to a safe, sharded on-disk path."""
+    digest = hashlib.sha256(key.encode()).hexdigest()
+    return Path(digest[:2]) / digest[2:4] / digest
+
+
+class ObjectStore:
+    """A blob store with a byte-capacity budget.
+
+    ``root=None`` keeps blobs in memory; otherwise they live as files
+    under ``root`` (one file per key, content-addressed layout) plus an
+    in-memory index rebuilt by :meth:`scan` after a restart.
+    """
+
+    def __init__(self, capacity_bytes: int, root: Optional[Path] = None):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.root = Path(root) if root is not None else None
+        self._mem: Dict[str, bytes] = {}
+        self._sizes: Dict[str, int] = {}
+        self.used_bytes = 0
+        self.stats = StoreStats()
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self.scan()
+
+    # -- core operations -------------------------------------------------------
+    def put(self, key: str, data: bytes) -> int:
+        """Store ``data`` under ``key``; returns bytes written.
+
+        Overwriting an existing key first reclaims its space.  Raises
+        :class:`StorageFullError` without side effects if it cannot fit.
+        """
+        reclaimed = self._sizes.get(key, 0)
+        needed = len(data)
+        available = self.capacity_bytes - self.used_bytes + reclaimed
+        if needed > available:
+            raise StorageFullError(key, needed, available)
+        if key in self._sizes:
+            self.delete(key)
+        if self.root is not None:
+            path = self.root / _key_to_relpath(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+            (path.parent / (path.name + ".key")).write_text(key)
+        else:
+            self._mem[key] = data
+        self._sizes[key] = needed
+        self.used_bytes += needed
+        self.stats.puts += 1
+        self.stats.bytes_written += needed
+        return needed
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Fetch a blob; ``None`` (and a recorded miss) if absent."""
+        self.stats.gets += 1
+        if key not in self._sizes:
+            self.stats.misses += 1
+            return None
+        if self.root is not None:
+            path = self.root / _key_to_relpath(key)
+            try:
+                data = path.read_bytes()
+            except FileNotFoundError:
+                # Index out of sync with disk (e.g. external deletion).
+                self._forget(key)
+                self.stats.misses += 1
+                return None
+        else:
+            data = self._mem[key]
+        self.stats.hits += 1
+        self.stats.bytes_read += len(data)
+        return data
+
+    def delete(self, key: str) -> bool:
+        if key not in self._sizes:
+            return False
+        if self.root is not None:
+            path = self.root / _key_to_relpath(key)
+            path.unlink(missing_ok=True)
+            (path.parent / (path.name + ".key")).unlink(missing_ok=True)
+        else:
+            self._mem.pop(key, None)
+        self._forget(key)
+        self.stats.deletes += 1
+        return True
+
+    def _forget(self, key: str) -> None:
+        self.used_bytes -= self._sizes.pop(key)
+
+    # -- introspection -----------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._sizes
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def keys(self) -> Iterator[str]:
+        return iter(list(self._sizes))
+
+    def size_of(self, key: str) -> Optional[int]:
+        return self._sizes.get(key)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def fraction_used(self) -> float:
+        return self.used_bytes / self.capacity_bytes
+
+    # -- recovery (S5.5) -----------------------------------------------------------
+    def scan(self) -> int:
+        """Rebuild the index from disk; returns objects found.
+
+        Part of SAND's restart path: "scanning disk for previously
+        persisted objects".  No-op for in-memory stores.
+        """
+        if self.root is None:
+            return 0
+        self._sizes.clear()
+        self.used_bytes = 0
+        for key_file in self.root.rglob("*.key"):
+            blob = key_file.parent / key_file.name[: -len(".key")]
+            if not blob.exists():
+                key_file.unlink(missing_ok=True)
+                continue
+            key = key_file.read_text()
+            size = blob.stat().st_size
+            self._sizes[key] = size
+            self.used_bytes += size
+        return len(self._sizes)

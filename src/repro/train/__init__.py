@@ -1,0 +1,31 @@
+"""Training substrate.
+
+Timing experiments only need each model's GPU-step cost (see
+:mod:`repro.sim.costs`); the convergence experiment (paper Fig 20) needs
+a real optimizer seeing real pixels through the real pipeline.  This
+package provides both:
+
+* :mod:`repro.train.nn` — a from-scratch numpy MLP classifier (softmax
+  cross-entropy, SGD with momentum and weight decay) plus the clip
+  feature extractor,
+* :mod:`repro.train.trainer` — epoch/iteration training loops over any
+  batch source (SAND service or a baseline pipeline), recording loss
+  curves and accuracy,
+* :mod:`repro.train.ddp` — functional data-parallel training: per-node
+  shards, gradient averaging, and remote-storage traffic accounting.
+"""
+
+from repro.train.nn import MLPClassifier, batch_features, one_hot
+from repro.train.trainer import LoopStats, Trainer, TrainResult
+from repro.train.ddp import DdpResult, run_ddp
+
+__all__ = [
+    "DdpResult",
+    "LoopStats",
+    "MLPClassifier",
+    "TrainResult",
+    "Trainer",
+    "batch_features",
+    "one_hot",
+    "run_ddp",
+]

@@ -1,0 +1,137 @@
+"""Functional distributed data parallel training (paper S7.1, Fig 14).
+
+Two (or more) nodes train one model on a remotely stored dataset.  Each
+node processes its shard of every batch; gradients are averaged — the
+all-reduce — and applied identically everywhere, so the result matches
+single-node training on the concatenated batch.
+
+Traffic accounting mirrors Fig 14's point: the baseline pulls encoded
+video from remote storage every epoch, while SAND pulls each video once
+per k-epoch window and serves the rest from its local materialized
+cache.  ``bytes_from_remote`` exposes that difference for the benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.train.nn import MLPClassifier, batch_features
+
+
+class RemoteFetchDataset:
+    """Wraps a dataset so get_bytes() counts as a remote transfer.
+
+    ``cache_locally=True`` models SAND's behaviour (first fetch per video
+    lands in the node-local cache); ``False`` models the on-demand
+    baseline, which re-pulls the encoded video whenever it re-decodes.
+    """
+
+    def __init__(self, dataset, cache_locally: bool):
+        self._dataset = dataset
+        self._cache_locally = cache_locally
+        self._local: Dict[str, bytes] = {}
+        self.bytes_from_remote = 0
+        self.fetches = 0
+
+    @property
+    def video_ids(self):
+        return self._dataset.video_ids
+
+    def metadata(self, video_id: str):
+        return self._dataset.metadata(video_id)
+
+    def encoded_size(self, video_id: str) -> int:
+        return self._dataset.encoded_size(video_id)
+
+    def label(self, video_id: str) -> int:
+        return self._dataset.label(video_id)
+
+    def get_bytes(self, video_id: str) -> bytes:
+        if self._cache_locally and video_id in self._local:
+            return self._local[video_id]
+        data = self._dataset.get_bytes(video_id)
+        self.bytes_from_remote += len(data)
+        self.fetches += 1
+        if self._cache_locally:
+            self._local[video_id] = data
+        return data
+
+
+@dataclass
+class DdpResult:
+    losses: List[float]
+    bytes_from_remote_per_node: List[int]
+    epochs: int
+    model: MLPClassifier
+
+    @property
+    def total_remote_bytes(self) -> int:
+        return sum(self.bytes_from_remote_per_node)
+
+
+def _average_grads(
+    per_node: Sequence[Dict[str, np.ndarray]]
+) -> Dict[str, np.ndarray]:
+    keys = per_node[0].keys()
+    return {
+        key: np.mean([grads[key] for grads in per_node], axis=0) for key in keys
+    }
+
+
+def run_ddp(
+    sources: Sequence,
+    task: str,
+    iterations_per_epoch: int,
+    epochs: int,
+    num_classes: int = 4,
+    hidden_dim: int = 32,
+    lr: float = 0.05,
+    seed: int = 0,
+    pool: int = 4,
+) -> DdpResult:
+    """Synchronous DDP over per-node batch sources.
+
+    Every node must serve the same batch schedule (same task/epoch/
+    iteration axes); node ``i`` consumes its own source, computes local
+    gradients, and the averaged gradient is applied to the shared model.
+    """
+    if not sources:
+        raise ValueError("need at least one node source")
+    model: Optional[MLPClassifier] = None
+    losses: List[float] = []
+    for epoch in range(epochs):
+        for iteration in range(iterations_per_epoch):
+            grads_per_node = []
+            loss_per_node = []
+            for source in sources:
+                batch, metadata = source.get_batch(task, epoch, iteration)
+                labels = np.asarray(metadata["labels"], dtype=np.int64)
+                features = batch_features(batch, pool=pool)
+                if model is None:
+                    model = MLPClassifier(
+                        input_dim=features.shape[1],
+                        hidden_dim=hidden_dim,
+                        num_classes=num_classes,
+                        seed=seed,
+                        lr=lr,
+                    )
+                loss, grads = model.gradients(features, labels)
+                grads_per_node.append(grads)
+                loss_per_node.append(loss)
+            assert model is not None
+            model.apply_gradients(_average_grads(grads_per_node))
+            losses.append(float(np.mean(loss_per_node)))
+    assert model is not None
+    remote = [
+        getattr(getattr(src, "dataset", None), "bytes_from_remote", 0)
+        for src in sources
+    ]
+    return DdpResult(
+        losses=losses,
+        bytes_from_remote_per_node=remote,
+        epochs=epochs,
+        model=model,
+    )

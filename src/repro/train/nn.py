@@ -1,0 +1,149 @@
+"""A from-scratch numpy neural network for the convergence experiments.
+
+Fig 20 compares loss curves with and without SAND's materialization
+planning to show coordinated randomization preserves the statistical
+properties training needs.  That requires an actual optimizer descending
+on actual pixels, so: a two-layer MLP with softmax cross-entropy and
+SGD (momentum + weight decay), trained on pooled clip features.  The
+synthetic videos carry learnable class structure (the blob geometry in
+:mod:`repro.codec.synthetic`), so loss genuinely decreases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+def batch_features(batch: np.ndarray, pool: int = 4) -> np.ndarray:
+    """Pool a (S, T, H, W, C) batch into flat per-sample features.
+
+    Mean over time, spatial average pooling by ``pool``, then flatten
+    and standardize — a cheap, deterministic stand-in for a backbone.
+    """
+    if batch.ndim != 5:
+        raise ValueError(f"batch must be (S, T, H, W, C), got {batch.shape}")
+    work = batch.astype(np.float32)
+    if batch.dtype == np.uint8:
+        work /= 255.0
+    work = work.mean(axis=1)  # time average -> (S, H, W, C)
+    s, h, w, c = work.shape
+    ph, pw = h // pool, w // pool
+    if ph == 0 or pw == 0:
+        raise ValueError(f"pool {pool} too large for {h}x{w} frames")
+    work = work[:, : ph * pool, : pw * pool]
+    work = work.reshape(s, ph, pool, pw, pool, c).mean(axis=(2, 4))
+    flat = work.reshape(s, -1)
+    mean = flat.mean(axis=1, keepdims=True)
+    std = flat.std(axis=1, keepdims=True) + 1e-6
+    return (flat - mean) / std
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    out = np.zeros((len(labels), num_classes), dtype=np.float32)
+    out[np.arange(len(labels)), labels] = 1.0
+    return out
+
+
+class MLPClassifier:
+    """Two-layer MLP with ReLU, softmax cross-entropy, SGD(momentum)."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        num_classes: int,
+        seed: int = 0,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 1e-4,
+    ):
+        if min(input_dim, hidden_dim, num_classes) < 1:
+            raise ValueError("dimensions must be positive")
+        rng = np.random.default_rng(seed)
+        scale1 = np.sqrt(2.0 / input_dim)
+        scale2 = np.sqrt(2.0 / hidden_dim)
+        self.params: Dict[str, np.ndarray] = {
+            "w1": rng.standard_normal((input_dim, hidden_dim)).astype(np.float32) * scale1,
+            "b1": np.zeros(hidden_dim, dtype=np.float32),
+            "w2": rng.standard_normal((hidden_dim, num_classes)).astype(np.float32) * scale2,
+            "b2": np.zeros(num_classes, dtype=np.float32),
+        }
+        self._velocity = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.num_classes = num_classes
+        self.steps = 0
+
+    # -- forward/backward -------------------------------------------------------
+    def _forward(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        z1 = x @ self.params["w1"] + self.params["b1"]
+        a1 = np.maximum(z1, 0.0)
+        logits = a1 @ self.params["w2"] + self.params["b2"]
+        return z1, a1, logits
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean cross-entropy without updating parameters."""
+        _, _, logits = self._forward(x)
+        probs = self._softmax(logits)
+        picked = probs[np.arange(len(y)), y]
+        return float(-np.log(picked + 1e-12).mean())
+
+    def gradients(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, Dict[str, np.ndarray]]:
+        """Loss and parameter gradients for one mini-batch."""
+        n = len(x)
+        z1, a1, logits = self._forward(x)
+        probs = self._softmax(logits)
+        loss = float(-np.log(probs[np.arange(n), y] + 1e-12).mean())
+        dlogits = probs
+        dlogits[np.arange(n), y] -= 1.0
+        dlogits /= n
+        grads = {
+            "w2": a1.T @ dlogits + self.weight_decay * self.params["w2"],
+            "b2": dlogits.sum(axis=0),
+        }
+        da1 = dlogits @ self.params["w2"].T
+        dz1 = da1 * (z1 > 0)
+        grads["w1"] = x.T @ dz1 + self.weight_decay * self.params["w1"]
+        grads["b1"] = dz1.sum(axis=0)
+        return loss, grads
+
+    def apply_gradients(self, grads: Dict[str, np.ndarray]) -> None:
+        for key, grad in grads.items():
+            vel = self._velocity[key]
+            vel *= self.momentum
+            vel -= self.lr * grad
+            self.params[key] += vel
+        self.steps += 1
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        loss, grads = self.gradients(x, y)
+        self.apply_gradients(grads)
+        return loss
+
+    # -- evaluation ---------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        _, _, logits = self._forward(x)
+        return logits.argmax(axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == y).mean())
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {k: v.copy() for k, v in self.params.items()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for key, value in state.items():
+            if key not in self.params or self.params[key].shape != value.shape:
+                raise ValueError(f"incompatible parameter {key!r}")
+            self.params[key] = value.copy()

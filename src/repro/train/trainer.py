@@ -1,0 +1,116 @@
+"""Training loops over a batch source.
+
+A *batch source* is anything with ``get_batch(task, epoch, iteration) ->
+(batch, metadata)`` and a known number of iterations per epoch — the
+SAND engine/service qualifies, and so do the functional baselines.  The
+trainer extracts features, steps the numpy model, and records the loss
+curve, which is all Figs 19/20-style experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.train.nn import MLPClassifier, batch_features
+
+
+class BatchSource(Protocol):  # pragma: no cover - typing only
+    def get_batch(self, task: str, epoch: int, iteration: int) -> Tuple[np.ndarray, Dict]:
+        ...
+
+
+@dataclass
+class LoopStats:
+    """Everything a training loop observed."""
+
+    losses: List[float] = field(default_factory=list)
+    epochs_completed: int = 0
+    iterations_completed: int = 0
+
+    def epoch_means(self, iters_per_epoch: int) -> List[float]:
+        means = []
+        for start in range(0, len(self.losses), iters_per_epoch):
+            chunk = self.losses[start : start + iters_per_epoch]
+            if chunk:
+                means.append(float(np.mean(chunk)))
+        return means
+
+
+@dataclass
+class TrainResult:
+    stats: LoopStats
+    final_loss: float
+    model: MLPClassifier
+
+
+class Trainer:
+    """Drives an MLP over a batch source for a number of epochs."""
+
+    def __init__(
+        self,
+        source: BatchSource,
+        task: str,
+        iterations_per_epoch: int,
+        num_classes: int = 4,
+        hidden_dim: int = 32,
+        lr: float = 0.05,
+        seed: int = 0,
+        pool: int = 4,
+    ):
+        if iterations_per_epoch < 1:
+            raise ValueError("iterations_per_epoch must be >= 1")
+        self.source = source
+        self.task = task
+        self.iterations_per_epoch = iterations_per_epoch
+        self.num_classes = num_classes
+        self.hidden_dim = hidden_dim
+        self.lr = lr
+        self.seed = seed
+        self.pool = pool
+        self.model: Optional[MLPClassifier] = None
+
+    def _ensure_model(self, features: np.ndarray) -> MLPClassifier:
+        if self.model is None:
+            self.model = MLPClassifier(
+                input_dim=features.shape[1],
+                hidden_dim=self.hidden_dim,
+                num_classes=self.num_classes,
+                seed=self.seed,
+                lr=self.lr,
+            )
+        return self.model
+
+    def step(self, epoch: int, iteration: int) -> float:
+        """One training iteration: fetch batch, features, SGD step."""
+        batch, metadata = self.source.get_batch(self.task, epoch, iteration)
+        labels = np.asarray(metadata["labels"], dtype=np.int64)
+        features = batch_features(batch, pool=self.pool)
+        model = self._ensure_model(features)
+        return model.train_step(features, labels)
+
+    def run(self, epochs: int, start_epoch: int = 0) -> TrainResult:
+        stats = LoopStats()
+        for epoch in range(start_epoch, start_epoch + epochs):
+            for iteration in range(self.iterations_per_epoch):
+                loss = self.step(epoch, iteration)
+                stats.losses.append(loss)
+                stats.iterations_completed += 1
+            stats.epochs_completed += 1
+        final = stats.losses[-1] if stats.losses else float("nan")
+        assert self.model is not None
+        return TrainResult(stats=stats, final_loss=final, model=self.model)
+
+    def run_iterator(self, epochs: int, start_epoch: int = 0):
+        """Yield (epoch, mean epoch loss) — the shape Ray Tune consumes."""
+        stats = LoopStats()
+        for epoch in range(start_epoch, start_epoch + epochs):
+            epoch_losses = []
+            for iteration in range(self.iterations_per_epoch):
+                loss = self.step(epoch, iteration)
+                epoch_losses.append(loss)
+                stats.losses.append(loss)
+            stats.epochs_completed += 1
+            yield epoch, float(np.mean(epoch_losses))

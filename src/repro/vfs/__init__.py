@@ -1,0 +1,40 @@
+"""In-process virtual filesystem: the FUSE stand-in.
+
+SAND's implementation mounts its view filesystem into the Linux VFS via
+FUSE so applications reach views with ordinary POSIX calls (S6, Fig 8).
+An actual kernel mount is out of scope here, but the architecture is
+preserved: providers (like the SAND service) implement the
+:class:`~repro.vfs.provider.FileSystemProvider` interface and are mounted
+at path prefixes on a :class:`~repro.vfs.filesystem.VirtualFileSystem`,
+which owns the fd table and exposes POSIX-shaped calls (``open``,
+``read``, ``pread``, ``getxattr``, ``listdir``, ``stat``, ``close``) with
+errno-style failures.
+"""
+
+from repro.vfs.errors import (
+    BadFileDescriptorError,
+    FileNotFoundVfsError,
+    IsADirectoryVfsError,
+    NoAttributeError,
+    NotADirectoryVfsError,
+    NotMountedError,
+    VfsError,
+)
+from repro.vfs.provider import FileHandle, FileSystemProvider, NodeInfo
+from repro.vfs.memfs import MemoryProvider
+from repro.vfs.filesystem import VirtualFileSystem
+
+__all__ = [
+    "BadFileDescriptorError",
+    "FileHandle",
+    "FileNotFoundVfsError",
+    "FileSystemProvider",
+    "IsADirectoryVfsError",
+    "MemoryProvider",
+    "NoAttributeError",
+    "NodeInfo",
+    "NotADirectoryVfsError",
+    "NotMountedError",
+    "VfsError",
+    "VirtualFileSystem",
+]

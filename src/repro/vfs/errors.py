@@ -1,0 +1,57 @@
+"""Errno-style VFS exceptions.
+
+FUSE filesystems report failures as errno values; the in-process VFS
+mirrors that so application code (and tests) can match on the same
+conditions a real mount would produce.
+"""
+
+from __future__ import annotations
+
+import errno
+
+
+class VfsError(OSError):
+    """Base VFS failure carrying an errno, like a failed syscall."""
+
+    errno_value = errno.EIO
+
+    def __init__(self, path: str = "", message: str = ""):
+        detail = message or self.__class__.__doc__ or "VFS error"
+        super().__init__(self.errno_value, detail.strip().splitlines()[0], path)
+        self.path = path
+
+
+class FileNotFoundVfsError(VfsError):
+    """No such file or directory (ENOENT)."""
+
+    errno_value = errno.ENOENT
+
+
+class BadFileDescriptorError(VfsError):
+    """Bad file descriptor (EBADF)."""
+
+    errno_value = errno.EBADF
+
+
+class IsADirectoryVfsError(VfsError):
+    """Is a directory (EISDIR)."""
+
+    errno_value = errno.EISDIR
+
+
+class NotADirectoryVfsError(VfsError):
+    """Not a directory (ENOTDIR)."""
+
+    errno_value = errno.ENOTDIR
+
+
+class NoAttributeError(VfsError):
+    """No such extended attribute (ENODATA)."""
+
+    errno_value = errno.ENODATA
+
+
+class NotMountedError(VfsError):
+    """No filesystem mounted at this path (ENXIO)."""
+
+    errno_value = errno.ENXIO

@@ -1,0 +1,121 @@
+"""The VFS proper: mount table + file-descriptor table.
+
+Applications call this the way they would call the kernel: paths are
+resolved through the mount table (longest-prefix match, like Linux mount
+points), opens return integer fds, reads go through the fd table, and
+failures carry errnos.  SAND's POSIX facade (:mod:`repro.core.posix`)
+is a thin veneer over one of these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.vfs.errors import (
+    BadFileDescriptorError,
+    NotMountedError,
+)
+from repro.vfs.memfs import normalize
+from repro.vfs.provider import FileHandle, FileSystemProvider, NodeInfo
+
+
+class VirtualFileSystem:
+    """Mount table and fd table over :class:`FileSystemProvider` objects."""
+
+    _FIRST_FD = 3  # leave 0/1/2 for the usual suspects
+
+    def __init__(self):
+        self._mounts: Dict[str, FileSystemProvider] = {}
+        self._fds: Dict[int, Tuple[FileSystemProvider, FileHandle]] = {}
+        self._next_fd = self._FIRST_FD
+
+    # -- mount management ---------------------------------------------------
+    def mount(self, prefix: str, provider: FileSystemProvider) -> None:
+        prefix = normalize(prefix)
+        if prefix in self._mounts:
+            raise ValueError(f"mount point {prefix!r} already in use")
+        self._mounts[prefix] = provider
+
+    def unmount(self, prefix: str) -> None:
+        prefix = normalize(prefix)
+        if prefix not in self._mounts:
+            raise NotMountedError(prefix)
+        open_paths = [
+            handle.path
+            for provider, handle in self._fds.values()
+            if provider is self._mounts[prefix]
+        ]
+        if open_paths:
+            raise ValueError(
+                f"cannot unmount {prefix!r}: open files {open_paths[:3]}"
+            )
+        del self._mounts[prefix]
+
+    def mounts(self) -> List[str]:
+        return sorted(self._mounts)
+
+    def _resolve(self, path: str) -> Tuple[FileSystemProvider, str]:
+        path = normalize(path)
+        best: Optional[str] = None
+        for prefix in self._mounts:
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/"):
+                if best is None or len(prefix) > len(best):
+                    best = prefix
+        if best is None:
+            raise NotMountedError(path)
+        relative = path[len(best):] if best != "/" else path
+        return self._mounts[best], normalize(relative)
+
+    # -- POSIX-shaped calls ------------------------------------------------------
+    def open(self, path: str) -> int:
+        provider, rel = self._resolve(path)
+        handle = provider.open(rel)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = (provider, handle)
+        return fd
+
+    def read(self, fd: int, size: int = -1) -> bytes:
+        _, handle = self._handle(fd)
+        return handle.read(size)
+
+    def pread(self, fd: int, offset: int, size: int) -> bytes:
+        _, handle = self._handle(fd)
+        return handle.pread(offset, size)
+
+    def close(self, fd: int) -> None:
+        provider, handle = self._handle(fd)
+        del self._fds[fd]
+        provider.release(handle)
+
+    def fstat(self, fd: int) -> NodeInfo:
+        _, handle = self._handle(fd)
+        return NodeInfo(handle.path, is_dir=False, size=handle.size)
+
+    def stat(self, path: str) -> NodeInfo:
+        provider, rel = self._resolve(path)
+        return provider.lookup(rel)
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.stat(path)
+            return True
+        except OSError:
+            return False
+
+    def getxattr(self, path: str, name: str) -> bytes:
+        provider, rel = self._resolve(path)
+        return provider.getxattr(rel, name)
+
+    def listdir(self, path: str) -> List[str]:
+        provider, rel = self._resolve(path)
+        return provider.listdir(rel)
+
+    @property
+    def open_fds(self) -> List[int]:
+        return sorted(self._fds)
+
+    def _handle(self, fd: int) -> Tuple[FileSystemProvider, FileHandle]:
+        if fd not in self._fds:
+            raise BadFileDescriptorError(str(fd), f"fd {fd} is not open")
+        return self._fds[fd]

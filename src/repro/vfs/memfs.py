@@ -1,0 +1,100 @@
+"""A simple in-memory provider: files, implicit directories, xattrs.
+
+Used in tests and as the reference implementation of the provider
+contract (the SAND service provider in :mod:`repro.core.service` follows
+the same semantics but materializes content on demand).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.vfs.errors import (
+    FileNotFoundVfsError,
+    IsADirectoryVfsError,
+    NoAttributeError,
+    NotADirectoryVfsError,
+)
+from repro.vfs.provider import FileHandle, FileSystemProvider, NodeInfo
+
+
+def normalize(path: str) -> str:
+    parts = [p for p in path.split("/") if p and p != "."]
+    if ".." in parts:
+        raise FileNotFoundVfsError(path, "'..' not supported in virtual paths")
+    return "/" + "/".join(parts)
+
+
+class MemoryProvider(FileSystemProvider):
+    """Flat file dict; directories exist implicitly via file prefixes."""
+
+    def __init__(self):
+        self._files: Dict[str, bytes] = {}
+        self._xattrs: Dict[Tuple[str, str], bytes] = {}
+
+    # -- population ------------------------------------------------------------
+    def write(self, path: str, data: bytes) -> None:
+        path = normalize(path)
+        if path == "/":
+            raise IsADirectoryVfsError(path)
+        self._files[path] = data
+
+    def setxattr(self, path: str, name: str, value: bytes) -> None:
+        path = normalize(path)
+        if path not in self._files and not self._is_dir(path):
+            raise FileNotFoundVfsError(path)
+        self._xattrs[(path, name)] = value
+
+    def remove(self, path: str) -> None:
+        path = normalize(path)
+        if path not in self._files:
+            raise FileNotFoundVfsError(path)
+        del self._files[path]
+        for key in [k for k in self._xattrs if k[0] == path]:
+            del self._xattrs[key]
+
+    # -- provider interface -------------------------------------------------------
+    def _is_dir(self, path: str) -> bool:
+        if path == "/":
+            return True
+        prefix = path + "/"
+        return any(name.startswith(prefix) for name in self._files)
+
+    def lookup(self, path: str) -> NodeInfo:
+        path = normalize(path)
+        if path in self._files:
+            return NodeInfo(path, is_dir=False, size=len(self._files[path]))
+        if self._is_dir(path):
+            return NodeInfo(path, is_dir=True)
+        raise FileNotFoundVfsError(path)
+
+    def open(self, path: str) -> FileHandle:
+        path = normalize(path)
+        if path not in self._files:
+            if self._is_dir(path):
+                raise IsADirectoryVfsError(path)
+            raise FileNotFoundVfsError(path)
+        return FileHandle(self._files[path], path)
+
+    def getxattr(self, path: str, name: str) -> bytes:
+        path = normalize(path)
+        key = (path, name)
+        if key in self._xattrs:
+            return self._xattrs[key]
+        if path not in self._files and not self._is_dir(path):
+            raise FileNotFoundVfsError(path)
+        raise NoAttributeError(path, f"no xattr {name!r}")
+
+    def listdir(self, path: str) -> List[str]:
+        path = normalize(path)
+        if path in self._files:
+            raise NotADirectoryVfsError(path)
+        if not self._is_dir(path):
+            raise FileNotFoundVfsError(path)
+        prefix = "" if path == "/" else path
+        seen = set()
+        for name in self._files:
+            if name.startswith(prefix + "/"):
+                rest = name[len(prefix) + 1 :]
+                seen.add(rest.split("/", 1)[0])
+        return sorted(seen)

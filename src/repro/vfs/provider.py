@@ -1,0 +1,93 @@
+"""Provider interface: what a mounted filesystem must implement.
+
+Mirrors the subset of FUSE operations SAND uses (Table 2): path lookup,
+open/read, extended attributes, and directory listing.  Providers see
+*mount-relative* paths (always starting with ``/``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.vfs.errors import VfsError
+
+
+@dataclass(frozen=True)
+class NodeInfo:
+    """stat()-like record for one path."""
+
+    path: str
+    is_dir: bool
+    size: int = 0
+
+
+class FileHandle:
+    """An open file: sequential ``read`` plus positional ``pread``.
+
+    The default implementation serves from a bytes buffer, which is how
+    SAND hands out materialized training objects; providers with richer
+    needs override the methods.
+    """
+
+    def __init__(self, data: bytes, path: str = ""):
+        self._data = data
+        self._pos = 0
+        self._closed = False
+        self.path = path
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def read(self, size: int = -1) -> bytes:
+        self._check_open()
+        if size < 0:
+            chunk = self._data[self._pos :]
+            self._pos = len(self._data)
+        else:
+            chunk = self._data[self._pos : self._pos + size]
+            self._pos += len(chunk)
+        return chunk
+
+    def pread(self, offset: int, size: int) -> bytes:
+        self._check_open()
+        if offset < 0 or size < 0:
+            raise ValueError("offset and size must be non-negative")
+        return self._data[offset : offset + size]
+
+    def close(self) -> None:
+        self._closed = True
+        self._data = b""
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError(f"read on closed handle for {self.path!r}")
+
+
+class FileSystemProvider:
+    """Abstract mounted filesystem."""
+
+    def lookup(self, path: str) -> NodeInfo:
+        """stat() a path; raise FileNotFoundVfsError if absent."""
+        raise NotImplementedError
+
+    def open(self, path: str) -> FileHandle:
+        """Open a file for reading; may materialize content lazily."""
+        raise NotImplementedError
+
+    def getxattr(self, path: str, name: str) -> bytes:
+        """Fetch one extended attribute; raise NoAttributeError if absent."""
+        raise NotImplementedError
+
+    def listdir(self, path: str) -> List[str]:
+        """List entry names of a directory."""
+        raise NotImplementedError
+
+    def release(self, handle: FileHandle) -> None:
+        """Called when the VFS closes a handle (optional hook)."""
+        handle.close()

@@ -1,0 +1,242 @@
+"""Tests for the augmentation op library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.augment import (
+    CenterCrop,
+    ColorJitter,
+    Flip,
+    GaussianBlur,
+    InvSample,
+    Normalize,
+    RandomCrop,
+    Resize,
+    Rotate,
+    Subsample,
+    stable_params_key,
+)
+
+
+def clip(t=4, h=24, w=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 255, (t, h, w, 3), dtype=np.uint8)
+
+
+def test_stable_params_key_is_order_insensitive():
+    assert stable_params_key({"a": 1, "b": 2}) == stable_params_key({"b": 2, "a": 1})
+
+
+# -- resize ---------------------------------------------------------------------
+
+
+def test_resize_output_shape():
+    op = Resize({"shape": [12, 16]})
+    out = op.apply(clip(), {})
+    assert out.shape == (4, 12, 16, 3)
+    assert out.dtype == np.uint8
+    assert op.output_shape((4, 24, 32, 3), {}) == (4, 12, 16, 3)
+
+
+def test_resize_identity_when_same_shape():
+    c = clip()
+    out = Resize({"shape": [24, 32]}).apply(c, {})
+    assert np.array_equal(out, c)
+
+
+def test_resize_of_constant_image_is_constant():
+    c = np.full((2, 10, 10, 3), 77, dtype=np.uint8)
+    out = Resize({"shape": [7, 5]}).apply(c, {})
+    assert np.all(out == 77)
+
+
+def test_resize_validates_config():
+    with pytest.raises(ValueError):
+        Resize({"shape": [0, 10]})
+    with pytest.raises(ValueError):
+        Resize({})
+    with pytest.raises(ValueError):
+        Resize({"shape": [10, 10], "interpolation": ["nearest"]})
+
+
+# -- crops ----------------------------------------------------------------------
+
+
+def test_center_crop_takes_central_region():
+    c = clip(h=10, w=10)
+    out = CenterCrop({"size": [4, 6]}).apply(c, {})
+    assert np.array_equal(out, c[:, 3:7, 2:8])
+
+
+def test_center_crop_too_large_raises():
+    with pytest.raises(ValueError):
+        CenterCrop({"size": [100, 100]}).apply(clip(), {})
+
+
+def test_random_crop_sampling_within_bounds():
+    op = RandomCrop({"size": [8, 8]})
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        params = op.sample_params(rng, (4, 24, 32, 3))
+        assert 0 <= params["top"] <= 16
+        assert 0 <= params["left"] <= 24
+
+
+def test_random_crop_apply_matches_slice():
+    c = clip()
+    out = RandomCrop({"size": [8, 8]}).apply(c, {"top": 3, "left": 5})
+    assert np.array_equal(out, c[:, 3:11, 5:13])
+
+
+def test_random_crop_rejects_out_of_bounds_params():
+    with pytest.raises(ValueError):
+        RandomCrop({"size": [8, 8]}).apply(clip(), {"top": 20, "left": 30})
+
+
+def test_random_crop_within_shared_window():
+    op = RandomCrop({"size": [4, 4]})
+    rng = np.random.default_rng(0)
+    window = (5, 6, 8, 8)  # top, left, h, w
+    for _ in range(50):
+        params = op.sample_params_within(rng, (4, 24, 32, 3), window)
+        assert 5 <= params["top"] <= 5 + 8 - 4
+        assert 6 <= params["left"] <= 6 + 8 - 4
+
+
+def test_random_crop_window_too_small_raises():
+    op = RandomCrop({"size": [8, 8]})
+    with pytest.raises(ValueError):
+        op.sample_params_within(np.random.default_rng(0), (4, 24, 32, 3), (0, 0, 4, 4))
+
+
+# -- flip / jitter / rotate --------------------------------------------------------
+
+
+def test_flip_applies_horizontal_mirror():
+    c = clip()
+    out = Flip().apply(c, {"flipped": True})
+    assert np.array_equal(out, c[:, :, ::-1])
+    assert np.array_equal(Flip().apply(c, {"flipped": False}), c)
+
+
+def test_flip_prob_zero_never_flips():
+    op = Flip({"flip_prob": 0.0})
+    rng = np.random.default_rng(0)
+    assert all(not op.sample_params(rng, (1, 4, 4, 3))["flipped"] for _ in range(20))
+
+
+def test_flip_validates_prob():
+    with pytest.raises(ValueError):
+        Flip({"flip_prob": 1.5})
+
+
+def test_color_jitter_identity_with_unit_factors():
+    c = clip()
+    out = ColorJitter({"brightness": 0.4}).apply(c, {"brightness": 1.0, "contrast": 1.0})
+    assert np.array_equal(out, c)
+
+
+def test_color_jitter_brightness_scales():
+    c = np.full((1, 4, 4, 3), 100, dtype=np.uint8)
+    out = ColorJitter().apply(c, {"brightness": 1.5, "contrast": 1.0})
+    assert np.all(out == 150)
+
+
+def test_color_jitter_samples_within_range():
+    op = ColorJitter({"brightness": 0.4, "contrast": 0.2})
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        p = op.sample_params(rng, (1, 4, 4, 3))
+        assert 0.6 <= p["brightness"] <= 1.4
+        assert 0.8 <= p["contrast"] <= 1.2
+
+
+def test_rotate_90_swaps_dimensions():
+    c = clip(h=8, w=16)
+    out = Rotate().apply(c, {"angle": 90})
+    assert out.shape == (4, 16, 8, 3)
+    assert Rotate().output_shape((4, 8, 16, 3), {"angle": 90}) == (4, 16, 8, 3)
+
+
+def test_rotate_360_identity():
+    c = clip()
+    assert np.array_equal(Rotate().apply(c, {"angle": 360}), c)
+
+
+def test_rotate_rejects_non_right_angles():
+    with pytest.raises(ValueError):
+        Rotate({"angles": [45]})
+
+
+# -- blur / normalize ----------------------------------------------------------------
+
+
+def test_blur_preserves_constant_images():
+    c = np.full((2, 12, 12, 3), 90, dtype=np.uint8)
+    out = GaussianBlur({"sigma": 1.5}).apply(c, {})
+    assert np.all(np.abs(out.astype(int) - 90) <= 1)
+
+
+def test_blur_reduces_variance():
+    c = clip(h=16, w=16, seed=3)
+    out = GaussianBlur({"sigma": 2.0}).apply(c, {})
+    assert out.astype(float).var() < c.astype(float).var()
+
+
+def test_normalize_produces_float32_with_expected_stats():
+    c = np.full((1, 4, 4, 3), 255, dtype=np.uint8)
+    out = Normalize({"mean": [0.5, 0.5, 0.5], "std": [0.5, 0.5, 0.5]}).apply(c, {})
+    assert out.dtype == np.float32
+    assert np.allclose(out, 1.0)
+
+
+def test_normalize_validates_std():
+    with pytest.raises(ValueError):
+        Normalize({"std": [0.0, 1.0, 1.0]})
+
+
+# -- temporal ops ------------------------------------------------------------------
+
+
+def test_inv_sample_reverses_time():
+    c = clip()
+    out = InvSample().apply(c, {})
+    assert np.array_equal(out, c[::-1])
+
+
+def test_subsample_strides_time():
+    c = clip(t=7)
+    out = Subsample({"rate": 3}).apply(c, {})
+    assert out.shape[0] == 3
+    assert np.array_equal(out, c[::3])
+    assert Subsample({"rate": 3}).output_shape((7, 24, 32, 3), {}) == (3, 24, 32, 3)
+
+
+def test_ops_reject_non_clip_input():
+    with pytest.raises(ValueError):
+        Flip().apply(np.zeros((4, 4, 3), dtype=np.uint8), {"flipped": True})
+
+
+@given(
+    t=st.integers(1, 4),
+    h=st.integers(4, 20),
+    w=st.integers(4, 20),
+    out_h=st.integers(1, 16),
+    out_w=st.integers(1, 16),
+)
+@settings(max_examples=30, deadline=None)
+def test_resize_shape_property(t, h, w, out_h, out_w):
+    c = np.zeros((t, h, w, 3), dtype=np.uint8)
+    out = Resize({"shape": [out_h, out_w]}).apply(c, {})
+    assert out.shape == (t, out_h, out_w, 3)
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_crop_params_deterministic_given_seed(seed):
+    op = RandomCrop({"size": [8, 8]})
+    p1 = op.sample_params(np.random.default_rng(seed), (4, 24, 32, 3))
+    p2 = op.sample_params(np.random.default_rng(seed), (4, 24, 32, 3))
+    assert p1 == p2

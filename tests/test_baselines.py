@@ -1,0 +1,179 @@
+"""Tests for the baseline pipelines (on-demand, naive cache, ideal)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import IdealPipeline, NaiveCachePipeline, OnDemandPipeline
+from repro.core import PreprocessingEngine, build_plan_window, load_task_config
+from repro.datasets import DatasetSpec, SyntheticDataset
+
+CONFIG = {
+    "dataset": {
+        "tag": "t",
+        "video_dataset_path": "/d",
+        "sampling": {"videos_per_batch": 4, "frames_per_video": 4, "frame_stride": 2},
+        "augmentation": [
+            {
+                "branch_type": "single",
+                "inputs": ["frame"],
+                "outputs": ["a0"],
+                "config": [
+                    {"resize": {"shape": [16, 20]}},
+                    {"random_crop": {"size": [12, 12]}},
+                ],
+            }
+        ],
+    }
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticDataset(
+        DatasetSpec(num_videos=8, min_frames=40, max_frames=60, gop_size=10, seed=6)
+    )
+
+
+@pytest.fixture()
+def config():
+    return load_task_config(CONFIG)
+
+
+# -- on-demand ------------------------------------------------------------------
+
+
+def test_ondemand_serves_valid_batches(dataset, config):
+    pipeline = OnDemandPipeline(config, dataset, seed=2)
+    batch, md = pipeline.get_batch("t", 0, 0)
+    assert batch.shape == (4, 4, 12, 12, 3)
+    assert len(md["videos"]) == 4
+    assert len(md["labels"]) == 4
+    assert all(len(ts) == 4 for ts in md["timestamps"])
+
+
+def test_ondemand_is_deterministic_per_iteration(dataset, config):
+    a = OnDemandPipeline(config, dataset, seed=2)
+    b = OnDemandPipeline(config, dataset, seed=2)
+    ba, _ = a.get_batch("t", 0, 1)
+    bb, _ = b.get_batch("t", 0, 1)
+    assert np.array_equal(ba, bb)
+
+
+def test_ondemand_decodes_fresh_every_call(dataset, config):
+    pipeline = OnDemandPipeline(config, dataset, seed=2)
+    pipeline.get_batch("t", 0, 0)
+    after_one = pipeline.stats.frames_decoded
+    assert after_one > 0
+    # Same batch requested again: the decode cost repeats exactly.
+    pipeline.get_batch("t", 0, 0)
+    assert pipeline.stats.frames_decoded == 2 * after_one
+
+
+def test_ondemand_amplification_exceeds_one(dataset, config):
+    pipeline = OnDemandPipeline(config, dataset, seed=2)
+    for it in range(pipeline.iterations_per_epoch()):
+        pipeline.get_batch("t", 0, it)
+    assert pipeline.stats.decode_amplification > 1.2
+    assert pipeline.stats.frames_used == 4 * 4 * pipeline.iterations_per_epoch()
+
+
+def test_ondemand_gpu_device_counts_nvdec(dataset, config):
+    pipeline = OnDemandPipeline(config, dataset, seed=2, device="gpu")
+    pipeline.get_batch("t", 0, 0)
+    assert pipeline.stats.frames_decoded_nvdec > 0
+    assert pipeline.stats.frames_decoded_cpu == 0
+
+
+def test_ondemand_validates_inputs(dataset, config):
+    with pytest.raises(ValueError):
+        OnDemandPipeline(config, dataset, device="tpu")
+    pipeline = OnDemandPipeline(config, dataset)
+    with pytest.raises(KeyError):
+        pipeline.get_batch("ghost", 0, 0)
+
+
+def test_ondemand_differs_from_coordinated_sand(dataset, config):
+    """Baseline randomness is task/iteration-keyed: selections differ."""
+    pipeline = OnDemandPipeline(config, dataset, seed=2)
+    plan = build_plan_window([config], dataset, 0, 1, seed=2, coordinated=True)
+    engine = PreprocessingEngine(plan, dataset, num_workers=0)
+    _, md_base = pipeline.get_batch("t", 0, 0)
+    _, md_sand = engine.get_batch("t", 0, 0)
+    # Independent randomization: both the epoch permutation and the frame
+    # draws are re-rolled, so the selections cannot coincide.
+    base_sel = dict(zip(md_base["videos"], md_base["frame_indices"]))
+    sand_sel = dict(zip(md_sand["videos"], md_sand["frame_indices"]))
+    assert base_sel != sand_sel
+
+
+# -- naive cache -------------------------------------------------------------------
+
+
+def test_naive_cache_hits_on_repeats(dataset, config):
+    pipeline = NaiveCachePipeline(config, dataset, cache_budget_bytes=10**8, seed=2)
+    pipeline.get_batch("t", 0, 0)
+    first_decoded = pipeline.stats.frames_decoded
+    # The same iteration again: every frame now comes from the cache.
+    pipeline.get_batch("t", 0, 0)
+    assert pipeline.stats.frames_decoded == first_decoded
+    assert pipeline.hit_rate > 0
+
+
+def test_naive_cache_rarely_helps_across_epochs(dataset, config):
+    """Different epochs select different frames: hit rate stays low."""
+    pipeline = NaiveCachePipeline(config, dataset, cache_budget_bytes=10**8, seed=2)
+    for epoch in range(3):
+        for it in range(pipeline.iterations_per_epoch()):
+            pipeline.get_batch("t", epoch, it)
+    assert pipeline.hit_rate < 0.5
+
+
+def test_naive_cache_respects_budget(dataset, config):
+    tiny = NaiveCachePipeline(config, dataset, cache_budget_bytes=5000, seed=2)
+    tiny.get_batch("t", 0, 0)
+    assert tiny.frame_cache.used_bytes <= 5000
+
+
+def test_naive_cache_fraction_of_dataset(dataset, config):
+    pipeline = NaiveCachePipeline(config, dataset, cache_budget_bytes=10**6, seed=2)
+    fraction = pipeline.cache_fraction_of_dataset()
+    assert 0 < fraction < 1
+
+
+def test_naive_cache_output_matches_ondemand(dataset, config):
+    """Caching must not change pixels, only costs."""
+    cached = NaiveCachePipeline(config, dataset, cache_budget_bytes=10**8, seed=2)
+    plain = OnDemandPipeline(config, dataset, seed=2)
+    a, _ = cached.get_batch("t", 0, 0)
+    b, _ = plain.get_batch("t", 0, 0)
+    assert np.array_equal(a, b)
+
+
+# -- ideal -------------------------------------------------------------------------
+
+
+def test_ideal_prestores_and_serves_copies(dataset, config):
+    ideal = IdealPipeline(config, dataset, epochs=2, seed=2)
+    assert ideal.stored_batches == 2 * ideal.iterations_per_epoch()
+    assert ideal.stored_bytes > 0
+    batch, md = ideal.get_batch("t", 1, 0)
+    batch[:] = 0  # mutating the copy must not corrupt the store
+    again, _ = ideal.get_batch("t", 1, 0)
+    assert again.any()
+
+
+def test_ideal_rejects_unplanned_batches(dataset, config):
+    ideal = IdealPipeline(config, dataset, epochs=1, seed=2)
+    with pytest.raises(KeyError):
+        ideal.get_batch("t", 5, 0)
+    with pytest.raises(ValueError):
+        IdealPipeline(config, dataset, epochs=0)
+
+
+def test_ideal_matches_engine_output(dataset, config):
+    ideal = IdealPipeline(config, dataset, epochs=1, seed=2, coordinated=True)
+    plan = build_plan_window([config], dataset, 0, 1, seed=2, coordinated=True)
+    engine = PreprocessingEngine(plan, dataset, num_workers=0)
+    a, _ = ideal.get_batch("t", 0, 0)
+    b, _ = engine.get_batch("t", 0, 0)
+    assert np.array_equal(a, b)

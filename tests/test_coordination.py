@@ -1,0 +1,277 @@
+"""Tests for coordinated randomization: frame pool, windows, schedules."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.augment.ops import RandomCrop
+from repro.core.coordination import (
+    EpochSchedule,
+    FramePoolCoordinator,
+    SharedWindowSampler,
+    TaskRequirement,
+    stable_rng,
+)
+
+
+def req(tag, frames=8, stride=2, samples=1):
+    return TaskRequirement(
+        tag=tag, frames_per_video=frames, frame_stride=stride, samples_per_video=samples
+    )
+
+
+# -- stable_rng -----------------------------------------------------------------
+
+
+def test_stable_rng_deterministic_and_distinct():
+    a = stable_rng("x", 1).integers(0, 1 << 30)
+    b = stable_rng("x", 1).integers(0, 1 << 30)
+    c = stable_rng("x", 2).integers(0, 1 << 30)
+    assert a == b
+    assert a != c
+
+
+def test_stable_rng_separator_prevents_collisions():
+    # ("ab", "c") must differ from ("a", "bc").
+    a = stable_rng("ab", "c").integers(0, 1 << 30)
+    b = stable_rng("a", "bc").integers(0, 1 << 30)
+    assert a != b
+
+
+# -- frame pool ----------------------------------------------------------------
+
+
+def test_grid_is_gcd_of_strides():
+    pool = FramePoolCoordinator([req("a", stride=4), req("b", stride=6)])
+    assert pool.grid == 2
+    pool = FramePoolCoordinator([req("a", stride=3)])
+    assert pool.grid == 3
+
+
+def test_pool_spans_max_clip_length():
+    a, b = req("a", frames=8, stride=2), req("b", frames=4, stride=8)
+    pool = FramePoolCoordinator([a, b])
+    assert pool.max_span == max(a.clip_span, b.clip_span)
+
+
+def test_pool_is_deterministic_per_video_epoch():
+    pool = FramePoolCoordinator([req("a")], seed=5)
+    p1 = pool.pool_for("v", 3, 100)
+    p2 = pool.pool_for("v", 3, 100)
+    assert p1 == p2
+    assert pool.pool_for("v", 4, 100) != p1 or pool.pool_for("w", 3, 100) != p1
+
+
+def test_selection_within_bounds_and_respects_stride():
+    pool = FramePoolCoordinator([req("a", frames=8, stride=2)], seed=1)
+    for epoch in range(20):
+        indices = pool.select("a", "v", epoch, 0, num_frames=100)
+        assert len(indices) == 8
+        assert all(0 <= i < 100 for i in indices)
+        deltas = {b - a for a, b in zip(indices, indices[1:])}
+        assert deltas == {2}
+
+
+def test_identical_geometry_tasks_get_identical_frames():
+    tasks = [req("a", frames=8, stride=2), req("b", frames=8, stride=2)]
+    pool = FramePoolCoordinator(tasks, seed=1)
+    for epoch in range(10):
+        assert pool.select("a", "v", epoch, 0, 100) == pool.select(
+            "b", "v", epoch, 0, 100
+        )
+
+
+def test_different_geometry_tasks_draw_from_same_pool():
+    tasks = [req("a", frames=8, stride=2), req("b", frames=4, stride=4)]
+    pool = FramePoolCoordinator(tasks, seed=1)
+    for epoch in range(10):
+        selection = pool.pool_for("v", epoch, 200)
+        positions = set(selection.positions)
+        for tag in ("a", "b"):
+            assert set(pool.select(tag, "v", epoch, 0, 200)) <= positions
+
+
+def test_coordinated_selection_varies_across_epochs():
+    pool = FramePoolCoordinator([req("a")], seed=1)
+    picks = {tuple(pool.select("a", "v", e, 0, 500)) for e in range(10)}
+    assert len(picks) > 5  # randomness across epochs is preserved
+
+
+def test_selection_start_is_roughly_uniform():
+    pool = FramePoolCoordinator([req("a", frames=4, stride=1)], seed=0)
+    starts = [pool.select("a", f"v{i}", 0, 0, 100)[0] for i in range(300)]
+    assert min(starts) < 15
+    assert max(starts) > 80
+
+
+def test_independent_mode_rerolls_per_task():
+    tasks = [req("a"), req("b")]
+    pool = FramePoolCoordinator(tasks, seed=1, coordinated=False)
+    differs = sum(
+        pool.select("a", "v", e, 0, 500, iteration=0)
+        != pool.select("b", "v", e, 0, 500, iteration=0)
+        for e in range(10)
+    )
+    assert differs >= 8
+
+
+def test_short_video_wraparound():
+    pool = FramePoolCoordinator([req("a", frames=16, stride=4)], seed=1)
+    indices = pool.select("a", "v", 0, 0, num_frames=20)
+    assert len(indices) == 16
+    assert all(0 <= i < 20 for i in indices)
+
+
+def test_duplicate_tags_rejected():
+    with pytest.raises(ValueError):
+        FramePoolCoordinator([req("a"), req("a")])
+
+
+@given(
+    frames=st.integers(1, 16),
+    stride=st.integers(1, 8),
+    num_frames=st.integers(1, 300),
+    epoch=st.integers(0, 5),
+)
+@settings(max_examples=60, deadline=None)
+def test_selection_always_in_range_property(frames, stride, num_frames, epoch):
+    pool = FramePoolCoordinator([req("t", frames=frames, stride=stride)], seed=3)
+    indices = pool.select("t", "vid", epoch, 0, num_frames)
+    assert len(indices) == frames
+    assert all(0 <= i < num_frames for i in indices)
+
+
+# -- shared windows ----------------------------------------------------------------
+
+
+def crop(size):
+    return RandomCrop({"size": list(size)})
+
+
+def test_required_window_is_elementwise_max():
+    from repro.core.config import load_task_config
+
+    def task_with_crop(tag, size):
+        return load_task_config({
+            "dataset": {
+                "tag": tag,
+                "video_dataset_path": "/d",
+                "augmentation": [
+                    {
+                        "branch_type": "single",
+                        "inputs": ["frame"],
+                        "outputs": ["o"],
+                        "config": [{"random_crop": {"size": list(size)}}],
+                    }
+                ],
+            }
+        })
+
+    tasks = [task_with_crop("a", (16, 8)), task_with_crop("b", (8, 24))]
+    assert SharedWindowSampler.required_window(tasks) == (16, 24)
+    assert SharedWindowSampler.required_window([]) is None
+
+
+def test_equal_crop_sizes_share_params_across_tasks():
+    sampler = SharedWindowSampler((16, 16), seed=1)
+    shape = (4, 64, 64, 3)
+    pa = sampler.param_sampler("v", 0, 0, task="a")(crop((16, 16)), shape, None)
+    pb = sampler.param_sampler("v", 0, 0, task="b")(crop((16, 16)), shape, None)
+    assert pa == pb
+
+
+def test_smaller_crop_falls_inside_shared_window():
+    sampler = SharedWindowSampler((16, 16), seed=1)
+    shape = (4, 64, 64, 3)
+    big = sampler.param_sampler("v", 0, 0)(crop((16, 16)), shape, None)
+    small = sampler.param_sampler("v", 0, 0)(crop((8, 8)), shape, None)
+    assert big["top"] <= small["top"] <= big["top"] + 8
+    assert big["left"] <= small["left"] <= big["left"] + 8
+
+
+def test_windows_vary_across_contexts():
+    sampler = SharedWindowSampler((8, 8), seed=1)
+    shape = (1, 100, 100, 3)
+    params = {
+        (v, e): sampler.param_sampler(v, e, 0)(crop((8, 8)), shape, None)
+        for v in ("v1", "v2", "v3")
+        for e in range(4)
+    }
+    assert len({(p["top"], p["left"]) for p in params.values()}) > 6
+
+
+def test_uncoordinated_windows_differ_per_task():
+    sampler = SharedWindowSampler((8, 8), seed=1, coordinated=False)
+    shape = (1, 100, 100, 3)
+    rolls = [
+        sampler.param_sampler("v", 0, 0, task=t, iteration=0)(crop((8, 8)), shape, None)
+        for t in ("a", "b", "c", "d")
+    ]
+    assert len({(p["top"], p["left"]) for p in rolls}) > 1
+
+
+def test_non_spatial_ops_coordinate_by_op_identity():
+    from repro.augment.ops import Flip
+
+    sampler = SharedWindowSampler(None, seed=1)
+    shape = (1, 8, 8, 3)
+    fa = sampler.param_sampler("v", 0, 0, task="a")(Flip(), shape, None)
+    fb = sampler.param_sampler("v", 0, 0, task="b")(Flip(), shape, None)
+    assert fa == fb
+
+
+# -- epoch schedule ----------------------------------------------------------------
+
+
+def test_every_video_exactly_once_per_epoch():
+    videos = [f"v{i}" for i in range(17)]
+    schedule = EpochSchedule(videos, seed=1)
+    for epoch in range(5):
+        order = schedule.order("t", epoch)
+        assert sorted(order) == sorted(videos)
+
+
+def test_orders_differ_across_epochs():
+    schedule = EpochSchedule([f"v{i}" for i in range(20)], seed=1)
+    assert schedule.order("t", 0) != schedule.order("t", 1)
+
+
+def test_coordinated_tasks_share_order():
+    schedule = EpochSchedule([f"v{i}" for i in range(10)], seed=1, coordinated=True)
+    assert schedule.order("a", 3) == schedule.order("b", 3)
+
+
+def test_independent_tasks_get_different_orders():
+    schedule = EpochSchedule([f"v{i}" for i in range(30)], seed=1, coordinated=False)
+    assert schedule.order("a", 3) != schedule.order("b", 3)
+
+
+def test_batches_drop_remainder():
+    schedule = EpochSchedule([f"v{i}" for i in range(10)], seed=1)
+    batches = schedule.batches("t", 0, videos_per_batch=4)
+    assert len(batches) == 2
+    assert all(len(b) == 4 for b in batches)
+    assert schedule.iterations_per_epoch(4) == 2
+
+
+def test_empty_dataset_rejected():
+    with pytest.raises(ValueError):
+        EpochSchedule([])
+
+
+def test_multi_sample_tasks_draw_distinct_clips():
+    """samples_per_video > 1 must yield (mostly) different clips.
+
+    Regression test: a pool sized only to one clip span made every
+    sample of a video identical, silently breaking sample diversity.
+    """
+    req = TaskRequirement("t", frames_per_video=6, frame_stride=2, samples_per_video=2)
+    pool = FramePoolCoordinator([req], seed=1)
+    distinct = sum(
+        pool.select("t", f"v{v}", 0, 0, 80) != pool.select("t", f"v{v}", 0, 1, 80)
+        for v in range(20)
+    )
+    assert distinct >= 12  # mostly distinct; occasional collisions are fine

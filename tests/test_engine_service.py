@@ -1,0 +1,380 @@
+"""Tests for the materializer, engine, service, POSIX facade, recovery."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.augment.registry import default_registry
+from repro.core import (
+    CacheManager,
+    PreprocessingEngine,
+    SandClient,
+    SandService,
+    SchedulingMode,
+    VideoMaterializer,
+    build_plan_window,
+    load_task_config,
+    prune_plan,
+    read_checkpoint,
+    recover,
+    write_checkpoint,
+)
+from repro.datasets import DatasetSpec, SyntheticDataset
+from repro.storage.blobs import decode_array
+from repro.storage.local import LocalStore
+from repro.storage.objectstore import ObjectStore
+from repro.vfs.errors import FileNotFoundVfsError, NoAttributeError
+
+
+def make_config(tag="t", vpb=2, frames=4, stride=2, crop=(12, 12)):
+    return load_task_config({
+        "dataset": {
+            "tag": tag,
+            "video_dataset_path": "/d",
+            "sampling": {
+                "videos_per_batch": vpb,
+                "frames_per_video": frames,
+                "frame_stride": stride,
+            },
+            "augmentation": [
+                {
+                    "branch_type": "single",
+                    "inputs": ["frame"],
+                    "outputs": ["a0"],
+                    "config": [
+                        {"resize": {"shape": [18, 24]}},
+                        {"random_crop": {"size": list(crop)}},
+                        {"flip": {"flip_prob": 0.5}},
+                    ],
+                }
+            ],
+        }
+    })
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticDataset(
+        DatasetSpec(num_videos=6, min_frames=30, max_frames=45, width=32, height=24, seed=3)
+    )
+
+
+@pytest.fixture(scope="module")
+def plan(dataset):
+    return build_plan_window([make_config()], dataset, 0, 2, seed=5)
+
+
+# -- materializer ------------------------------------------------------------------
+
+
+def test_materializer_produces_correct_frames(dataset, plan):
+    vid = next(iter(plan.graphs))
+    graph = plan.graphs[vid]
+    mat = VideoMaterializer(graph, dataset.get_bytes(vid))
+    frame_node = graph.frames()[0]
+    arr = mat.get(frame_node.key)
+    expected = dataset.source(vid).frame(frame_node.frame_index)
+    assert np.array_equal(arr[0], expected)
+
+
+def test_materializer_leaf_matches_manual_pipeline(dataset, plan):
+    vid = next(iter(plan.graphs))
+    graph = plan.graphs[vid]
+    leaf = graph.leaves()[0]
+    mat = VideoMaterializer(graph, dataset.get_bytes(vid))
+    sample = mat.get(leaf.key)
+    assert sample.shape == leaf.clip_shape
+    # Manually replay: decode frames, apply each aug node's op in chain.
+    registry = default_registry()
+    frames = []
+    for parent_key in leaf.parents:
+        chain = []
+        cursor = graph.nodes[parent_key]
+        while cursor.kind == "aug":
+            chain.append(cursor)
+            cursor = graph.nodes[cursor.parents[0]]
+        assert cursor.kind == "frame"
+        pixels = dataset.source(vid).frame(cursor.frame_index)[np.newaxis]
+        for node in reversed(chain):
+            name, cfg, params = node.op_args
+            op = registry.create(name, json.loads(cfg))
+            pixels = op.apply(pixels, json.loads(params))
+        frames.append(pixels)
+    manual = np.concatenate(frames, axis=0)
+    assert np.array_equal(sample, manual)
+
+
+def test_materializer_decodes_union_once(dataset, plan):
+    vid = next(iter(plan.graphs))
+    graph = plan.graphs[vid]
+    mat = VideoMaterializer(graph, dataset.get_bytes(vid))
+    for leaf in graph.leaves():
+        mat.get(leaf.key)
+    # Decode happened in one pass over the union of wanted frames.
+    assert mat.stats.frames_decoded == len(graph.decode_plan())
+
+
+def test_materializer_uses_cache(dataset, plan):
+    vid = next(iter(plan.graphs))
+    graph = plan.graphs[vid]
+    store = ObjectStore(10**8)
+    frontier = {leaf.key for leaf in graph.leaves()}
+    mat1 = VideoMaterializer(graph, dataset.get_bytes(vid), cache=store, frontier=frontier)
+    mat1.materialize_frontier()
+    assert mat1.stats.cache_stores == len(frontier)
+    # A fresh materializer serves leaves from cache without decoding.
+    mat2 = VideoMaterializer(graph, dataset.get_bytes(vid), cache=store, frontier=frontier)
+    for key in frontier:
+        mat2.get(key)
+    assert mat2.stats.frames_decoded == 0
+    assert mat2.stats.cache_hits == len(frontier)
+
+
+def test_release_raw_frames_frees_memory(dataset, plan):
+    vid = next(iter(plan.graphs))
+    graph = plan.graphs[vid]
+    mat = VideoMaterializer(graph, dataset.get_bytes(vid))
+    mat.get(graph.leaves()[0].key)
+    before = mat.stats.bytes_in_memory
+    dropped = mat.release_raw_frames()
+    assert dropped > 0
+    assert mat.stats.bytes_in_memory < before
+    # Leaves remain available without re-decoding (memoized).
+    mat.get(graph.leaves()[0].key)
+
+
+def test_materializer_unknown_key(dataset, plan):
+    vid = next(iter(plan.graphs))
+    mat = VideoMaterializer(plan.graphs[vid], dataset.get_bytes(vid))
+    with pytest.raises(KeyError):
+        mat.get("frame:ghost:0")
+
+
+# -- engine -------------------------------------------------------------------------
+
+
+def test_engine_serves_all_planned_batches(dataset, plan):
+    engine = PreprocessingEngine(plan, dataset, num_workers=0)
+    served = 0
+    for (task, epoch, iteration) in sorted(plan.batches):
+        batch, md = engine.get_batch(task, epoch, iteration)
+        assert batch.shape[0] == len(plan.batches[(task, epoch, iteration)].samples)
+        assert md["videos"]
+        assert len(md["timestamps"]) == batch.shape[0]
+        served += 1
+    assert engine.stats.batches_served == served
+
+
+def test_engine_batches_deterministic(dataset, plan):
+    e1 = PreprocessingEngine(plan, dataset, num_workers=0)
+    e2 = PreprocessingEngine(plan, dataset, num_workers=0)
+    b1, _ = e1.get_batch("t", 0, 0)
+    b2, _ = e2.get_batch("t", 0, 0)
+    assert np.array_equal(b1, b2)
+
+
+def test_engine_premateralization_then_demand(dataset, plan):
+    store = LocalStore(10**8)
+    cache = CacheManager(store)
+    pruning = prune_plan(plan, plan.total_cached_bytes() * 1.01)
+    cache.register_plan(plan, pruning)
+    engine = PreprocessingEngine(plan, dataset, pruning=pruning, cache=cache, num_workers=0)
+    engine.drain()  # run all pre-materialization jobs synchronously
+    assert engine.scheduler.pending_count == 0
+    assert engine.stats.pre_materializations > 0
+    # Demand path now needs no fresh materializations.
+    engine.stats.demand_materializations = 0
+    batch, _ = engine.get_batch("t", 0, 0)
+    assert engine.stats.demand_materializations == 0
+    assert batch.dtype == np.uint8
+
+
+def test_engine_with_threads(dataset, plan):
+    with PreprocessingEngine(plan, dataset, num_workers=2) as engine:
+        engine.drain()
+        batch, _ = engine.get_batch("t", 0, 0)
+        assert batch.shape[0] == 2
+    assert engine.scheduler.pending_count == 0
+
+
+def test_engine_unknown_batch(dataset, plan):
+    engine = PreprocessingEngine(plan, dataset, num_workers=0)
+    with pytest.raises(KeyError):
+        engine.get_batch("t", 99, 0)
+
+
+def test_engine_respects_pruned_frontier(dataset):
+    cfg = make_config()
+    plan = build_plan_window([cfg], dataset, 0, 2, seed=5)
+    pruning = prune_plan(plan, plan.total_cached_bytes() * 0.4)
+    store = LocalStore(10**8)
+    cache = CacheManager(store)
+    cache.register_plan(plan, pruning)
+    engine = PreprocessingEngine(plan, dataset, pruning=pruning, cache=cache, num_workers=0)
+    engine.drain()
+    cached_keys = set(store.keys())
+    planned = {
+        key for vid in plan.graphs for key in pruning.frontier_of(vid)
+    }
+    assert cached_keys == planned
+    # Batches still come out right even though leaves may be uncached.
+    batch, _ = engine.get_batch("t", 0, 0)
+    ref = PreprocessingEngine(plan, dataset, num_workers=0).get_batch("t", 0, 0)[0]
+    assert np.array_equal(batch, ref)
+
+
+# -- service + posix -----------------------------------------------------------------
+
+
+@pytest.fixture()
+def client_service(dataset):
+    client, service = SandClient.create(
+        [make_config()],
+        dataset,
+        storage_budget_bytes=10**8,
+        k_epochs=2,
+        num_workers=0,
+    )
+    yield client, service
+    service.shutdown()
+
+
+def test_fig6_pattern(client_service):
+    client, service = client_service
+    ctrl = client.begin_task("t")
+    batch, md = client.read_batch("t", 0, 0)
+    assert batch.ndim == 5
+    assert md["videos"]
+    assert md["timestamps"]
+    client.finish_task(ctrl)
+    assert service.active_tasks == set()
+
+
+def test_batch_views_are_stable(client_service):
+    client, _ = client_service
+    b1, _ = client.read_batch("t", 0, 1)
+    b2, _ = client.read_batch("t", 0, 1)
+    assert np.array_equal(b1, b2)
+
+
+def test_video_view_serves_encoded_bytes(client_service, dataset):
+    client, _ = client_service
+    vid = dataset.video_ids[0]
+    fd = client.open(f"/t/{vid}.mp4")
+    data = client.read(fd)
+    client.close(fd)
+    assert data == dataset.get_bytes(vid)
+
+
+def test_frame_view_matches_source(client_service, dataset):
+    client, service = client_service
+    service.ensure_window(0)
+    graph = next(iter(service.plan.graphs.values()))
+    frame = graph.frames()[0]
+    arr = client.read_array(f"/t/{graph.video_id}/frame{frame.frame_index}")
+    assert np.array_equal(arr[0], dataset.source(graph.video_id).frame(frame.frame_index))
+    ts = json.loads(client.getxattr(f"/t/{graph.video_id}/frame{frame.frame_index}", "timestamp"))
+    assert ts == pytest.approx(frame.frame_index / graph.metadata.fps, abs=1e-5)
+
+
+def test_aug_frame_view(client_service, dataset):
+    client, service = client_service
+    service.ensure_window(0)
+    graph = next(iter(service.plan.graphs.values()))
+    frame = graph.frames()[0]
+    # Depth 1 = after the first augmentation (resize to 18x24).
+    arr = client.read_array(f"/t/{graph.video_id}/frame{frame.frame_index}/aug1")
+    assert arr.shape == (1, 18, 24, 3)
+
+
+def test_missing_views_raise_enoent(client_service):
+    client, _ = client_service
+    with pytest.raises(FileNotFoundVfsError):
+        client.open("/t/ghost_video.mp4")
+    with pytest.raises(FileNotFoundVfsError):
+        client.open("/nope/0/0/view")
+    with pytest.raises(FileNotFoundVfsError):
+        client.open("/t/0/9999/view")
+
+
+def test_xattrs(client_service):
+    client, _ = client_service
+    shape = json.loads(client.getxattr("/t/0/0/view", "shape"))
+    assert len(shape) == 5
+    assert client.getxattr("/t/0/0/view", "dtype") == b"uint8"
+    labels = json.loads(client.getxattr("/t/0/0/view", "labels"))
+    assert len(labels) == shape[0]
+    with pytest.raises(NoAttributeError):
+        client.getxattr("/t/0/0/view", "nonsense")
+
+
+def test_listdir_navigation(client_service, dataset):
+    client, service = client_service
+    vfs = client.vfs
+    assert vfs.listdir("/sand") == ["t"]
+    entries = vfs.listdir("/sand/t")
+    assert "ctrl" in entries
+    assert f"{dataset.video_ids[0]}.mp4" in entries
+    assert "0" in entries
+    iters = vfs.listdir("/sand/t/0")
+    assert iters == [str(i) for i in range(service.plan.iterations_per_epoch["t"])]
+    assert vfs.listdir("/sand/t/0/0") == ["view"]
+
+
+def test_window_rolls_to_next_epochs(client_service):
+    client, service = client_service
+    client.read_batch("t", 0, 0)
+    first_window = service.plan.epoch_start
+    client.read_batch("t", 2, 0)  # beyond k_epochs=2
+    assert service.plan.epoch_start == 2
+    assert service.plan.epoch_start != first_window
+
+
+# -- recovery -------------------------------------------------------------------------
+
+
+def test_checkpoint_recover_cycle(dataset, tmp_path):
+    cfg = make_config()
+    plan = build_plan_window([cfg], dataset, 0, 2, seed=5)
+    pruning = prune_plan(plan, plan.total_cached_bytes() * 0.6)
+    store = LocalStore(10**8, root=tmp_path / "cache")
+    cache = CacheManager(store)
+    cache.register_plan(plan, pruning)
+    engine = PreprocessingEngine(plan, dataset, pruning=pruning, cache=cache, num_workers=0)
+    engine.drain()
+    manifest_path = write_checkpoint(tmp_path, plan, pruning, seed=5)
+
+    # Simulate a crash: new store over the same directory.
+    fresh_store = LocalStore(10**8, root=tmp_path / "cache")
+    manifest = read_checkpoint(manifest_path)
+    report = recover(manifest, fresh_store)
+    assert report.planned_objects > 0
+    assert report.recovered_fraction == 1.0
+    assert report.missing_count == 0
+
+    # Lose some objects: recovery pinpoints exactly the missing ones.
+    lost = sorted(fresh_store.keys())[:3]
+    for key in lost:
+        fresh_store.delete(key)
+    report = recover(manifest, fresh_store)
+    assert report.missing_count == 3
+    assert sorted(k for keys in report.missing.values() for k in keys) == lost
+
+
+def test_recovery_flags_stale_objects(dataset, tmp_path):
+    cfg = make_config()
+    plan = build_plan_window([cfg], dataset, 0, 1, seed=5)
+    pruning = prune_plan(plan, plan.total_cached_bytes() * 1.01)
+    store = LocalStore(10**8, root=tmp_path / "cache")
+    store.put("orphan-object", b"stale")
+    manifest_path = write_checkpoint(tmp_path, plan, pruning, seed=5)
+    report = recover(read_checkpoint(manifest_path), store)
+    assert "orphan-object" in report.stale_keys
+
+
+def test_checkpoint_version_check(tmp_path):
+    bad = tmp_path / "sand-checkpoint.json"
+    bad.write_text(json.dumps({"version": 99}))
+    with pytest.raises(ValueError):
+        read_checkpoint(bad)

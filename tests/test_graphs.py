@@ -1,0 +1,272 @@
+"""Tests for abstract graphs, concrete plans, node merging, and pruning."""
+
+import pytest
+
+from repro.core import (
+    AbstractViewGraph,
+    build_plan_window,
+    cache_everything,
+    group_tasks_by_dataset,
+    load_task_config,
+    naive_budgeted_leaves,
+    prune_plan,
+)
+from repro.datasets import DatasetSpec, SyntheticDataset
+
+
+def make_config(tag="t", frames=8, stride=2, samples=1, vpb=4, crop=(16, 16),
+                dataset_path="/data", extra_aug=None):
+    aug = [
+        {
+            "name": "resize",
+            "branch_type": "single",
+            "inputs": ["frame"],
+            "outputs": ["a0"],
+            "config": [{"resize": {"shape": [24, 32]}}],
+        },
+        {
+            "name": "crop",
+            "branch_type": "single",
+            "inputs": ["a0"],
+            "outputs": ["a1"],
+            "config": [{"random_crop": {"size": list(crop)}}],
+        },
+    ]
+    if extra_aug:
+        aug.extend(extra_aug)
+    return load_task_config({
+        "dataset": {
+            "tag": tag,
+            "video_dataset_path": dataset_path,
+            "sampling": {
+                "videos_per_batch": vpb,
+                "frames_per_video": frames,
+                "frame_stride": stride,
+                "samples_per_video": samples,
+            },
+            "augmentation": aug,
+        }
+    })
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticDataset(
+        DatasetSpec(num_videos=12, min_frames=60, max_frames=90, seed=1)
+    )
+
+
+# -- abstract graphs ---------------------------------------------------------------
+
+
+def test_abstract_graph_structure():
+    graph = AbstractViewGraph.from_config(make_config())
+    ids = [n.node_id for n in graph.nodes]
+    assert ids == ["video", "frame", "aug0", "aug1", "batch"]
+    ops = [e.operation for e in graph.edges]
+    assert ops == ["decode", "single", "single", "collate"]
+
+
+def test_abstract_sharing_detection():
+    a = AbstractViewGraph.from_config(make_config("a"))
+    b = AbstractViewGraph.from_config(make_config("b"))
+    c = AbstractViewGraph.from_config(make_config("c", dataset_path="/other"))
+    assert a.shares_dataset_with(b)
+    assert not a.shares_dataset_with(c)
+    assert a.shared_aug_prefix(b) == 2  # identical pipelines
+
+
+def test_abstract_prefix_stops_at_divergence():
+    a = AbstractViewGraph.from_config(make_config("a", crop=(16, 16)))
+    b = AbstractViewGraph.from_config(make_config("b", crop=(8, 8)))
+    assert a.shared_aug_prefix(b) == 1  # resize matches, crop differs
+
+
+def test_group_tasks_by_dataset():
+    graphs = [
+        AbstractViewGraph.from_config(make_config("a")),
+        AbstractViewGraph.from_config(make_config("b", dataset_path="/other")),
+        AbstractViewGraph.from_config(make_config("c")),
+    ]
+    groups = group_tasks_by_dataset(graphs)
+    assert [path for path, _ in groups] == ["/data", "/other"]
+    assert [g.task for g in groups[0][1]] == ["a", "c"]
+
+
+# -- concrete plan -------------------------------------------------------------------
+
+
+def test_plan_has_batches_for_all_epochs(dataset):
+    cfg = make_config(vpb=4)
+    plan = build_plan_window([cfg], dataset, 0, 3, seed=1)
+    assert plan.iterations_per_epoch["t"] == 3  # 12 videos / 4 per batch
+    assert len(plan.batches) == 9
+    for (task, epoch, iteration), assembly in plan.batches.items():
+        assert len(assembly.samples) == 4  # one sample per video
+
+
+def test_each_video_used_once_per_epoch(dataset):
+    cfg = make_config(vpb=4)
+    plan = build_plan_window([cfg], dataset, 0, 2, seed=1)
+    for epoch in (0, 1):
+        videos = [
+            vid
+            for (t, e, i), a in plan.batches.items()
+            if e == epoch
+            for vid, _ in a.samples
+        ]
+        assert sorted(videos) == sorted(dataset.video_ids)
+
+
+def test_identical_tasks_fully_merge(dataset):
+    a, b = make_config("a"), make_config("b")
+    both = build_plan_window([a, b], dataset, 0, 2, seed=1)
+    solo = build_plan_window([a], dataset, 0, 2, seed=1)
+    # Same op counts: the second identical task adds no new unique work.
+    assert both.operation_counts() == solo.operation_counts()
+    # But twice the references.
+    assert both.reference_counts()["random_crop"] == (
+        2 * solo.reference_counts()["random_crop"]
+    )
+
+
+def test_coordination_reduces_unique_ops(dataset):
+    tasks = [
+        make_config("a", frames=8, stride=2),
+        make_config("b", frames=4, stride=4),
+    ]
+    coord = build_plan_window(tasks, dataset, 0, 3, seed=1, coordinated=True)
+    indep = build_plan_window(tasks, dataset, 0, 3, seed=1, coordinated=False)
+    c, u = coord.operation_counts(), indep.operation_counts()
+    assert c["decode"] < u["decode"]
+    assert c["random_crop"] < u["random_crop"]
+    # Reference counts (work without any merging) are identical: the same
+    # number of samples is produced either way.
+    assert coord.reference_counts()["collate"] == indep.reference_counts()["collate"]
+
+
+def test_sample_leaf_has_uses_and_frame_indices(dataset):
+    plan = build_plan_window([make_config()], dataset, 0, 1, seed=1)
+    leaves = [leaf for g in plan.graphs.values() for leaf in g.leaves()]
+    assert leaves
+    for leaf in leaves:
+        assert leaf.kind == "sample"
+        assert leaf.frame_indices
+        assert all(u.task == "t" for u in leaf.uses)
+
+
+def test_samples_per_video_multiplies_leaves(dataset):
+    plan = build_plan_window([make_config(samples=2)], dataset, 0, 1, seed=1)
+    assembly = plan.batches[("t", 0, 0)]
+    assert len(assembly.samples) == 8  # 4 videos x 2 samples
+
+
+def test_plan_determinism(dataset):
+    p1 = build_plan_window([make_config()], dataset, 0, 2, seed=9)
+    p2 = build_plan_window([make_config()], dataset, 0, 2, seed=9)
+    assert sorted(p1.graphs) == sorted(p2.graphs)
+    for vid in p1.graphs:
+        assert sorted(p1.graphs[vid].nodes) == sorted(p2.graphs[vid].nodes)
+    p3 = build_plan_window([make_config()], dataset, 0, 2, seed=10)
+    all_nodes = lambda p: sorted(k for g in p.graphs.values() for k in g.nodes)
+    assert all_nodes(p1) != all_nodes(p3)
+
+
+def test_global_step_and_first_use(dataset):
+    plan = build_plan_window([make_config(vpb=4)], dataset, 0, 2, seed=1)
+    assert plan.global_step("t", 0, 0) == 0
+    assert plan.global_step("t", 1, 0) == 3
+    assert plan.global_step("t", 1, 2) == 5
+    steps = [
+        plan.first_use_step(leaf)
+        for g in plan.graphs.values()
+        for leaf in g.leaves()
+    ]
+    assert min(steps) == 0
+    assert max(steps) == 5
+
+
+def test_decode_plan_covers_wanted_frames(dataset):
+    plan = build_plan_window([make_config()], dataset, 0, 1, seed=1)
+    for graph in plan.graphs.values():
+        decoded = set(graph.decode_plan())
+        assert graph.wanted_frames <= decoded
+
+
+def test_rejects_batch_larger_than_dataset(dataset):
+    with pytest.raises(ValueError):
+        build_plan_window([make_config(vpb=100)], dataset, 0, 1)
+
+
+def test_rejects_empty_inputs(dataset):
+    with pytest.raises(ValueError):
+        build_plan_window([], dataset, 0, 1)
+    with pytest.raises(ValueError):
+        build_plan_window([make_config()], dataset, 0, 0)
+
+
+# -- pruning ----------------------------------------------------------------------
+
+
+def test_full_budget_keeps_leaves(dataset):
+    plan = build_plan_window([make_config()], dataset, 0, 2, seed=1)
+    total = plan.total_cached_bytes()
+    outcome = prune_plan(plan, total * 1.01)
+    assert outcome.met_budget
+    assert outcome.total_recompute_s == 0.0
+    for vid, graph in plan.graphs.items():
+        assert outcome.frontier_of(vid) == {leaf.key for leaf in graph.leaves()}
+
+
+def test_pruning_meets_achievable_budget(dataset):
+    plan = build_plan_window([make_config()], dataset, 0, 2, seed=1)
+    total = plan.total_cached_bytes()
+    outcome = prune_plan(plan, total * 0.5)
+    assert outcome.met_budget
+    assert outcome.final_bytes <= total * 0.5
+    assert outcome.total_recompute_s > 0.0
+
+
+def test_tighter_budget_means_more_recompute(dataset):
+    plan = build_plan_window([make_config()], dataset, 0, 2, seed=1)
+    total = plan.total_cached_bytes()
+    loose = prune_plan(plan, total * 0.8)
+    tight = prune_plan(plan, total * 0.35)
+    assert tight.final_bytes <= loose.final_bytes
+    assert tight.total_recompute_s >= loose.total_recompute_s
+
+
+def test_unmeetable_budget_reported(dataset):
+    plan = build_plan_window([make_config()], dataset, 0, 2, seed=1)
+    outcome = prune_plan(plan, 1.0)  # one byte
+    assert not outcome.met_budget
+    assert outcome.prune_steps > 0
+
+
+def test_pruned_recompute_beats_naive_at_same_budget(dataset):
+    # The Fig 17 shape: at a constrained budget, Algorithm 1's frontier
+    # needs less feed-time recomputation than naive leaf caching, because
+    # the naive policy pays full decode for every uncached sample.
+    tasks = [make_config("a"), make_config("b", frames=4, stride=4)]
+    plan = build_plan_window(tasks, dataset, 0, 3, seed=1)
+    total = plan.total_cached_bytes()
+    budget = total * 0.4
+    pruned = prune_plan(plan, budget)
+    naive = naive_budgeted_leaves(plan, budget)
+    assert pruned.total_recompute_s < naive.total_recompute_s
+
+
+def test_cache_everything_outcome(dataset):
+    plan = build_plan_window([make_config()], dataset, 0, 1, seed=1)
+    outcome = cache_everything(plan)
+    assert outcome.met_budget
+    assert outcome.total_recompute_s == 0.0
+    assert outcome.final_bytes == pytest.approx(plan.total_cached_bytes())
+
+
+def test_prune_rejects_nonpositive_budget(dataset):
+    plan = build_plan_window([make_config()], dataset, 0, 1, seed=1)
+    with pytest.raises(ValueError):
+        prune_plan(plan, 0)
+    with pytest.raises(ValueError):
+        naive_budgeted_leaves(plan, -5)

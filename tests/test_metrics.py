@@ -1,0 +1,121 @@
+"""Tests for report tables and the Table-3 LoC counter."""
+
+import pytest
+
+from repro.metrics import Table, count_loc, count_preprocessing_loc, fmt_ratio, fmt_seconds
+
+
+# -- formatting -----------------------------------------------------------------
+
+
+def test_fmt_seconds_ranges():
+    assert fmt_seconds(250.0) == "250s"
+    assert fmt_seconds(2.5) == "2.50s"
+    assert fmt_seconds(0.0031) == "3.1ms"
+
+
+def test_fmt_ratio():
+    assert fmt_ratio(2.345) == "2.35x"
+
+
+def test_table_renders_aligned_columns():
+    table = Table("Title", ["name", "value"])
+    table.add_row("a", 1)
+    table.add_row("long_name", 12345)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "name" in lines[2] and "value" in lines[2]
+    # All data rows share the same width.
+    widths = {len(line) for line in lines[2:]}
+    assert len(widths) == 1
+
+
+def test_table_rejects_wrong_arity():
+    table = Table("T", ["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+# -- LoC counting -----------------------------------------------------------------
+
+
+def test_count_loc_skips_blanks_comments_docstrings():
+    source = '''
+"""Module docstring spanning
+two lines."""
+
+# a comment
+x = 1  # trailing comment
+
+def f():
+    """Docstring."""
+    return x
+'''
+    # Counted: x = 1, def f():, return x.
+    assert count_loc(source) == 3
+
+
+def test_count_loc_multiline_statement_counts_physical_lines():
+    source = "y = [\n    1,\n    2,\n]\n"
+    assert count_loc(source) == 4
+
+
+def test_count_loc_string_assignment_is_code():
+    assert count_loc('s = "hello"\n') == 1
+
+
+def test_count_loc_empty():
+    assert count_loc("") == 0
+    assert count_loc("# only comments\n\n") == 0
+
+
+def test_count_loc_rejects_garbage():
+    with pytest.raises(ValueError):
+        count_loc("def broken(:\n  'unterminated")
+
+
+def test_count_preprocessing_loc_region(tmp_path):
+    path = tmp_path / "example.py"
+    path.write_text(
+        "import os\n"
+        "# --- preprocessing ---\n"
+        "a = 1\n"
+        "# not counted\n"
+        "b = 2\n"
+        "# --- end preprocessing ---\n"
+        "print(a + b)\n"
+    )
+    assert count_preprocessing_loc(path) == 2
+
+
+def test_count_preprocessing_loc_dedents_indented_regions(tmp_path):
+    path = tmp_path / "example.py"
+    path.write_text(
+        "class X:\n"
+        "    def get(self):\n"
+        "        # --- preprocessing ---\n"
+        "        a = 1\n"
+        "        if a:\n"
+        "            a += 1\n"
+        "        # --- end preprocessing ---\n"
+        "        return a\n"
+    )
+    assert count_preprocessing_loc(path) == 3
+
+
+def test_count_preprocessing_loc_requires_markers(tmp_path):
+    path = tmp_path / "nomarkers.py"
+    path.write_text("x = 1\n")
+    with pytest.raises(ValueError):
+        count_preprocessing_loc(path)
+
+
+def test_bundled_examples_measure_as_expected():
+    from pathlib import Path
+
+    examples = Path(__file__).resolve().parent.parent / "examples"
+    manual = count_preprocessing_loc(examples / "manual_pipeline_slowfast.py")
+    sand = count_preprocessing_loc(examples / "quickstart.py")
+    assert manual >= 120
+    assert sand <= 10

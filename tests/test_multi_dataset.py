@@ -1,0 +1,125 @@
+"""Tests for multi-dataset services (tasks grouped by dataset root)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SandService, load_task_configs
+from repro.datasets import DatasetSpec, SyntheticDataset
+
+
+def task_on(tag, dataset_path, vpb=2, frames=4):
+    return {
+        "dataset": {
+            "tag": tag,
+            "video_dataset_path": dataset_path,
+            "sampling": {"videos_per_batch": vpb, "frames_per_video": frames},
+            "augmentation": [],
+        }
+    }
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    return {
+        "/data/kinetics": SyntheticDataset(
+            DatasetSpec(name="kin", num_videos=6, min_frames=30, max_frames=40, seed=1)
+        ),
+        "/data/youtube": SyntheticDataset(
+            DatasetSpec(name="yt", num_videos=4, min_frames=30, max_frames=40, seed=2)
+        ),
+    }
+
+
+def test_tasks_route_to_their_datasets(corpora):
+    configs = load_task_configs([
+        task_on("action", "/data/kinetics"),
+        task_on("sr", "/data/youtube"),
+    ])
+    service = SandService(configs, corpora, storage_budget_bytes=10**8,
+                          k_epochs=1, num_workers=0)
+    try:
+        _, md_a = service.get_batch("action", 0, 0)
+        _, md_b = service.get_batch("sr", 0, 0)
+        assert all(v.startswith("kin_") for v in md_a["videos"])
+        assert all(v.startswith("yt_") for v in md_b["videos"])
+        assert service.iterations_per_epoch("action") == 3
+        assert service.iterations_per_epoch("sr") == 2
+    finally:
+        service.shutdown()
+
+
+def test_same_dataset_tasks_share_one_group(corpora):
+    configs = load_task_configs([
+        task_on("a", "/data/kinetics"),
+        task_on("b", "/data/kinetics"),
+        task_on("c", "/data/youtube"),
+    ])
+    service = SandService(configs, corpora, storage_budget_bytes=10**8,
+                          k_epochs=1, num_workers=0)
+    try:
+        assert len(service._groups) == 2
+        engine_a = service.ensure_window(0, task="a")
+        engine_b = service.ensure_window(0, task="b")
+        engine_c = service.ensure_window(0, task="c")
+        assert engine_a is engine_b  # shared group, shared plan/engine
+        assert engine_a is not engine_c
+        # Sharing is real: tasks a and b merged into one plan.
+        assert set(engine_a.plan.tasks) == {"a", "b"}
+    finally:
+        service.shutdown()
+
+
+def test_missing_dataset_mapping_rejected(corpora):
+    configs = load_task_configs([task_on("x", "/data/unknown")])
+    with pytest.raises(KeyError):
+        SandService(configs, corpora, num_workers=0)
+
+
+def test_single_dataset_object_still_works(corpora):
+    ds = corpora["/data/kinetics"]
+    configs = load_task_configs([task_on("t", "/anything")])
+    service = SandService(configs, ds, storage_budget_bytes=10**8,
+                          k_epochs=1, num_workers=0)
+    try:
+        batch, _ = service.get_batch("t", 0, 0)
+        assert batch.size > 0
+        assert service.dataset is ds
+    finally:
+        service.shutdown()
+
+
+def test_single_group_accessors_raise_for_multi(corpora):
+    configs = load_task_configs([
+        task_on("a", "/data/kinetics"),
+        task_on("b", "/data/youtube"),
+    ])
+    service = SandService(configs, corpora, num_workers=0)
+    try:
+        with pytest.raises(ValueError):
+            _ = service.plan  # ambiguous with two groups
+    finally:
+        service.shutdown()
+
+
+def test_views_resolve_per_group_via_vfs(corpora):
+    from repro.core import SandClient
+
+    configs = load_task_configs([
+        task_on("action", "/data/kinetics"),
+        task_on("sr", "/data/youtube"),
+    ])
+    client, service = SandClient.create(
+        configs, corpora, storage_budget_bytes=10**8, k_epochs=1, num_workers=0
+    )
+    try:
+        fd = client.open("/action/kin_00000.mp4")
+        kin_bytes = client.read(fd)
+        client.close(fd)
+        assert kin_bytes == corpora["/data/kinetics"].get_bytes("kin_00000")
+        # A video of one corpus is invisible through the other task.
+        from repro.vfs.errors import FileNotFoundVfsError
+
+        with pytest.raises(FileNotFoundVfsError):
+            client.open("/sr/kin_00000.mp4")
+    finally:
+        service.shutdown()

@@ -1,0 +1,163 @@
+"""Cross-module property-based tests (hypothesis) on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_plan_window, load_task_config, prune_plan
+from repro.core.coordination import FramePoolCoordinator, TaskRequirement
+from repro.datasets import DatasetSpec, SyntheticDataset
+
+
+def make_config(tag, vpb, frames, stride, samples, crop=12):
+    return load_task_config({
+        "dataset": {
+            "tag": tag,
+            "video_dataset_path": "/d",
+            "sampling": {
+                "videos_per_batch": vpb,
+                "frames_per_video": frames,
+                "frame_stride": stride,
+                "samples_per_video": samples,
+            },
+            "augmentation": [
+                {
+                    "branch_type": "single",
+                    "inputs": ["frame"],
+                    "outputs": ["a0"],
+                    "config": [
+                        {"resize": {"shape": [16, 20]}},
+                        {"random_crop": {"size": [crop, crop]}},
+                    ],
+                }
+            ],
+        }
+    })
+
+
+_DATASET = SyntheticDataset(
+    DatasetSpec(num_videos=6, min_frames=40, max_frames=60, seed=13)
+)
+
+
+@given(
+    frames=st.integers(2, 10),
+    stride=st.integers(1, 4),
+    samples=st.integers(1, 2),
+    k=st.integers(1, 3),
+    seed=st.integers(0, 5),
+)
+@settings(max_examples=12, deadline=None)
+def test_plan_structural_invariants(frames, stride, samples, k, seed):
+    """Invariants that must hold for any plan the builder produces."""
+    config = make_config("t", 3, frames, stride, samples)
+    plan = build_plan_window([config], _DATASET, 0, k, seed=seed)
+
+    iters = plan.iterations_per_epoch["t"]
+    assert iters == len(_DATASET.video_ids) // 3
+    assert len(plan.batches) == k * iters
+
+    for graph in plan.graphs.values():
+        for node in graph.nodes.values():
+            # Every non-root node has parents that exist in the graph.
+            for parent in node.parents:
+                assert parent in graph.nodes
+            # Sizes and costs are non-negative; frames carry indices.
+            assert node.size_bytes >= 0
+            assert node.op_cost_s >= 0
+            if node.kind == "frame":
+                assert 0 <= node.frame_index < graph.metadata.num_frames
+            if node.kind == "sample":
+                assert len(node.frame_indices) == frames
+        # Wanted frames are exactly the frame nodes.
+        assert graph.wanted_frames == {
+            n.frame_index for n in graph.frames()
+        }
+
+    # Every batch slot points at an existing sample leaf with a matching use.
+    for key, assembly in plan.batches.items():
+        for slot, (video_id, leaf_key) in enumerate(assembly.samples):
+            leaf = plan.graphs[video_id].nodes[leaf_key]
+            assert leaf.kind == "sample"
+            assert any(
+                u.batch_id == key and u.slot == slot for u in leaf.uses
+            )
+
+
+@given(
+    budget_fraction=st.floats(0.05, 1.2),
+    seed=st.integers(0, 3),
+)
+@settings(max_examples=10, deadline=None)
+def test_pruning_invariants(budget_fraction, seed):
+    """Algorithm 1's outcome is always internally consistent."""
+    config = make_config("t", 3, 4, 2, 1)
+    plan = build_plan_window([config], _DATASET, 0, 2, seed=seed)
+    total = plan.total_cached_bytes()
+    outcome = prune_plan(plan, total * budget_fraction)
+
+    recomputed_total = 0.0
+    for vid, graph in plan.graphs.items():
+        frontier = outcome.frontier_of(vid)
+        # Frontier nodes exist and are never the video root's ancestors.
+        for key in frontier:
+            assert key in graph.nodes
+        # Exact byte accounting.
+        recomputed_total += sum(graph.nodes[k].size_bytes for k in frontier)
+        # Every leaf is derivable: walking parents from any leaf reaches
+        # only nodes that are cached, computable, or the root.
+        for leaf in graph.leaves():
+            stack, seen = [leaf.key], set()
+            while stack:
+                key = stack.pop()
+                if key in seen or key in frontier:
+                    continue
+                seen.add(key)
+                node = graph.nodes[key]
+                if node.kind == "video":
+                    continue
+                stack.extend(node.parents)
+        assert outcome.videos[vid].recompute_cost_s >= 0
+
+    assert outcome.final_bytes == pytest.approx(recomputed_total, rel=1e-9)
+    if outcome.met_budget:
+        assert outcome.final_bytes <= total * budget_fraction + 1e-6
+    assert outcome.initial_bytes == pytest.approx(total, rel=1e-9)
+
+
+@given(
+    strides=st.lists(st.integers(1, 8), min_size=1, max_size=4),
+    frames=st.integers(1, 12),
+    num_frames=st.integers(20, 200),
+    epoch=st.integers(0, 4),
+    sample=st.integers(0, 2),
+)
+@settings(max_examples=40, deadline=None)
+def test_coordinated_selection_stays_on_pool(strides, frames, num_frames, epoch, sample):
+    """Every coordinated draw lands on the shared pool's grid positions."""
+    requirements = [
+        TaskRequirement(f"t{i}", frames, stride, 1)
+        for i, stride in enumerate(strides)
+    ]
+    pool = FramePoolCoordinator(requirements, seed=1)
+    selection = pool.pool_for("v", epoch, num_frames)
+    positions = set(selection.positions)
+    for req in requirements:
+        picked = pool.select(req.tag, "v", epoch, sample, num_frames)
+        assert len(picked) == frames
+        assert set(picked) <= positions
+
+
+@given(seed=st.integers(0, 10))
+@settings(max_examples=8, deadline=None)
+def test_identical_plans_materialize_identically(seed):
+    """Plan determinism extends to pixels."""
+    from repro.core import PreprocessingEngine
+
+    config = make_config("t", 3, 4, 2, 1)
+    p1 = build_plan_window([config], _DATASET, 0, 1, seed=seed)
+    p2 = build_plan_window([config], _DATASET, 0, 1, seed=seed)
+    b1, _ = PreprocessingEngine(p1, _DATASET, num_workers=0).get_batch("t", 0, 0)
+    b2, _ = PreprocessingEngine(p2, _DATASET, num_workers=0).get_batch("t", 0, 0)
+    assert np.array_equal(b1, b2)

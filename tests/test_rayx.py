@@ -1,0 +1,191 @@
+"""Tests for the Ray-like substrate: ASHA, actors, tune driver."""
+
+import threading
+import time
+
+import pytest
+
+from repro.rayx import (
+    ActorPool,
+    AshaScheduler,
+    Decision,
+    grid_search,
+    run_tune,
+    sample_search_space,
+)
+
+
+# -- ASHA -------------------------------------------------------------------------
+
+
+def test_rung_levels_geometric():
+    asha = AshaScheduler(max_resource=27, grace_period=1, reduction_factor=3)
+    assert asha.rung_levels() == [1, 3, 9]
+
+
+def test_below_grace_period_continues():
+    asha = AshaScheduler(max_resource=8, grace_period=2, reduction_factor=2)
+    assert asha.on_result("t0", 1, 5.0) is Decision.CONTINUE
+
+
+def test_single_trial_at_rung_continues():
+    asha = AshaScheduler(max_resource=8, grace_period=1, reduction_factor=2)
+    # Alone at the rung, a trial is trivially in the top half.
+    assert asha.on_result("t0", 1, 5.0) is Decision.CONTINUE
+
+
+def test_bottom_fraction_stops():
+    asha = AshaScheduler(max_resource=8, grace_period=1, reduction_factor=2)
+    assert asha.on_result("good", 1, 1.0) is Decision.CONTINUE
+    assert asha.on_result("bad", 1, 9.0) is Decision.STOP
+    # Once stopped, always stopped.
+    assert asha.on_result("bad", 2, 0.0) is Decision.STOP
+
+
+def test_top_fraction_promotes_through_rungs():
+    asha = AshaScheduler(max_resource=9, grace_period=1, reduction_factor=3)
+    for i in range(6):
+        asha.on_result(f"t{i}", 1, float(i))
+    # t0 is the best at rung 1: it keeps going; t5 is bottom: stops.
+    assert asha.on_result("t0", 1, 0.0) is Decision.CONTINUE
+    assert asha.on_result("t5", 1, 5.0) is Decision.STOP
+
+
+def test_max_resource_completion_stops():
+    asha = AshaScheduler(max_resource=4, grace_period=1, reduction_factor=2)
+    assert asha.on_result("t0", 4, 0.1) is Decision.STOP
+
+
+def test_max_mode_prefers_high_metrics():
+    asha = AshaScheduler(max_resource=8, grace_period=1, reduction_factor=2, mode="max")
+    asha.on_result("high", 1, 0.9)
+    assert asha.on_result("low", 1, 0.1) is Decision.STOP
+
+
+def test_asha_validation():
+    with pytest.raises(ValueError):
+        AshaScheduler(max_resource=4, grace_period=0)
+    with pytest.raises(ValueError):
+        AshaScheduler(max_resource=4, reduction_factor=1)
+    with pytest.raises(ValueError):
+        AshaScheduler(max_resource=1, grace_period=2)
+    with pytest.raises(ValueError):
+        AshaScheduler(max_resource=4, mode="sideways")
+
+
+def test_rung_summary():
+    asha = AshaScheduler(max_resource=8, grace_period=1, reduction_factor=2)
+    asha.on_result("a", 1, 1.0)
+    asha.on_result("b", 2, 2.0)
+    summary = asha.rung_summary()
+    assert summary[1] == 1
+    assert summary[2] == 1
+
+
+# -- actor pool ----------------------------------------------------------------------
+
+
+def test_pool_executes_and_returns_results():
+    with ActorPool(num_workers=3) as pool:
+        futures = [pool.submit(lambda v: v * v, i) for i in range(10)]
+        assert [f.result(timeout=10) for f in futures] == [i * i for i in range(10)]
+
+
+def test_pool_map():
+    with ActorPool(num_workers=2) as pool:
+        assert pool.map(lambda v: v + 1, range(5)) == [1, 2, 3, 4, 5]
+
+
+def test_pool_propagates_exceptions():
+    def boom():
+        raise RuntimeError("kaput")
+
+    with ActorPool(num_workers=1) as pool:
+        future = pool.submit(boom)
+        with pytest.raises(RuntimeError, match="kaput"):
+            future.result(timeout=10)
+
+
+def test_pool_runs_concurrently():
+    barrier = threading.Barrier(2, timeout=5)
+
+    def rendezvous():
+        barrier.wait()  # deadlocks unless two workers run at once
+        return True
+
+    with ActorPool(num_workers=2) as pool:
+        futures = [pool.submit(rendezvous) for _ in range(2)]
+        assert all(f.result(timeout=10) for f in futures)
+
+
+def test_pool_rejects_after_shutdown():
+    pool = ActorPool(num_workers=1)
+    pool.shutdown()
+    with pytest.raises(RuntimeError):
+        pool.submit(lambda: 1)
+
+
+def test_future_timeout():
+    from repro.rayx import Future
+
+    future = Future()
+    with pytest.raises(TimeoutError):
+        future.result(timeout=0.01)
+
+
+def test_pool_validates_workers():
+    with pytest.raises(ValueError):
+        ActorPool(num_workers=0)
+
+
+# -- search space + tune ---------------------------------------------------------------
+
+
+def test_sample_search_space_shapes():
+    space = {"lr": (1e-4, 1e-1), "dim": [8, 16], "fixed": "adam"}
+    configs = sample_search_space(space, 20, seed=1)
+    assert len(configs) == 20
+    for config in configs:
+        assert 1e-4 <= config["lr"] <= 1e-1
+        assert config["dim"] in (8, 16)
+        assert config["fixed"] == "adam"
+
+
+def test_sample_search_space_deterministic():
+    space = {"lr": (1e-3, 1e-1)}
+    assert sample_search_space(space, 5, seed=2) == sample_search_space(space, 5, seed=2)
+
+
+def test_grid_search_product():
+    grid = grid_search({"a": [1, 2], "b": ["x", "y", "z"]})
+    assert len(grid) == 6
+    assert {"a": 2, "b": "z"} in grid
+
+
+def test_run_tune_finds_best_and_early_stops():
+    def trainable(config):
+        # Quality is encoded in the config: lower 'q' converges faster.
+        for epoch in range(8):
+            yield epoch, config["q"] * (0.9 ** epoch)
+
+    configs = [{"q": q} for q in (0.1, 1.0, 2.0, 4.0, 8.0, 16.0)]
+    asha = AshaScheduler(max_resource=8, grace_period=1, reduction_factor=2)
+    result = run_tune(trainable, configs, scheduler=asha, num_workers=2)
+    assert result.best_trial.config["q"] == 0.1
+    assert result.early_stopped > 0
+    assert result.total_resource < 6 * 8
+
+
+def test_run_tune_without_scheduler_runs_everything():
+    def trainable(config):
+        for epoch in range(3):
+            yield epoch, float(config["q"])
+
+    result = run_tune(trainable, [{"q": 1}, {"q": 2}], scheduler=None, num_workers=1)
+    assert result.total_resource == 6
+    assert result.early_stopped == 0
+
+
+def test_run_tune_requires_configs():
+    with pytest.raises(ValueError):
+        run_tune(lambda c: iter(()), [])

@@ -1,0 +1,219 @@
+"""Tests for service-level features: multi-task, branches through the
+service, cache policies, engine memory-pressure behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CacheManager,
+    PreprocessingEngine,
+    SandService,
+    SchedulingMode,
+    build_plan_window,
+    load_task_config,
+    load_task_configs,
+)
+from repro.datasets import DatasetSpec, SyntheticDataset
+from repro.storage.local import LocalStore
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticDataset(
+        DatasetSpec(num_videos=8, min_frames=40, max_frames=55, seed=21)
+    )
+
+
+def simple_task(tag, extra_aug=None, **sampling):
+    base_sampling = {"videos_per_batch": 4, "frames_per_video": 4, "frame_stride": 2}
+    base_sampling.update(sampling)
+    aug = [
+        {
+            "branch_type": "single",
+            "inputs": ["frame"],
+            "outputs": ["a0"],
+            "config": [{"resize": {"shape": [16, 20]}}],
+        }
+    ]
+    if extra_aug:
+        aug.extend(extra_aug)
+    return {
+        "dataset": {
+            "tag": tag,
+            "video_dataset_path": "/d",
+            "sampling": base_sampling,
+            "augmentation": aug,
+        }
+    }
+
+
+# -- multi-task service ----------------------------------------------------------
+
+
+def test_two_tasks_one_service(dataset):
+    configs = load_task_configs([simple_task("a"), simple_task("b", frames_per_video=6)])
+    service = SandService(configs, dataset, storage_budget_bytes=10**8,
+                          k_epochs=1, num_workers=0)
+    try:
+        batch_a, _ = service.get_batch("a", 0, 0)
+        batch_b, _ = service.get_batch("b", 0, 0)
+        assert batch_a.shape[1] == 4
+        assert batch_b.shape[1] == 6
+        # Both tasks visible in the namespace.
+        assert service.listdir("/") == ["a", "b"]
+    finally:
+        service.shutdown()
+
+
+def test_conditional_branch_switches_mid_training(dataset):
+    """The Fig 9 conditional: inv_sample only after iteration 2."""
+    extra = [
+        {
+            "branch_type": "conditional",
+            "inputs": ["a0"],
+            "outputs": ["a1"],
+            "branches": [
+                {"condition": "iteration >= 2", "config": [{"inv_sample": True}]},
+                {"condition": "else", "config": None},
+            ],
+        }
+    ]
+    config = load_task_config(simple_task("t", extra_aug=extra, videos_per_batch=2))
+    service = SandService([config], dataset, storage_budget_bytes=10**8,
+                          k_epochs=1, num_workers=0, seed=4)
+    try:
+        plan = service.ensure_window(0).plan
+        early = plan.batches[("t", 0, 0)]
+        late = plan.batches[("t", 0, 3)]
+        early_leaf = plan.graphs[early.samples[0][0]].nodes[early.samples[0][1]]
+        late_leaf = plan.graphs[late.samples[0][0]].nodes[late.samples[0][1]]
+        assert early_leaf.clip_ops == ()
+        assert late_leaf.clip_ops and late_leaf.clip_ops[0][0] == "inv_sample"
+        # And the materialized pixels reflect the reversal: the late batch
+        # sample equals its frames in reverse order.
+        batch, md = service.get_batch("t", 0, 3)
+        engine = service.engine
+        mat = engine._materializer(late.samples[0][0])
+        frames = [mat.get(p)[0] for p in late_leaf.parents]
+        assert np.array_equal(batch[0], np.stack(frames[::-1]))
+    finally:
+        service.shutdown()
+
+
+def test_multi_merge_doubles_samples(dataset):
+    extra = [
+        {
+            "branch_type": "multi",
+            "inputs": ["a0"],
+            "outputs": ["x", "y"],
+            "branches": [
+                {"config": [{"flip": {"flip_prob": 1.0}}]},
+                {"config": None},
+            ],
+        },
+        {
+            "branch_type": "merge",
+            "inputs": ["x", "y"],
+            "outputs": ["out"],
+            "config": None,
+        },
+    ]
+    config = load_task_config(simple_task("t", extra_aug=extra, videos_per_batch=2))
+    service = SandService([config], dataset, storage_budget_bytes=10**8,
+                          k_epochs=1, num_workers=0)
+    try:
+        batch, md = service.get_batch("t", 0, 0)
+        # 2 videos x 2 variants = 4 samples.
+        assert batch.shape[0] == 4
+        # Variant pairs come from the same video...
+        assert md["videos"][0] == md["videos"][1]
+        # ...one flipped, one not.
+        assert np.array_equal(batch[0], batch[1][:, :, ::-1])
+    finally:
+        service.shutdown()
+
+
+# -- coordination flags ----------------------------------------------------------
+
+
+def test_partial_coordination_flags(dataset):
+    configs = load_task_configs([
+        simple_task("a"),
+        simple_task("b", frames_per_video=6),
+    ])
+    full = build_plan_window(configs, dataset, 0, 1, seed=1)
+    pool_only = build_plan_window(
+        configs, dataset, 0, 1, seed=1,
+        coordinate_temporal=True, coordinate_spatial=False,
+    )
+    none = build_plan_window(configs, dataset, 0, 1, seed=1, coordinated=False)
+    # Temporal coordination alone already merges decodes.
+    assert pool_only.operation_counts()["decode"] <= none.operation_counts()["decode"]
+    assert full.operation_counts()["decode"] <= pool_only.operation_counts()["decode"]
+
+
+# -- cache policies ----------------------------------------------------------------
+
+
+def test_cache_policy_validation():
+    with pytest.raises(ValueError):
+        CacheManager(LocalStore(100), policy="lifo")
+
+
+def test_fifo_policy_evicts_oldest_first():
+    cache = CacheManager(LocalStore(1000), policy="fifo")
+    cache.put("first", b"x" * 10)
+    cache.put("second", b"y" * 10)
+    order = cache._eviction_order()
+    assert order[0][2] == "first"
+
+
+# -- engine memory pressure ------------------------------------------------------------
+
+
+def test_engine_switches_to_sjf_under_memory_pressure(dataset):
+    config = load_task_config(simple_task("t"))
+    plan = build_plan_window([config], dataset, 0, 1, seed=1)
+    engine = PreprocessingEngine(
+        plan, dataset, num_workers=0, memory_budget_bytes=1,  # instantly over
+    )
+    engine.get_batch("t", 0, 0)  # materializes something into memory
+    assert engine.scheduler.current_mode() is SchedulingMode.SJF
+    roomy = PreprocessingEngine(plan, dataset, num_workers=0,
+                                memory_budget_bytes=10**12)
+    roomy.get_batch("t", 0, 0)
+    assert roomy.scheduler.current_mode() is SchedulingMode.DEADLINE
+
+
+def test_engine_trims_memory_when_over_budget(dataset):
+    config = load_task_config(simple_task("t"))
+    plan = build_plan_window([config], dataset, 0, 1, seed=1)
+    store = LocalStore(10**8)
+    cache = CacheManager(store)
+    from repro.core import prune_plan
+
+    pruning = prune_plan(plan, 10**8)
+    cache.register_plan(plan, pruning)
+    engine = PreprocessingEngine(
+        plan, dataset, pruning=pruning, cache=cache, num_workers=0,
+        memory_budget_bytes=200_000,
+    )
+    engine.drain()
+    # Trimming kicked in: memory stays near/below the small budget while
+    # the cache holds the materializations.
+    assert engine.memory_bytes() <= 400_000
+    assert len(store) > 0
+
+
+def test_fifo_scheduling_mode_via_service(dataset):
+    config = load_task_config(simple_task("t"))
+    service = SandService([config], dataset, storage_budget_bytes=10**8,
+                          k_epochs=1, num_workers=0,
+                          scheduling_mode=SchedulingMode.FIFO)
+    try:
+        engine = service.ensure_window(0)
+        assert engine.scheduler.current_mode() is SchedulingMode.FIFO
+        batch, _ = service.get_batch("t", 0, 0)
+        assert batch.size > 0
+    finally:
+        service.shutdown()

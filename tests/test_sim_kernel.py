@@ -1,0 +1,210 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Simulation, SimulationError, Timeout
+
+
+def test_timeouts_fire_in_time_order():
+    sim = Simulation()
+    log = []
+
+    def worker(name, delay):
+        yield Timeout(delay)
+        log.append((sim.now, name))
+
+    sim.spawn(worker("slow", 2.0))
+    sim.spawn(worker("fast", 1.0))
+    sim.run()
+    assert log == [(1.0, "fast"), (2.0, "slow")]
+
+
+def test_equal_timestamps_fire_in_spawn_order():
+    sim = Simulation()
+    log = []
+
+    def worker(name):
+        yield Timeout(1.0)
+        log.append(name)
+
+    for name in "abc":
+        sim.spawn(worker(name))
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1)
+
+
+def test_process_return_value_via_join():
+    sim = Simulation()
+    results = []
+
+    def child():
+        yield Timeout(3)
+        return 42
+
+    def parent():
+        value = yield sim.spawn(child())
+        results.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(3.0, 42)]
+
+
+def test_joining_finished_process_resumes_immediately():
+    sim = Simulation()
+    child = None
+    results = []
+
+    def kid():
+        yield Timeout(1)
+        return "done"
+
+    def parent():
+        yield Timeout(5)  # child finishes long before
+        value = yield child
+        results.append((sim.now, value))
+
+    child = sim.spawn(kid())
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(5.0, "done")]
+
+
+def test_event_trigger_wakes_all_waiters_with_value():
+    sim = Simulation()
+    evt = sim.event()
+    got = []
+
+    def waiter(i):
+        value = yield evt
+        got.append((i, value, sim.now))
+
+    def firer():
+        yield Timeout(2)
+        evt.trigger("payload")
+
+    sim.spawn(waiter(0))
+    sim.spawn(waiter(1))
+    sim.spawn(firer())
+    sim.run()
+    assert got == [(0, "payload", 2.0), (1, "payload", 2.0)]
+
+
+def test_event_double_trigger_is_error():
+    sim = Simulation()
+    evt = sim.event()
+    evt.trigger(1)
+    with pytest.raises(SimulationError):
+        evt.trigger(2)
+
+
+def test_event_fail_propagates_into_waiter():
+    sim = Simulation()
+    evt = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield evt
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(waiter())
+    sim.schedule(1.0, lambda: evt.fail(RuntimeError("boom")))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_surfaces_from_run():
+    sim = Simulation()
+
+    def bad():
+        yield Timeout(1)
+        raise ValueError("oops")
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_interrupt_cancels_pending_timeout():
+    sim = Simulation()
+    log = []
+
+    def sleeper():
+        try:
+            yield Timeout(100)
+            log.append("overslept")
+        except Interrupt as exc:
+            log.append(("interrupted", sim.now, exc.cause))
+            yield Timeout(1)
+            log.append(("resumed", sim.now))
+
+    proc = sim.spawn(sleeper())
+    sim.schedule(5.0, lambda: proc.interrupt("wakeup"))
+    sim.run()
+    assert log == [("interrupted", 5.0, "wakeup"), ("resumed", 6.0)]
+
+
+def test_run_until_stops_clock_without_draining():
+    sim = Simulation()
+    log = []
+
+    def ticker():
+        while True:
+            yield Timeout(1)
+            log.append(sim.now)
+
+    sim.spawn(ticker())
+    sim.run(until=3.5)
+    assert log == [1.0, 2.0, 3.0]
+    assert sim.now == 3.5
+
+
+def test_all_of_collects_results_in_input_order():
+    sim = Simulation()
+    outcome = []
+
+    def worker(delay, value):
+        yield Timeout(delay)
+        return value
+
+    def parent():
+        procs = [sim.spawn(worker(3, "a")), sim.spawn(worker(1, "b"))]
+        values = yield sim.all_of(procs)
+        outcome.append((sim.now, values))
+
+    sim.spawn(parent())
+    sim.run()
+    assert outcome == [(3.0, ["a", "b"])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulation()
+    evt = sim.all_of([])
+    assert evt.triggered
+    assert evt.value == []
+
+
+def test_yielding_non_awaitable_is_an_error():
+    sim = Simulation()
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_schedule_plain_callback():
+    sim = Simulation()
+    hits = []
+    sim.schedule(2.5, lambda: hits.append(sim.now))
+    sim.run()
+    assert hits == [2.5]

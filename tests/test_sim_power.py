@@ -1,0 +1,72 @@
+"""Tests for the power/energy model."""
+
+import pytest
+
+from repro.sim import PowerModel, Resource, Simulation, Timeout
+from repro.sim.power import EnergyMeter, PowerRail, standard_meter
+
+
+def test_rail_energy_combines_active_and_idle():
+    rail = PowerRail("cpu", active_watts=10.0, idle_watts=5.0, busy_time_fn=lambda: 3.0)
+    # 3 busy unit-seconds * 10 W + 100 s * 5 W idle
+    assert rail.energy_joules(100.0) == pytest.approx(3 * 10 + 100 * 5)
+
+
+def test_meter_breakdown_and_fractions():
+    meter = EnergyMeter()
+    meter.add_rail(PowerRail("a", active_watts=0.0, idle_watts=10.0))
+    meter.add_rail(PowerRail("b", active_watts=0.0, idle_watts=30.0))
+    parts = meter.breakdown(10.0)
+    assert parts == {"a": 100.0, "b": 300.0}
+    fracs = meter.fractions(10.0)
+    assert fracs["a"] == pytest.approx(0.25)
+    assert fracs["b"] == pytest.approx(0.75)
+    assert meter.total_joules(10.0) == pytest.approx(400.0)
+
+
+def test_duplicate_rail_rejected():
+    meter = EnergyMeter()
+    meter.add_rail(PowerRail("cpu", 1.0))
+    with pytest.raises(ValueError):
+        meter.add_rail(PowerRail("cpu", 2.0))
+
+
+def test_standard_meter_tracks_simulated_busy_time():
+    sim = Simulation()
+    cpu = Resource(sim, 12, "cpu")
+    gpu = Resource(sim, 1, "gpu")
+
+    def work():
+        lease = yield cpu.acquire(6)
+        yield Timeout(10)
+        lease.release()
+        glease = yield gpu.acquire()
+        yield Timeout(5)
+        glease.release()
+
+    sim.spawn(work())
+    sim.run()
+
+    model = PowerModel()
+    meter = standard_meter(
+        model,
+        sim.now,
+        cpu_busy_fn=lambda: cpu.busy_time(),
+        gpu_busy_fn=lambda: gpu.busy_time(),
+    )
+    parts = meter.breakdown(sim.now)
+    # CPU: 6 cores * 10 s active + 15 s idle package.
+    assert parts["cpu"] == pytest.approx(60 * model.cpu_core_active_watts
+                                         + 15 * model.cpu_idle_watts)
+    # GPU: 5 s active (above idle) + idle for the full 15 s window.
+    assert parts["gpu"] == pytest.approx(
+        5 * (model.gpu_active_watts - model.gpu_idle_watts)
+        + 15 * model.gpu_idle_watts
+    )
+    assert parts["dram"] == pytest.approx(15 * model.dram_watts)
+
+
+def test_fractions_of_zero_energy_are_zero():
+    meter = EnergyMeter()
+    meter.add_rail(PowerRail("x", active_watts=0.0, idle_watts=0.0))
+    assert meter.fractions(10.0) == {"x": 0.0}

@@ -1,0 +1,207 @@
+"""Tests for simulation resources: Resource, Container, Bandwidth."""
+
+import pytest
+
+from repro.sim import (
+    Bandwidth,
+    Container,
+    Interrupt,
+    Resource,
+    Simulation,
+    SimulationError,
+    Timeout,
+)
+
+
+def hold(sim, resource, duration, log=None, name="", priority=0.0, amount=1.0):
+    def proc():
+        lease = yield resource.acquire(amount, priority)
+        if log is not None:
+            log.append(("start", name, sim.now))
+        yield Timeout(duration)
+        lease.release()
+        if log is not None:
+            log.append(("end", name, sim.now))
+
+    return sim.spawn(proc(), name=name)
+
+
+def test_capacity_limits_concurrency():
+    sim = Simulation()
+    res = Resource(sim, 2, "cpu")
+    log = []
+    for i in range(4):
+        hold(sim, res, 10, log, name=str(i))
+    sim.run()
+    starts = {name: t for kind, name, t in log if kind == "start"}
+    assert starts == {"0": 0.0, "1": 0.0, "2": 10.0, "3": 10.0}
+
+
+def test_lower_priority_value_served_first():
+    sim = Simulation()
+    res = Resource(sim, 1, "cpu")
+    log = []
+
+    def submit():
+        # Occupy the resource, then enqueue contenders with priorities.
+        lease = yield res.acquire()
+        hold(sim, res, 1, log, name="late_but_urgent", priority=-5)
+        hold(sim, res, 1, log, name="normal", priority=0)
+        yield Timeout(1)
+        lease.release()
+
+    sim.spawn(submit())
+    sim.run()
+    start_order = [name for kind, name, _ in log if kind == "start"]
+    assert start_order == ["late_but_urgent", "normal"]
+
+
+def test_utilization_integral():
+    sim = Simulation()
+    res = Resource(sim, 2, "cpu")
+    hold(sim, res, 4)  # one unit busy for 4s out of capacity 2 => 4 unit-s
+    sim.run()
+    assert res.busy_time() == pytest.approx(4.0)
+    assert res.utilization() == pytest.approx(4.0 / (2 * 4.0))
+
+
+def test_acquire_more_than_capacity_rejected():
+    sim = Simulation()
+    res = Resource(sim, 2, "cpu")
+    with pytest.raises(SimulationError):
+        res.acquire(3)
+
+
+def test_release_via_context_manager():
+    sim = Simulation()
+    res = Resource(sim, 1, "cpu")
+    log = []
+
+    def proc():
+        lease = yield res.acquire()
+        with lease:
+            yield Timeout(2)
+        log.append(sim.now)
+
+    sim.spawn(proc())
+    hold(sim, res, 1, log, name="second")
+    sim.run()
+    assert res.in_use == 0
+
+
+def test_interrupted_waiter_abandons_request():
+    sim = Simulation()
+    res = Resource(sim, 1, "cpu")
+    log = []
+
+    def waiter():
+        try:
+            yield res.acquire()
+            log.append("granted")
+        except Interrupt:
+            log.append("gave up")
+
+    def owner():
+        lease = yield res.acquire()
+        yield Timeout(10)
+        lease.release()
+
+    sim.spawn(owner())
+    proc = sim.spawn(waiter())
+    sim.schedule(1.0, lambda: proc.interrupt())
+    hold(sim, res, 1, log, name="third")
+    sim.run()
+    assert "gave up" in log
+    # The abandoned request must not block the third process forever.
+    assert ("start", "third", 10.0) in log
+
+
+def test_using_helper():
+    sim = Simulation()
+    res = Resource(sim, 1, "cpu")
+
+    def proc():
+        yield from res.using(1, duration=3)
+
+    sim.spawn(proc())
+    sim.run()
+    assert sim.now == 3.0
+    assert res.in_use == 0
+
+
+def test_container_get_blocks_until_put():
+    sim = Simulation()
+    memory = Container(sim, capacity=100, initial=0)
+    log = []
+
+    def consumer():
+        yield memory.get(30)
+        log.append(("got", sim.now))
+
+    def producer():
+        yield Timeout(5)
+        yield memory.put(50)
+
+    sim.spawn(consumer())
+    sim.spawn(producer())
+    sim.run()
+    assert log == [("got", 5.0)]
+    assert memory.level == 20
+
+
+def test_container_put_blocks_at_capacity():
+    sim = Simulation()
+    memory = Container(sim, capacity=10, initial=10)
+    log = []
+
+    def producer():
+        yield memory.put(5)
+        log.append(("put", sim.now))
+
+    def consumer():
+        yield Timeout(3)
+        yield memory.get(8)
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert log == [("put", 3.0)]
+    assert memory.level == pytest.approx(7)
+
+
+def test_container_rejects_bad_initial():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        Container(sim, capacity=10, initial=20)
+
+
+def test_bandwidth_serializes_transfers():
+    sim = Simulation()
+    link = Bandwidth(sim, rate_bytes_per_s=100, streams=1)
+    log = []
+
+    def mover(name, nbytes):
+        yield from link.transfer(nbytes)
+        log.append((name, sim.now))
+
+    sim.spawn(mover("a", 200))
+    sim.spawn(mover("b", 100))
+    sim.run()
+    assert log == [("a", 2.0), ("b", 3.0)]
+    assert link.bytes_transferred == 300
+
+
+def test_bandwidth_parallel_streams_share_rate():
+    sim = Simulation()
+    link = Bandwidth(sim, rate_bytes_per_s=100, streams=2)
+    log = []
+
+    def mover(name, nbytes):
+        yield from link.transfer(nbytes)
+        log.append((name, sim.now))
+
+    sim.spawn(mover("a", 100))
+    sim.spawn(mover("b", 100))
+    sim.run()
+    # Two streams at 50 B/s each: both finish at t=2.
+    assert log == [("a", 2.0), ("b", 2.0)]

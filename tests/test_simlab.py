@@ -1,0 +1,233 @@
+"""Tests for the simulation laboratory: workloads, node, strategies, runner."""
+
+import pytest
+
+from repro.sim.costs import BYTES_PER_TB, GPUProfile, MODEL_PROFILES, NodeProfile
+from repro.sim.kernel import Simulation
+from repro.simlab import (
+    CpuOnDemandStrategy,
+    GpuOnDemandStrategy,
+    IdealStrategy,
+    NaiveCacheStrategy,
+    SandStrategy,
+    SimNode,
+    Workload,
+    max_batch_size,
+    run_training,
+)
+from repro.simlab.experiments import (
+    multi_task,
+    run_search,
+    scheduling_ablation,
+    single_task,
+)
+
+
+# -- workload arithmetic ------------------------------------------------------------
+
+
+def test_workload_of_known_models():
+    for key in MODEL_PROFILES:
+        w = Workload.of(key)
+        assert w.model.name == key
+        assert w.dataset.name == w.model.dataset
+
+
+def test_decode_amplification_positive():
+    w = Workload.of("slowfast")
+    assert w.decoded_frames_per_clip() > w.model.frames_per_video
+    assert w.decoded_frames_per_video() >= w.decoded_frames_per_clip()
+
+
+def test_decoded_frames_clamped_to_video_length():
+    from repro.datasets.profiles import DatasetProfile
+
+    short = DatasetProfile("short", 10, frames_per_video=20, width=1280, height=720)
+    w = Workload.of("slowfast", dataset=short)
+    assert w.decoded_frames_per_clip() == 20
+
+
+def test_cached_sample_much_smaller_than_decoded_frames():
+    w = Workload.of("slowfast")
+    decoded = w.frames_used_per_video() * w.cm.frame_bytes(w.model.megapixels)
+    assert w.sample_cached_bytes() < 0.2 * decoded
+
+
+def test_premat_amortizes_decode():
+    w = Workload.of("slowfast")
+    k1 = w.sand_premat_cpu_s_per_video(k_epochs=1)
+    k5 = w.sand_premat_cpu_s_per_video(k_epochs=5)
+    assert k5 < k1
+    shared = w.sand_premat_cpu_s_per_video(k_epochs=5, sharing_tasks=4)
+    assert shared < k5
+    with pytest.raises(ValueError):
+        w.sand_premat_cpu_s_per_video(0)
+
+
+def test_max_batch_size_fig4_shape():
+    model = MODEL_PROFILES["basicvsrpp"]
+    gpu = GPUProfile()
+    cpu_side = max_batch_size(model, gpu, decode_on_gpu=False)
+    gpu_side = max_batch_size(model, gpu, decode_on_gpu=True)
+    assert gpu_side < cpu_side
+    # 720p decoding costs less memory than 1080p.
+    assert max_batch_size(MODEL_PROFILES["slowfast"], gpu, True) > 0
+
+
+# -- node ------------------------------------------------------------------------
+
+
+def test_node_scaling():
+    profile = NodeProfile().scaled_gpus(4)
+    assert profile.vcpus == 48
+    assert profile.gpus == 4
+    sim = Simulation()
+    node = SimNode(sim, profile)
+    assert len(node.gpus) == 4
+    assert node.cpu.capacity == 48
+
+
+def test_gpu_train_tracker_separates_training_from_aug():
+    sim = Simulation()
+    node = SimNode(sim, NodeProfile())
+    gpu = node.gpu(0)
+
+    def proc():
+        yield from gpu.train(2.0)  # training
+        yield from gpu.compute.using(1, 0, 3.0)  # augmentation-like work
+
+    sim.spawn(proc())
+    sim.run()
+    assert gpu.train_busy_s() == pytest.approx(2.0)
+    assert gpu.compute.busy_time() == pytest.approx(5.0)
+
+
+def test_energy_breakdown_has_all_rails():
+    sim = Simulation()
+    node = SimNode(sim, NodeProfile())
+    sim.spawn(node.cpu_work(1.0))
+    sim.run()
+    energy = node.energy_breakdown()
+    assert set(energy) == {"cpu", "gpu", "nvdec", "dram", "ssd"}
+    assert energy["cpu"] > 0
+
+
+# -- strategies -----------------------------------------------------------------------
+
+
+def run_one(strategy, epochs=1, iters=10):
+    return run_training([strategy], epochs=epochs, iterations_per_epoch=iters)
+
+
+def test_strategy_validation():
+    w = Workload.of("slowfast")
+    with pytest.raises(ValueError):
+        CpuOnDemandStrategy(w, source="carrier_pigeon")
+    with pytest.raises(ValueError):
+        SandStrategy(w, k_epochs=0)
+    with pytest.raises(ValueError):
+        SandStrategy(w, aug_share=0.0)
+
+
+def test_sand_requires_background():
+    w = Workload.of("slowfast")
+    strategy = SandStrategy(w)
+    sim = Simulation()
+    node = SimNode(sim, NodeProfile())
+
+    def proc():
+        yield from strategy.produce_batch(node, node.gpu(0), 0, 0, 0)
+
+    sim.spawn(proc())
+    with pytest.raises(Exception):
+        sim.run()
+
+
+def test_single_task_strategy_ordering():
+    """The paper's fundamental ordering: cpu > gpu > sand >= ideal."""
+    reports = single_task("slowfast", epochs=2, iterations_per_epoch=15)
+    t = {k: r.time_per_iteration for k, r in reports.items()}
+    assert t["cpu"] > t["gpu"] > t["sand"]
+    assert t["sand"] >= t["ideal"] * 0.99
+    assert abs(t["naive"] - t["cpu"]) / t["cpu"] < 0.15
+
+
+def test_gpu_strategy_occupies_nvdec():
+    w = Workload.of("slowfast")
+    sim = Simulation()
+    node = SimNode(sim, NodeProfile())
+    strategy = GpuOnDemandStrategy(w)
+
+    def proc():
+        yield from strategy.produce_batch(node, node.gpu(0), 0, 0, 0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert node.gpu(0).nvdec.busy_time() > 0
+    assert node.gpu(0).compute.busy_time() > 0  # on-GPU augmentation
+
+
+def test_naive_cache_hit_rate_bounded():
+    w = Workload.of("slowfast")
+    tiny = NaiveCacheStrategy(w, cache_budget_bytes=1.0)
+    assert tiny.hit_rate < 1e-6
+    huge = NaiveCacheStrategy(w, cache_budget_bytes=1e30)
+    assert huge.hit_rate == 1.0
+
+
+def test_ideal_is_storage_bound_only():
+    report = run_one(IdealStrategy(Workload.of("slowfast")), epochs=1, iters=10)
+    assert report.gpu_train_util > 0.9
+    assert report.disk_read_bytes > 0
+
+
+def test_run_training_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        run_training([], epochs=1)
+    w = Workload.of("slowfast")
+    with pytest.raises(ValueError):
+        run_training(
+            [CpuOnDemandStrategy(w), CpuOnDemandStrategy(w)],
+            epochs=1,
+            iterations_per_epoch=5,
+            node_profile=NodeProfile(),  # only one GPU
+        )
+
+
+def test_reports_are_deterministic():
+    a = run_one(CpuOnDemandStrategy(Workload.of("mae")), iters=8)
+    b = run_one(CpuOnDemandStrategy(Workload.of("mae")), iters=8)
+    assert a.wall_s == b.wall_s
+    assert a.energy_j == b.energy_j
+
+
+# -- experiments ------------------------------------------------------------------------
+
+
+def test_search_sand_beats_baselines():
+    kwargs = dict(num_trials=4, gpus=2, max_epochs=3, iterations_per_epoch=8)
+    cpu = run_search("cpu", "slowfast", **kwargs)
+    sand = run_search("sand", "slowfast", **kwargs)
+    assert sand.wall_s < cpu.wall_s
+    assert sand.gpu_train_util > cpu.gpu_train_util
+    assert cpu.epochs_trained == sand.epochs_trained  # same ASHA decisions
+
+
+def test_search_without_asha_trains_everything():
+    report = run_search(
+        "ideal", "slowfast", num_trials=3, gpus=3, max_epochs=2,
+        iterations_per_epoch=5, use_asha=False,
+    )
+    assert report.epochs_trained == 6
+    assert report.early_stopped == 0
+
+
+def test_multi_task_sand_tracks_ideal():
+    sand = multi_task("sand", epochs=2, iterations_per_epoch=15)
+    ideal = multi_task("ideal", epochs=2, iterations_per_epoch=15)
+    assert sand.wall_s <= ideal.wall_s * 1.3
+
+
+def test_scheduling_ablation_shape():
+    results = scheduling_ablation(num_videos=32, workers=3, job_s=0.3)
+    assert results["fifo"] > results["deadline"]

@@ -1,0 +1,194 @@
+"""Tests for blobs, object store, local cache tier, remote store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    LocalStore,
+    ObjectStore,
+    RemoteStore,
+    StorageFullError,
+    decode_array,
+    encode_array,
+)
+from repro.storage.blobs import BlobError
+
+
+# -- blobs -------------------------------------------------------------------
+
+
+def test_array_roundtrip_uint8():
+    arr = np.random.default_rng(0).integers(0, 255, (3, 8, 9, 3), dtype=np.uint8)
+    assert np.array_equal(decode_array(encode_array(arr)), arr)
+
+
+def test_array_roundtrip_float32_uncompressed():
+    arr = np.random.default_rng(1).standard_normal((5, 7)).astype(np.float32)
+    blob = encode_array(arr, compress=False)
+    assert np.array_equal(decode_array(blob), arr)
+
+
+def test_scalar_and_empty_arrays():
+    assert decode_array(encode_array(np.float64(3.5))) == np.float64(3.5)
+    empty = np.zeros((0, 4), dtype=np.int32)
+    out = decode_array(encode_array(empty))
+    assert out.shape == (0, 4) and out.dtype == np.int32
+
+
+def test_blob_rejects_garbage():
+    with pytest.raises(BlobError):
+        decode_array(b"not a blob at all")
+    arr = np.zeros((4,), dtype=np.uint8)
+    blob = bytearray(encode_array(arr))
+    blob[0:4] = b"XXXX"
+    with pytest.raises(BlobError):
+        decode_array(bytes(blob))
+
+
+def test_compression_shrinks_redundant_data():
+    arr = np.zeros((16, 64, 64, 3), dtype=np.uint8)
+    assert len(encode_array(arr)) < arr.nbytes / 10
+
+
+@given(
+    shape=st.lists(st.integers(1, 6), min_size=1, max_size=4),
+    dtype=st.sampled_from(["u1", "i4", "f4", "f8"]),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_blob_roundtrip_property(shape, dtype, seed):
+    rng = np.random.default_rng(seed)
+    arr = (rng.random(shape) * 100).astype(np.dtype(dtype))
+    out = decode_array(encode_array(arr))
+    assert out.dtype == arr.dtype
+    assert np.array_equal(out, arr)
+
+
+# -- object store --------------------------------------------------------------
+
+
+def test_put_get_delete_cycle():
+    store = ObjectStore(1000)
+    store.put("k", b"hello")
+    assert "k" in store
+    assert store.get("k") == b"hello"
+    assert store.used_bytes == 5
+    assert store.delete("k")
+    assert store.get("k") is None
+    assert store.used_bytes == 0
+    assert not store.delete("k")
+
+
+def test_capacity_enforced_without_side_effects():
+    store = ObjectStore(10)
+    store.put("a", b"12345")
+    with pytest.raises(StorageFullError):
+        store.put("b", b"123456")
+    assert "b" not in store
+    assert store.used_bytes == 5
+
+
+def test_overwrite_reclaims_old_space():
+    store = ObjectStore(10)
+    store.put("a", b"1234567890")
+    store.put("a", b"xyz")  # fits because the old value is reclaimed
+    assert store.get("a") == b"xyz"
+    assert store.used_bytes == 3
+
+
+def test_overwrite_that_still_does_not_fit_is_rejected_atomically():
+    store = ObjectStore(10)
+    store.put("a", b"12345")
+    store.put("b", b"12345")
+    with pytest.raises(StorageFullError):
+        store.put("a", b"123456789")  # 9 > 5 reclaimed + 0 free
+    assert store.get("a") == b"12345"
+
+
+def test_stats_track_hits_and_misses():
+    store = ObjectStore(100)
+    store.put("a", b"x")
+    store.get("a")
+    store.get("ghost")
+    assert store.stats.hits == 1
+    assert store.stats.misses == 1
+    assert store.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_disk_persistence_and_scan(tmp_path):
+    store = ObjectStore(10**6, root=tmp_path)
+    store.put("task/video/frame0001", b"A" * 100)
+    store.put("task/video/frame0002", b"B" * 200)
+
+    # A new store over the same directory recovers the index by scanning.
+    recovered = ObjectStore(10**6, root=tmp_path)
+    assert recovered.used_bytes == 300
+    assert recovered.get("task/video/frame0001") == b"A" * 100
+    assert sorted(recovered.keys()) == [
+        "task/video/frame0001",
+        "task/video/frame0002",
+    ]
+
+
+def test_disk_delete_removes_files(tmp_path):
+    store = ObjectStore(10**6, root=tmp_path)
+    store.put("x", b"data")
+    store.delete("x")
+    assert ObjectStore(10**6, root=tmp_path).scan() == 0
+
+
+def test_keys_with_slashes_and_unicode(tmp_path):
+    store = ObjectStore(10**6, root=tmp_path)
+    key = "train/видео_1.mp4/frame0003/aug1"
+    store.put(key, b"payload")
+    assert ObjectStore(10**6, root=tmp_path).get(key) == b"payload"
+
+
+# -- local store -----------------------------------------------------------------
+
+
+def test_watermark_detection():
+    store = LocalStore(100, eviction_watermark=0.75)
+    store.put("a", b"x" * 70)
+    assert not store.above_watermark()
+    store.put("b", b"x" * 10)
+    assert store.above_watermark()
+    assert store.bytes_over_watermark() == 5
+
+
+def test_local_bandwidth_times():
+    store = LocalStore(100, read_bw=100.0, write_bw=50.0)
+    assert store.read_time_s(200) == pytest.approx(2.0)
+    assert store.write_time_s(200) == pytest.approx(4.0)
+
+
+def test_local_store_rejects_bad_watermark():
+    with pytest.raises(ValueError):
+        LocalStore(100, eviction_watermark=0.0)
+
+
+# -- remote store ------------------------------------------------------------------
+
+
+def test_remote_counts_traffic_both_ways():
+    store = RemoteStore(1000, link_bw=100.0, latency_s=0.5)
+    store.put("a", b"x" * 100)
+    store.get("a")
+    store.get("a")
+    store.get("missing")
+    assert store.bytes_uploaded == 100
+    assert store.bytes_downloaded == 200
+
+
+def test_remote_transfer_time_includes_latency():
+    store = RemoteStore(1000, link_bw=100.0, latency_s=0.5)
+    assert store.transfer_time_s(100) == pytest.approx(1.5)
+
+
+def test_remote_validates_parameters():
+    with pytest.raises(ValueError):
+        RemoteStore(1000, link_bw=0)
+    with pytest.raises(ValueError):
+        RemoteStore(1000, latency_s=-1)

@@ -1,0 +1,93 @@
+"""Tests for the streaming input source and window-boundary pickup."""
+
+import pytest
+
+from repro.core import SandService, load_task_config
+from repro.datasets import DatasetSpec, StreamingDataset
+
+
+def make_config(vpb=2):
+    return load_task_config({
+        "dataset": {
+            "tag": "t",
+            "input_source": "streaming",
+            "video_dataset_path": "/stream/ingest",
+            "sampling": {"videos_per_batch": vpb, "frames_per_video": 4},
+            "augmentation": [],
+        }
+    })
+
+
+def make_stream(total=8, available=4):
+    return StreamingDataset(
+        DatasetSpec(num_videos=total, min_frames=30, max_frames=40, seed=5),
+        initially_available=available,
+    )
+
+
+def test_only_published_videos_visible():
+    stream = make_stream(total=8, available=3)
+    assert len(stream) == 3
+    assert stream.pending == 5
+    hidden = make_stream(total=8, available=8).video_ids[5]
+    with pytest.raises(KeyError):
+        stream.get_bytes(hidden)
+    with pytest.raises(KeyError):
+        stream.metadata(hidden)
+
+
+def test_publish_grows_the_visible_corpus():
+    stream = make_stream(total=8, available=3)
+    new = stream.publish(2)
+    assert len(new) == 2
+    assert len(stream) == 5
+    # Publishing beyond the backing corpus saturates.
+    stream.publish(100)
+    assert len(stream) == 8
+    assert stream.pending == 0
+    assert stream.publish(1) == []
+
+
+def test_publish_validation():
+    stream = make_stream()
+    with pytest.raises(ValueError):
+        stream.publish(-1)
+    with pytest.raises(ValueError):
+        StreamingDataset(DatasetSpec(num_videos=4), initially_available=0)
+    with pytest.raises(ValueError):
+        StreamingDataset(DatasetSpec(num_videos=4), initially_available=9)
+
+
+def test_published_videos_decode_like_static_ones():
+    stream = make_stream(total=4, available=4)
+    vid = stream.video_ids[0]
+    assert len(stream.get_bytes(vid)) == stream.encoded_size(vid)
+    assert 0 <= stream.label(vid) < 4
+    assert list(stream.iter_metadata())[0].video_id == vid
+
+
+def test_new_videos_join_training_at_window_boundary():
+    stream = make_stream(total=8, available=4)
+    config = make_config(vpb=2)
+    service = SandService([config], stream, storage_budget_bytes=10**8,
+                          k_epochs=1, num_workers=0, seed=2)
+    try:
+        # Window 0: 4 videos -> 2 iterations per epoch.
+        service.get_batch("t", 0, 0)
+        assert service.plan.iterations_per_epoch["t"] == 2
+        window0_videos = set(service.plan.graphs)
+        assert len(window0_videos) == 4
+
+        # New footage arrives mid-training.
+        stream.publish(4)
+
+        # Next window's plan (epoch 1, k=1) includes the new videos.
+        service.get_batch("t", 1, 0)
+        assert service.plan.iterations_per_epoch["t"] == 4
+        window1_videos = {
+            vid for b in service.plan.batches.values() for vid, _ in b.samples
+        }
+        assert len(window1_videos) == 8
+        assert window0_videos < window1_videos
+    finally:
+        service.shutdown()

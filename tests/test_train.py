@@ -1,0 +1,226 @@
+"""Tests for the training substrate: MLP, trainer loops, DDP."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OnDemandPipeline
+from repro.core import SandService, load_task_config
+from repro.datasets import DatasetSpec, SyntheticDataset
+from repro.train import MLPClassifier, Trainer, batch_features, one_hot, run_ddp
+from repro.train.ddp import RemoteFetchDataset
+
+
+def toy_problem(n=200, dim=6, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.standard_normal((classes, dim)) * 3
+    labels = rng.integers(0, classes, n)
+    x = centers[labels] + rng.standard_normal((n, dim)) * 0.5
+    return x.astype(np.float32), labels
+
+
+# -- features -------------------------------------------------------------------
+
+
+def test_batch_features_shape_and_scale():
+    batch = np.random.default_rng(0).integers(0, 255, (3, 4, 16, 16, 3), dtype=np.uint8)
+    feats = batch_features(batch, pool=4)
+    assert feats.shape == (3, 4 * 4 * 3)
+    assert abs(float(feats.mean())) < 0.1  # standardized per sample
+
+
+def test_batch_features_accepts_float_batches():
+    batch = np.random.default_rng(0).standard_normal((2, 3, 8, 8, 3)).astype(np.float32)
+    feats = batch_features(batch, pool=2)
+    assert feats.shape == (2, 4 * 4 * 3)
+
+
+def test_batch_features_validates_input():
+    with pytest.raises(ValueError):
+        batch_features(np.zeros((4, 4, 3)))
+    with pytest.raises(ValueError):
+        batch_features(np.zeros((1, 1, 2, 2, 3), dtype=np.uint8), pool=4)
+
+
+def test_one_hot():
+    out = one_hot(np.array([0, 2]), 3)
+    assert out.tolist() == [[1, 0, 0], [0, 0, 1]]
+
+
+# -- MLP -----------------------------------------------------------------------
+
+
+def test_mlp_learns_separable_problem():
+    x, y = toy_problem()
+    model = MLPClassifier(x.shape[1], 16, 3, seed=0, lr=0.1)
+    first = model.loss(x, y)
+    for _ in range(200):
+        model.train_step(x, y)
+    assert model.loss(x, y) < 0.3 * first
+    assert model.accuracy(x, y) > 0.9
+
+
+def test_mlp_gradients_match_numeric():
+    x, y = toy_problem(n=10, dim=4, classes=2, seed=1)
+    model = MLPClassifier(4, 5, 2, seed=0, weight_decay=0.0)
+    _, grads = model.gradients(x, y)
+    eps = 1e-4
+    for key in ("w1", "b2"):
+        param = model.params[key]
+        idx = (0,) if param.ndim == 1 else (0, 0)
+        original = param[idx]
+        param[idx] = original + eps
+        plus = model.loss(x, y)
+        param[idx] = original - eps
+        minus = model.loss(x, y)
+        param[idx] = original
+        numeric = (plus - minus) / (2 * eps)
+        assert grads[key][idx] == pytest.approx(numeric, abs=1e-2)
+
+
+def test_mlp_deterministic_given_seed():
+    x, y = toy_problem(n=20)
+    a = MLPClassifier(x.shape[1], 8, 3, seed=7)
+    b = MLPClassifier(x.shape[1], 8, 3, seed=7)
+    assert a.train_step(x, y) == b.train_step(x, y)
+
+
+def test_mlp_state_dict_roundtrip():
+    model = MLPClassifier(4, 5, 2, seed=0)
+    state = model.state_dict()
+    x, y = toy_problem(n=10, dim=4, classes=2)
+    model.train_step(x, y)
+    model.load_state_dict(state)
+    fresh = MLPClassifier(4, 5, 2, seed=0)
+    for key in state:
+        assert np.array_equal(model.params[key], fresh.params[key])
+    with pytest.raises(ValueError):
+        model.load_state_dict({"w1": np.zeros((1, 1))})
+
+
+def test_mlp_validates_dims():
+    with pytest.raises(ValueError):
+        MLPClassifier(0, 4, 2)
+
+
+# -- trainer over real pipelines ------------------------------------------------------
+
+
+CONFIG = {
+    "dataset": {
+        "tag": "t",
+        "video_dataset_path": "/d",
+        "sampling": {"videos_per_batch": 4, "frames_per_video": 4, "frame_stride": 2},
+        "augmentation": [
+            {
+                "branch_type": "single",
+                "inputs": ["frame"],
+                "outputs": ["a0"],
+                "config": [{"resize": {"shape": [16, 20]}}],
+            }
+        ],
+    }
+}
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticDataset(DatasetSpec(num_videos=8, min_frames=30, max_frames=40, seed=3))
+
+
+def test_trainer_runs_over_sand(dataset):
+    config = load_task_config(CONFIG)
+    service = SandService([config], dataset, storage_budget_bytes=10**8,
+                          k_epochs=2, num_workers=0)
+    try:
+        trainer = Trainer(service, "t", service.iterations_per_epoch("t"), seed=1)
+        result = trainer.run(epochs=2)
+    finally:
+        service.shutdown()
+    assert result.stats.epochs_completed == 2
+    assert result.stats.iterations_completed == 4
+    assert np.isfinite(result.final_loss)
+
+
+def test_trainer_runs_over_baseline(dataset):
+    config = load_task_config(CONFIG)
+    pipeline = OnDemandPipeline(config, dataset, seed=1)
+    trainer = Trainer(pipeline, "t", pipeline.iterations_per_epoch(), seed=1)
+    result = trainer.run(epochs=1)
+    assert result.stats.iterations_completed == 2
+
+
+def test_trainer_iterator_yields_epoch_means(dataset):
+    config = load_task_config(CONFIG)
+    pipeline = OnDemandPipeline(config, dataset, seed=1)
+    trainer = Trainer(pipeline, "t", pipeline.iterations_per_epoch(), seed=1)
+    results = list(trainer.run_iterator(epochs=2))
+    assert [epoch for epoch, _ in results] == [0, 1]
+    assert all(np.isfinite(loss) for _, loss in results)
+
+
+def test_trainer_validates_iterations():
+    with pytest.raises(ValueError):
+        Trainer(None, "t", 0)
+
+
+def test_epoch_means_chunking():
+    from repro.train import LoopStats
+
+    stats = LoopStats(losses=[1.0, 3.0, 2.0, 4.0, 5.0])
+    assert stats.epoch_means(2) == [2.0, 3.0, 5.0]
+
+
+# -- DDP ----------------------------------------------------------------------------
+
+
+def test_ddp_matches_single_node_math(dataset):
+    """Two nodes with identical sources == one node (averaged grads equal)."""
+    config = load_task_config(CONFIG)
+
+    def make_source():
+        return OnDemandPipeline(config, dataset, seed=1)
+
+    iters = make_source().iterations_per_epoch()
+    two = run_ddp([make_source(), make_source()], "t", iters, epochs=1, seed=5)
+    one = run_ddp([make_source()], "t", iters, epochs=1, seed=5)
+    # Identical batches on both nodes: averaged gradient == single gradient.
+    for key in one.model.params:
+        assert np.allclose(two.model.params[key], one.model.params[key])
+
+
+def test_ddp_loss_decreases(dataset):
+    config = load_task_config(CONFIG)
+    sources = [OnDemandPipeline(config, dataset, seed=1) for _ in range(2)]
+    iters = sources[0].iterations_per_epoch()
+    result = run_ddp(sources, "t", iters, epochs=4, seed=5, lr=0.02)
+    assert np.mean(result.losses[-3:]) < np.mean(result.losses[:3])
+
+
+def test_remote_fetch_accounting(dataset):
+    remote = RemoteFetchDataset(dataset, cache_locally=True)
+    vid = dataset.video_ids[0]
+    size = len(dataset.get_bytes(vid))
+    remote.get_bytes(vid)
+    remote.get_bytes(vid)  # second hit is local
+    assert remote.bytes_from_remote == size
+    assert remote.fetches == 1
+
+    uncached = RemoteFetchDataset(dataset, cache_locally=False)
+    uncached.get_bytes(vid)
+    uncached.get_bytes(vid)
+    assert uncached.fetches == 2
+    assert uncached.bytes_from_remote == 2 * size
+
+
+def test_remote_fetch_passthroughs(dataset):
+    remote = RemoteFetchDataset(dataset, cache_locally=True)
+    vid = dataset.video_ids[0]
+    assert remote.metadata(vid) == dataset.metadata(vid)
+    assert remote.label(vid) == dataset.label(vid)
+    assert remote.encoded_size(vid) == dataset.encoded_size(vid)
+    assert remote.video_ids == dataset.video_ids
+
+
+def test_ddp_requires_sources():
+    with pytest.raises(ValueError):
+        run_ddp([], "t", 1, 1)

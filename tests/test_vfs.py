@@ -1,0 +1,157 @@
+"""Tests for the in-process VFS: mounts, fds, errno semantics."""
+
+import errno
+
+import pytest
+
+from repro.vfs import (
+    BadFileDescriptorError,
+    FileNotFoundVfsError,
+    IsADirectoryVfsError,
+    MemoryProvider,
+    NoAttributeError,
+    NotADirectoryVfsError,
+    NotMountedError,
+    VirtualFileSystem,
+)
+
+
+@pytest.fixture
+def fs():
+    vfs = VirtualFileSystem()
+    mem = MemoryProvider()
+    mem.write("/train/video_0.mp4/frame0001", b"frame-one")
+    mem.write("/train/video_0.mp4/frame0002", b"frame-two")
+    mem.write("/train/0/0/view", b"batch-bytes")
+    mem.setxattr("/train/0/0/view", "timestamps", b"[0.0, 0.13]")
+    vfs.mount("/sand", mem)
+    return vfs
+
+
+def test_open_read_close(fs):
+    fd = fs.open("/sand/train/0/0/view")
+    assert fs.read(fd) == b"batch-bytes"
+    assert fs.read(fd) == b""  # EOF
+    fs.close(fd)
+
+
+def test_partial_and_positional_reads(fs):
+    fd = fs.open("/sand/train/video_0.mp4/frame0001")
+    assert fs.read(fd, 5) == b"frame"
+    assert fs.read(fd, 100) == b"-one"
+    assert fs.pread(fd, 6, 3) == b"one"
+    fs.close(fd)
+
+
+def test_fds_are_unique_and_closable_independently(fs):
+    fd1 = fs.open("/sand/train/video_0.mp4/frame0001")
+    fd2 = fs.open("/sand/train/video_0.mp4/frame0002")
+    assert fd1 != fd2
+    fs.close(fd1)
+    assert fs.read(fd2) == b"frame-two"
+    fs.close(fd2)
+    assert fs.open_fds == []
+
+
+def test_closed_fd_raises_ebadf(fs):
+    fd = fs.open("/sand/train/0/0/view")
+    fs.close(fd)
+    with pytest.raises(BadFileDescriptorError) as exc:
+        fs.read(fd)
+    assert exc.value.errno == errno.EBADF
+    with pytest.raises(BadFileDescriptorError):
+        fs.close(fd)
+
+
+def test_missing_file_raises_enoent(fs):
+    with pytest.raises(FileNotFoundVfsError) as exc:
+        fs.open("/sand/train/ghost")
+    assert exc.value.errno == errno.ENOENT
+
+
+def test_open_directory_raises_eisdir(fs):
+    with pytest.raises(IsADirectoryVfsError):
+        fs.open("/sand/train")
+
+
+def test_listdir_on_file_raises_enotdir(fs):
+    with pytest.raises(NotADirectoryVfsError):
+        fs.listdir("/sand/train/0/0/view")
+
+
+def test_unmounted_path_raises(fs):
+    with pytest.raises(NotMountedError) as exc:
+        fs.open("/elsewhere/file")
+    assert exc.value.errno == errno.ENXIO
+
+
+def test_getxattr_and_missing_attr(fs):
+    assert fs.getxattr("/sand/train/0/0/view", "timestamps") == b"[0.0, 0.13]"
+    with pytest.raises(NoAttributeError):
+        fs.getxattr("/sand/train/0/0/view", "nope")
+
+
+def test_stat_reports_type_and_size(fs):
+    info = fs.stat("/sand/train/0/0/view")
+    assert not info.is_dir
+    assert info.size == len(b"batch-bytes")
+    assert fs.stat("/sand/train").is_dir
+
+
+def test_exists(fs):
+    assert fs.exists("/sand/train/0/0/view")
+    assert not fs.exists("/sand/train/1/0/view")
+    assert not fs.exists("/other")
+
+
+def test_listdir_lists_immediate_children(fs):
+    assert fs.listdir("/sand/train") == ["0", "video_0.mp4"]
+    assert fs.listdir("/sand/train/video_0.mp4") == ["frame0001", "frame0002"]
+
+
+def test_longest_prefix_mount_wins():
+    vfs = VirtualFileSystem()
+    outer, inner = MemoryProvider(), MemoryProvider()
+    outer.write("/x", b"outer")
+    inner.write("/x", b"inner")
+    vfs.mount("/a", outer)
+    vfs.mount("/a/b", inner)
+    fd = vfs.open("/a/b/x")
+    assert vfs.read(fd) == b"inner"
+    vfs.close(fd)
+    fd = vfs.open("/a/x")
+    assert vfs.read(fd) == b"outer"
+    vfs.close(fd)
+
+
+def test_double_mount_rejected(fs):
+    with pytest.raises(ValueError):
+        fs.mount("/sand", MemoryProvider())
+
+
+def test_unmount_requires_no_open_files(fs):
+    fd = fs.open("/sand/train/0/0/view")
+    with pytest.raises(ValueError):
+        fs.unmount("/sand")
+    fs.close(fd)
+    fs.unmount("/sand")
+    assert fs.mounts() == []
+    with pytest.raises(NotMountedError):
+        fs.unmount("/sand")
+
+
+def test_path_normalization(fs):
+    fd = fs.open("/sand//train/./0/0/view")
+    assert fs.read(fd) == b"batch-bytes"
+    fs.close(fd)
+
+
+def test_dotdot_rejected(fs):
+    with pytest.raises(FileNotFoundVfsError):
+        fs.open("/sand/train/../train/0/0/view")
+
+
+def test_fstat(fs):
+    fd = fs.open("/sand/train/0/0/view")
+    assert fs.fstat(fd).size == len(b"batch-bytes")
+    fs.close(fd)

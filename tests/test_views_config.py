@@ -1,0 +1,183 @@
+"""Tests for view paths (Table 1) and task configuration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AugFrameView,
+    BatchView,
+    ConfigError,
+    FrameView,
+    VideoView,
+    ViewPathError,
+    load_task_config,
+    load_task_configs,
+    parse_view_path,
+    try_parse_view_path,
+)
+
+
+# -- Table 1 paths ------------------------------------------------------------
+
+
+def test_video_path_roundtrip():
+    view = VideoView("train", "vid_07")
+    assert view.path() == "/train/vid_07.mp4"
+    assert parse_view_path(view.path()) == view
+
+
+def test_frame_path_roundtrip():
+    view = FrameView("train", "vid_07", 42)
+    assert view.path() == "/train/vid_07/frame42"
+    assert parse_view_path(view.path()) == view
+
+
+def test_aug_frame_path_roundtrip():
+    view = AugFrameView("train", "vid_07", 42, 3)
+    assert view.path() == "/train/vid_07/frame42/aug3"
+    assert parse_view_path(view.path()) == view
+
+
+def test_batch_view_path_roundtrip():
+    view = BatchView("train", 12, 340)
+    assert view.path() == "/train/12/340/view"
+    assert parse_view_path(view.path()) == view
+
+
+def test_video_named_like_numbers_is_not_a_batch():
+    # "/t/5/7/view" is a batch; "/t/video/frame5" is a frame - make sure a
+    # video whose name is numeric still parses as frame/aug forms.
+    view = parse_view_path("/t/12/frame3")
+    assert view == FrameView("t", "12", 3)
+
+
+def test_malformed_paths_rejected():
+    for bad in (
+        "/",
+        "/task",
+        "/task/video",  # no .mp4, no frame component
+        "/task/video/frameX",
+        "/task/video/frame1/aug",
+        "/task/a/b/view",  # non-numeric epoch/iteration
+        "/task/1/2/3/view",
+    ):
+        with pytest.raises(ViewPathError):
+            parse_view_path(bad)
+        assert try_parse_view_path(bad) is None
+
+
+@given(
+    task=st.text(alphabet="abc_", min_size=1, max_size=8),
+    video=st.text(alphabet="xyz0189_", min_size=1, max_size=8),
+    index=st.integers(0, 10**6),
+    depth=st.integers(0, 50),
+)
+@settings(max_examples=50, deadline=None)
+def test_path_roundtrip_property(task, video, index, depth):
+    for view in (
+        VideoView(task, video),
+        FrameView(task, video, index),
+        AugFrameView(task, video, index, depth),
+    ):
+        assert parse_view_path(view.path()) == view
+
+
+# -- config -------------------------------------------------------------------
+
+
+def minimal_config(**overrides):
+    cfg = {
+        "dataset": {
+            "tag": "train",
+            "video_dataset_path": "/data",
+            "sampling": {"videos_per_batch": 2, "frames_per_video": 4},
+            "augmentation": [],
+        }
+    }
+    cfg["dataset"].update(overrides)
+    return cfg
+
+
+def test_load_from_dict():
+    cfg = load_task_config(minimal_config())
+    assert cfg.tag == "train"
+    assert cfg.sampling.videos_per_batch == 2
+    assert cfg.sampling.frame_stride == 1  # default
+    assert cfg.plan.terminal_streams == ["frame"]
+
+
+def test_load_from_yaml_text():
+    cfg = load_task_config(
+        "dataset:\n  tag: t\n  video_dataset_path: /d\n  sampling:\n"
+        "    videos_per_batch: 3\n"
+    )
+    assert cfg.tag == "t"
+    assert cfg.sampling.videos_per_batch == 3
+
+
+def test_load_from_file(tmp_path):
+    path = tmp_path / "task.yaml"
+    path.write_text("dataset:\n  tag: t\n  video_dataset_path: /d\n")
+    assert load_task_config(path).tag == "t"
+    assert load_task_config(str(path)).tag == "t"
+
+
+def test_clip_span():
+    cfg = load_task_config(
+        minimal_config(sampling={"frames_per_video": 8, "frame_stride": 4})
+    )
+    assert cfg.sampling.clip_span == 29
+
+
+def test_missing_tag_rejected():
+    bad = minimal_config()
+    del bad["dataset"]["tag"]
+    with pytest.raises(ConfigError):
+        load_task_config(bad)
+
+
+def test_bad_input_source_rejected():
+    with pytest.raises(ConfigError):
+        load_task_config(minimal_config(input_source="carrier_pigeon"))
+
+
+def test_unknown_keys_rejected():
+    with pytest.raises(ConfigError):
+        load_task_config(minimal_config(surprise=1))
+    with pytest.raises(ConfigError):
+        load_task_config(minimal_config(sampling={"videos_per_batch": 2, "nope": 3}))
+
+
+def test_non_positive_sampling_rejected():
+    with pytest.raises(ConfigError):
+        load_task_config(minimal_config(sampling={"frames_per_video": 0}))
+
+
+def test_augmentation_validated_through_pipeline():
+    from repro.augment import PipelineError
+
+    bad = minimal_config(
+        augmentation=[
+            {
+                "branch_type": "single",
+                "inputs": ["ghost_stream"],
+                "outputs": ["x"],
+                "config": None,
+            }
+        ]
+    )
+    with pytest.raises(PipelineError):
+        load_task_config(bad)
+
+
+def test_duplicate_tags_rejected():
+    with pytest.raises(ConfigError):
+        load_task_configs([minimal_config(), minimal_config()])
+
+
+def test_distinct_tags_accepted():
+    configs = load_task_configs(
+        [minimal_config(), minimal_config(tag="eval")]
+    )
+    assert [c.tag for c in configs] == ["train", "eval"]

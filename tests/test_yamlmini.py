@@ -1,0 +1,167 @@
+"""Tests for the YAML-subset parser."""
+
+import pytest
+
+from repro.core.yamlmini import YamlError, loads, parse_scalar
+
+
+def test_scalars():
+    assert parse_scalar("42") == 42
+    assert parse_scalar("-3.5") == -3.5
+    assert parse_scalar("true") is True
+    assert parse_scalar("False") is False
+    assert parse_scalar("null") is None
+    assert parse_scalar("None") is None
+    assert parse_scalar("~") is None
+    assert parse_scalar('"quoted # text"') == "quoted # text"
+    assert parse_scalar("bare_string") == "bare_string"
+
+
+def test_flow_lists():
+    assert parse_scalar("[1, 2, 3]") == [1, 2, 3]
+    assert parse_scalar('["a", "b"]') == ["a", "b"]
+    assert parse_scalar("[]") == []
+    assert parse_scalar("[[1, 2], [3]]") == [[1, 2], [3]]
+
+
+def test_unterminated_flow_list_rejected():
+    with pytest.raises(YamlError):
+        parse_scalar("[1, 2", lineno=3)
+
+
+def test_simple_mapping():
+    assert loads("a: 1\nb: two\n") == {"a": 1, "b": "two"}
+
+
+def test_nested_mapping():
+    doc = "outer:\n  inner:\n    x: 1\n  y: 2\n"
+    assert loads(doc) == {"outer": {"inner": {"x": 1}, "y": 2}}
+
+
+def test_sequence_of_scalars():
+    assert loads("- 1\n- two\n- true\n") == [1, "two", True]
+
+
+def test_sequence_at_key_indent():
+    # The common style: list items at the same indent as the parent key.
+    doc = "items:\n- a\n- b\n"
+    assert loads(doc) == {"items": ["a", "b"]}
+
+
+def test_sequence_of_mappings():
+    doc = "- name: x\n  value: 1\n- name: y\n  value: 2\n"
+    assert loads(doc) == [{"name": "x", "value": 1}, {"name": "y", "value": 2}]
+
+
+def test_comments_and_blank_lines():
+    doc = "# header\n\na: 1  # trailing\n\n# middle\nb: 2\n"
+    assert loads(doc) == {"a": 1, "b": 2}
+
+
+def test_hash_inside_quotes_is_not_comment():
+    assert loads('key: "a # b"\n') == {"key": "a # b"}
+
+
+def test_nested_bare_scalar_value():
+    doc = "config:\n  None\n"
+    assert loads(doc) == {"config": None}
+
+
+def test_empty_value_is_none():
+    assert loads("key:\n") == {"key": None}
+
+
+def test_duplicate_key_rejected():
+    with pytest.raises(YamlError):
+        loads("a: 1\na: 2\n")
+
+
+def test_tab_indentation_rejected():
+    with pytest.raises(YamlError):
+        loads("a:\n\tb: 1\n")
+
+
+def test_anchor_rejected():
+    with pytest.raises(YamlError):
+        loads("a: &anchor 1\n")
+
+
+def test_flow_mapping_rejected():
+    with pytest.raises(YamlError):
+        loads("a: {x: 1}\n")
+
+
+def test_empty_document():
+    assert loads("") is None
+    assert loads("# only a comment\n") is None
+
+
+def test_error_carries_line_number():
+    with pytest.raises(YamlError) as exc:
+        loads("a: 1\njust words\n")
+    assert exc.value.lineno == 2
+
+
+def test_fig9_paper_config_parses():
+    doc = """
+dataset:
+  tag: "train"
+  input_source: file # or streaming
+  video_dataset_path: /dataset/train
+  sampling:
+    videos_per_batch: 8
+    frames_per_video: 8
+    frame_stride: 4
+    samples_per_video: 2
+  augmentation:
+  - name: "augment_resize"
+    branch_type: "single"
+    inputs: ["frame"]
+    outputs: ["augmented_frame_0"]
+    config:
+    - resize:
+        shape: [256, 320]
+        interpolation: ["bilinear"]
+  - name: "conditional branch"
+    branch_type: "conditional"
+    inputs: ["augmented_frame_0"]
+    outputs: ["augmented_frame_1"]
+    branches:
+    - condition: "iteration > 10000"
+      config:
+      - inv_sample:
+          true
+    - condition: "else"
+      config:
+        None
+  - name: "random_branch"
+    branch_type: "random"
+    inputs: ["augmented_frame_1"]
+    outputs: ["augmented_frame_2"]
+    branches:
+    - prob: 0.5
+      config:
+      - flip:
+          flip_prob: 0.5
+    - prob: 0.5
+      config:
+        None
+"""
+    parsed = loads(doc)
+    dataset = parsed["dataset"]
+    assert dataset["tag"] == "train"
+    assert dataset["input_source"] == "file"
+    assert dataset["sampling"]["samples_per_video"] == 2
+    aug = dataset["augmentation"]
+    assert aug[0]["config"][0]["resize"]["shape"] == [256, 320]
+    assert aug[1]["branches"][0]["config"][0]["inv_sample"] is True
+    assert aug[1]["branches"][1]["config"] is None
+    assert aug[2]["branches"][0]["prob"] == 0.5
+
+
+def test_load_file(tmp_path):
+    from repro.core.yamlmini import load_file
+
+    path = tmp_path / "cfg.yaml"
+    path.write_text("a: 1\n")
+    assert load_file(path) == {"a": 1}
