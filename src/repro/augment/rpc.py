@@ -26,7 +26,7 @@ from typing import Any, BinaryIO, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.augment.ops import AugmentOp, ClipShape, Params
+from repro.augment.ops import AugmentOp, Params
 
 _LEN_FMT = "<I"
 _LEN_SIZE = struct.calcsize(_LEN_FMT)

@@ -8,7 +8,7 @@ serve copies with no online decode or augmentation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

@@ -16,6 +16,9 @@ This package implements a real codec with exactly those semantics:
   temporal delta prediction,
 * :mod:`repro.codec.decoder` — dependency-aware decoding with statistics
   (frames decoded vs frames requested, bytes read),
+* :mod:`repro.codec.incremental` — stateful decode reuse: a byte-budgeted
+  LRU of decoded anchors and a decoder that resumes from the nearest
+  cached anchor instead of the GOP keyframe,
 * :mod:`repro.codec.model` — GOP/frame-type model and video metadata.
 """
 
@@ -24,13 +27,20 @@ from repro.codec.synthetic import SyntheticVideoSource, frame_pixels, video_clas
 from repro.codec.container import ContainerError, read_container, write_container
 from repro.codec.encoder import encode_video
 from repro.codec.decoder import DecodeStats, Decoder, frames_to_decode
+from repro.codec.incremental import (
+    AnchorCache,
+    IncrementalDecoder,
+    frames_to_decode_with_cache,
+)
 from repro.codec.intra import IntraDecoder, encode_intra_video
 from repro.codec.registry import UnknownCodecError, decoder_for_path, open_decoder
 
 __all__ = [
+    "AnchorCache",
     "ContainerError",
     "DecodeStats",
     "Decoder",
+    "IncrementalDecoder",
     "FrameType",
     "GopStructure",
     "SyntheticVideoSource",
@@ -43,6 +53,7 @@ __all__ = [
     "open_decoder",
     "frame_pixels",
     "frames_to_decode",
+    "frames_to_decode_with_cache",
     "read_container",
     "video_class_of",
     "write_container",

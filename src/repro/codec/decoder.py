@@ -16,7 +16,7 @@ decode without performing it.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Set
 
 import numpy as np
@@ -45,12 +45,24 @@ def frames_to_decode(
 
 @dataclass
 class DecodeStats:
-    """Counters for decode amplification and I/O."""
+    """Counters for decode amplification and I/O.
+
+    ``frames_decoded`` counts frames that went through actual payload
+    decode work; ``frames_reused_from_anchor_cache`` counts frames the
+    stateless plan would have decoded that a stateful decoder instead
+    satisfied (or made unnecessary) via cached anchor state.
+    """
 
     frames_requested: int = 0
     frames_decoded: int = 0
+    frames_reused_from_anchor_cache: int = 0
     bytes_read: int = 0
     decode_calls: int = 0
+
+    @property
+    def frames_decoded_fresh(self) -> int:
+        """Alias making the fresh-vs-reused split explicit in reports."""
+        return self.frames_decoded
 
     @property
     def amplification(self) -> float:
@@ -62,6 +74,7 @@ class DecodeStats:
     def merge(self, other: "DecodeStats") -> None:
         self.frames_requested += other.frames_requested
         self.frames_decoded += other.frames_decoded
+        self.frames_reused_from_anchor_cache += other.frames_reused_from_anchor_cache
         self.bytes_read += other.bytes_read
         self.decode_calls += other.decode_calls
 
@@ -77,6 +90,9 @@ class Decoder:
 
     def __init__(self, data: bytes):
         self._data = data
+        # Zero-copy payload access: slicing a memoryview does not copy
+        # the record bytes the way slicing ``bytes`` would.
+        self._view = memoryview(data)
         metadata, records = read_container(data)
         self.metadata: VideoMetadata = metadata
         self._records: List[FrameRecord] = records
@@ -84,8 +100,8 @@ class Decoder:
 
     def _payload(self, index: int) -> bytes:
         record = self._records[index]
-        payload = self._data[record.offset : record.offset + record.length]
-        self.stats.bytes_read += len(payload)
+        payload = self._view[record.offset : record.offset + record.length]
+        self.stats.bytes_read += record.length
         return zlib.decompress(payload)
 
     def _as_array(self, raw: bytes) -> np.ndarray:

@@ -13,7 +13,7 @@ each frame type has the dependency chain it has.
 from __future__ import annotations
 
 import zlib
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 

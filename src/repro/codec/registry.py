@@ -12,13 +12,14 @@ way the paper describes the engine selecting decoders.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Dict, Union
+from typing import Callable, Dict, Optional, Union
 
 from repro.codec.container import MAGIC as SVC_MAGIC
 from repro.codec.decoder import Decoder
+from repro.codec.incremental import AnchorCache, IncrementalDecoder
 from repro.codec.intra import MAGIC as SVI_MAGIC, IntraDecoder
 
-VideoDecoder = Union[Decoder, IntraDecoder]
+VideoDecoder = Union[Decoder, IncrementalDecoder, IntraDecoder]
 
 _BY_MAGIC: Dict[bytes, Callable[[bytes], VideoDecoder]] = {
     SVC_MAGIC: Decoder,
@@ -35,14 +36,23 @@ class UnknownCodecError(ValueError):
     """No registered codec matches the data or extension."""
 
 
-def open_decoder(data: bytes) -> VideoDecoder:
-    """Instantiate the right decoder for container bytes (magic sniff)."""
+def open_decoder(
+    data: bytes, anchor_cache: Optional[AnchorCache] = None
+) -> VideoDecoder:
+    """Instantiate the right decoder for container bytes (magic sniff).
+
+    With ``anchor_cache``, inter-coded formats get the stateful
+    :class:`IncrementalDecoder` sharing that cache; all-intra formats
+    have no inter-frame dependencies to reuse and keep their decoder.
+    """
     magic = data[:4]
     factory = _BY_MAGIC.get(magic)
     if factory is None:
         raise UnknownCodecError(
             f"unknown container magic {magic!r}; known: {sorted(_BY_MAGIC)}"
         )
+    if anchor_cache is not None and magic == SVC_MAGIC:
+        return IncrementalDecoder(data, cache=anchor_cache)
     return factory(data)
 
 

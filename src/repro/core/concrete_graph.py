@@ -22,12 +22,12 @@ subtree (S5.4).
 from __future__ import annotations
 
 import hashlib
-import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.augment.pipeline import ResolvedStep
 from repro.codec.decoder import frames_to_decode
+from repro.codec.incremental import frames_to_decode_with_cache
 from repro.codec.model import VideoMetadata
 from repro.core.config import TaskConfig
 from repro.core.coordination import (
@@ -170,6 +170,24 @@ class VideoGraph:
             return []
         return frames_to_decode(
             self.metadata.gop, self.wanted_frames, self.metadata.num_frames
+        )
+
+    def decode_plan_with_cache(self, cached_anchors: Iterable[int]) -> List[int]:
+        """Decode plan given anchors already held by an anchor cache.
+
+        The pure pricing counterpart to the engine's stateful decode
+        reuse: ``len(decode_plan_with_cache(...))`` at the cost model's
+        per-frame decode rate is the decode cost after reuse, without
+        touching a decoder.  With no cached anchors this is exactly
+        :meth:`decode_plan`.
+        """
+        if not self.wanted_frames:
+            return []
+        return frames_to_decode_with_cache(
+            self.metadata.gop,
+            self.wanted_frames,
+            self.metadata.num_frames,
+            cached_anchors,
         )
 
 

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.augment.ops import AugmentOp, ClipShape, Params, stable_params_key
 from repro.augment.pipeline import ParamSampler
-from repro.core.config import SamplingPolicy, TaskConfig
+from repro.core.config import TaskConfig
 
 
 def stable_rng(*parts: object) -> np.random.Generator:

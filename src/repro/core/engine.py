@@ -19,12 +19,13 @@ scheduler's memory-pressure probe reads it to trigger the SJF flip.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.augment.registry import OpRegistry
+from repro.codec.incremental import AnchorCache
 from repro.core.cache import CacheManager
 from repro.core.concrete_graph import BatchAssembly, MaterializationPlan
 from repro.core.materializer import VideoMaterializer
@@ -35,6 +36,8 @@ from repro.core.scheduling import (
     build_jobs,
 )
 
+DEFAULT_ANCHOR_CACHE_BYTES = 32 * 1024 * 1024
+
 
 @dataclass
 class EngineStats:
@@ -43,6 +46,7 @@ class EngineStats:
     pre_materializations: int = 0
     peak_memory_bytes: int = 0
     frames_decoded: int = 0
+    frames_reused_from_anchor_cache: int = 0
     raw_frame_releases: int = 0
 
 
@@ -60,6 +64,8 @@ class PreprocessingEngine:
         memory_threshold: float = 0.8,
         scheduling_mode: SchedulingMode = SchedulingMode.DEADLINE,
         registry: Optional[OpRegistry] = None,
+        anchor_cache: Optional[AnchorCache] = None,
+        anchor_cache_budget_bytes: int = DEFAULT_ANCHOR_CACHE_BYTES,
     ):
         if num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {num_workers}")
@@ -70,11 +76,26 @@ class PreprocessingEngine:
         self.registry = registry
         self.memory_budget_bytes = memory_budget_bytes
         self.stats = EngineStats()
+        # One anchor cache for the whole engine (and, when the caller
+        # passes a long-lived one, across successive plan windows): every
+        # materializer's decoder publishes decoded anchors here, so sparse
+        # re-access to a video after release_raw_frames resumes from the
+        # nearest cached anchor instead of the GOP keyframe.  Budget 0
+        # degrades to fully stateless decoding.
+        self.anchor_cache = (
+            anchor_cache
+            if anchor_cache is not None
+            else AnchorCache(anchor_cache_budget_bytes)
+        )
 
         self._materializers: Dict[str, VideoMaterializer] = {}
         self._mat_lock = threading.Lock()
         self._progress: Dict[str, int] = {t: 0 for t in plan.tasks}
         self._progress_lock = threading.Lock()
+        # Pre-materialization jobs claimed from the scheduler but not yet
+        # finished: drain() must wait for these, not just pending_count.
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
 
         jobs = build_jobs(plan, pruning)
         self.scheduler = MaterializationScheduler(
@@ -113,6 +134,10 @@ class PreprocessingEngine:
 
         With live workers this waits for them; without any (``num_workers=0``
         or not started), it runs the remaining jobs on the calling thread.
+        "Done" means no job is pending *and* no worker holds a claimed
+        job mid-materialization — claiming marks the scheduler done
+        before the work happens, so ``pending_count`` alone would let
+        ``drain`` return while frontier work is still in flight.
         """
         if not any(t.is_alive() for t in self._threads):
             while self._run_one_job():
@@ -120,7 +145,11 @@ class PreprocessingEngine:
             return
         import time
 
-        while self.scheduler.pending_count and not self._stop.is_set():
+        while not self._stop.is_set():
+            with self._inflight_lock:
+                inflight = self._inflight
+            if not self.scheduler.pending_count and not inflight:
+                return
             time.sleep(0.005)
 
     def __enter__(self) -> "PreprocessingEngine":
@@ -192,27 +221,40 @@ class PreprocessingEngine:
         job = self.scheduler.next_job(self._current_step())
         if job is None:
             return False
-        # Claim it before working so other workers skip it.
-        self.scheduler.mark_done(job.video_id)
-        materializer = self._materializer(job.video_id)
-        frontier = (
-            self.pruning.frontier_of(job.video_id)
-            if self.pruning is not None
-            else {leaf.key for leaf in self.plan.graphs[job.video_id].leaves()}
-        )
-        for node_key in sorted(frontier):
-            if self._stop.is_set():
-                return False
-            materializer.get(node_key)
-            self.stats.pre_materializations += 1
-        released = materializer.release_raw_frames()
-        self.stats.raw_frame_releases += released
-        self.stats.frames_decoded = sum(
-            m.stats.frames_decoded for m in self._materializers.values()
-        )
-        self._note_memory()
-        self._maybe_trim_memory()
-        return True
+        # Count the job in flight, then claim it so other workers skip
+        # it.  This order keeps (pending_count + inflight) > 0 visible to
+        # drain() for the whole life of the job.
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            self.scheduler.mark_done(job.video_id)
+            materializer = self._materializer(job.video_id)
+            frontier = (
+                self.pruning.frontier_of(job.video_id)
+                if self.pruning is not None
+                else {leaf.key for leaf in self.plan.graphs[job.video_id].leaves()}
+            )
+            for node_key in sorted(frontier):
+                if self._stop.is_set():
+                    return False
+                materializer.get(node_key)
+                self.stats.pre_materializations += 1
+            released = materializer.release_raw_frames()
+            self.stats.raw_frame_releases += released
+            with self._mat_lock:
+                materializers = list(self._materializers.values())
+            self.stats.frames_decoded = sum(
+                m.stats.frames_decoded for m in materializers
+            )
+            self.stats.frames_reused_from_anchor_cache = sum(
+                m.stats.frames_reused_from_anchor_cache for m in materializers
+            )
+            self._note_memory()
+            self._maybe_trim_memory()
+            return True
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
 
     # -- shared state ------------------------------------------------------------
     def _materializer(self, video_id: str) -> VideoMaterializer:
@@ -229,6 +271,7 @@ class PreprocessingEngine:
                     cache=self.cache,
                     frontier=frontier,
                     registry=self.registry,
+                    anchor_cache=self.anchor_cache,
                 )
             return self._materializers[video_id]
 

@@ -1,13 +1,16 @@
 """Turning graph nodes into real arrays: the per-video materializer.
 
 A :class:`VideoMaterializer` executes one video's concrete graph: it
-decodes the union of wanted frames in a single dependency-aware pass
-("decode once", the paper's core amortization), memoizes intermediate
-arrays in memory, consults/fills the persistent cache for nodes on the
-caching frontier, and applies augmentation ops reconstructed from the
-node's stored ``(name, config, params)`` identity.  Once a window's work
-for the video is done, :meth:`release_raw_frames` drops decoded frames
-from memory — the S5.4 step that keeps memory pressure bounded.
+decodes the union of wanted frames in a dependency-aware, GOP-coalesced
+pass ("decode once", the paper's core amortization), memoizes
+intermediate arrays in memory, consults/fills the persistent cache for
+nodes on the caching frontier, and applies augmentation ops
+reconstructed (and memoized) from the node's stored
+``(name, config, params)`` identity.  Once a window's work for the video
+is done, :meth:`release_raw_frames` drops decoded frames from memory —
+the S5.4 step that keeps memory pressure bounded — while the decoder's
+byte-budgeted anchor cache survives, so later sparse accesses resume
+from the nearest cached anchor instead of the GOP keyframe.
 """
 
 from __future__ import annotations
@@ -15,12 +18,14 @@ from __future__ import annotations
 import json
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Set, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.augment.ops import AugmentOp
 from repro.augment.registry import OpRegistry, default_registry
+from repro.codec.incremental import AnchorCache
 from repro.codec.registry import VideoDecoder, open_decoder
 from repro.core.concrete_graph import ObjectNode, VideoGraph
 from repro.storage.blobs import BlobError, decode_array, encode_array
@@ -32,6 +37,7 @@ class MaterializeStats:
     """Counters for one materializer's work."""
 
     frames_decoded: int = 0
+    frames_reused_from_anchor_cache: int = 0
     ops_applied: Dict[str, int] = field(default_factory=dict)
     cache_hits: int = 0
     cache_stores: int = 0
@@ -42,12 +48,24 @@ class MaterializeStats:
         self.ops_applied[name] = self.ops_applied.get(name, 0) + 1
 
 
+@lru_cache(maxsize=4096)
+def _op_from_args_cached(
+    registry: OpRegistry, name: str, config_json: str, params_json: str
+) -> Tuple[AugmentOp, dict]:
+    op = registry.create(name, json.loads(config_json))
+    return op, json.loads(params_json)
+
+
 def _op_from_args(
     registry: OpRegistry, op_args: Tuple[str, str, str]
 ) -> Tuple[AugmentOp, dict]:
+    # Hot path: node applications repeat the same (name, config, params)
+    # identity thousands of times per window; reconstructing the op and
+    # re-parsing both JSON blobs each time dominated `_compute`.  Ops are
+    # stateless once created and `apply` treats params as read-only, so
+    # the memoized instances are safe to share.
     name, config_json, params_json = op_args
-    op = registry.create(name, json.loads(config_json))
-    return op, json.loads(params_json)
+    return _op_from_args_cached(registry, name, config_json, params_json)
 
 
 class VideoMaterializer:
@@ -68,12 +86,14 @@ class VideoMaterializer:
         cache: Optional[ObjectStore] = None,
         frontier: Optional[Set[str]] = None,
         registry: Optional[OpRegistry] = None,
+        anchor_cache: Optional[AnchorCache] = None,
     ):
         self.graph = graph
         self._encoded = encoded
         self.cache = cache
         self.frontier = frontier or set()
         self.registry = registry or default_registry()
+        self.anchor_cache = anchor_cache
         self.stats = MaterializeStats()
         self._memo: Dict[str, np.ndarray] = {}
         self._decoder: Optional[VideoDecoder] = None
@@ -94,7 +114,12 @@ class VideoMaterializer:
         return stored
 
     def release_raw_frames(self) -> int:
-        """Drop decoded frames (and the decoder) from memory (S5.4)."""
+        """Drop decoded frames from memory (S5.4).
+
+        The decoder survives the release: its anchor cache (byte-budgeted
+        on its own) is what makes the *next* sparse access to this video
+        cheap, so dropping raw frames no longer forfeits anchor state.
+        """
         with self._lock:
             dropped = 0
             for key in list(self._memo):
@@ -102,7 +127,6 @@ class VideoMaterializer:
                     self.stats.bytes_in_memory -= self._memo[key].nbytes
                     del self._memo[key]
                     dropped += 1
-            self._decoder = None
             return dropped
 
     def release_all(self) -> None:
@@ -190,13 +214,20 @@ class VideoMaterializer:
         raise ValueError(f"unknown node kind {node.kind!r}")
 
     def _decode_wanted(self) -> None:
-        """Decode the union of wanted frames once and memoize them all."""
+        """Decode the union of wanted frames, GOP by GOP, and memoize them.
+
+        Frames already persisted in the object cache skip their payload
+        reads entirely; the rest are coalesced per GOP and fed to the
+        (persistent) decoder one GOP at a time, so anchor-cache reuse is
+        priced per keyframe interval and decode stats accumulate as
+        deltas — a decoder re-opened after ``release_all`` no longer
+        resets the materializer's counters.
+        """
         missing = [
             n.frame_index
             for n in self.graph.frames()
             if n.key not in self._memo and n.frame_index is not None
         ]
-        to_decode: Iterable[int] = missing
         if self.cache is not None:
             # Frames already persisted (frontier at frame level) load from
             # cache instead of decode; only truly absent ones decode.
@@ -216,15 +247,28 @@ class VideoMaterializer:
                             self._remember(key, array)
                             continue
                 pending.append(index)
-            to_decode = pending
-        to_decode = list(to_decode)
-        if not to_decode:
+            missing = pending
+        if not missing:
             return
         if self._decoder is None:
-            self._decoder = open_decoder(self._encoded)
-        frames = self._decoder.decode_frames(to_decode)
-        self.stats.frames_decoded = self._decoder.stats.frames_decoded
-        for index, pixels in frames.items():
-            self._remember(
-                f"frame:{self.graph.video_id}:{index}", pixels[np.newaxis, ...]
+            self._decoder = open_decoder(
+                self._encoded, anchor_cache=self.anchor_cache
             )
+        gop = self.graph.metadata.gop
+        by_gop: Dict[int, List[int]] = {}
+        for index in missing:
+            by_gop.setdefault(gop.gop_of(index), []).append(index)
+        for gop_id in sorted(by_gop):
+            before = self._decoder.stats.frames_decoded
+            before_reused = self._decoder.stats.frames_reused_from_anchor_cache
+            frames = self._decoder.decode_frames(by_gop[gop_id])
+            self.stats.frames_decoded += (
+                self._decoder.stats.frames_decoded - before
+            )
+            self.stats.frames_reused_from_anchor_cache += (
+                self._decoder.stats.frames_reused_from_anchor_cache - before_reused
+            )
+            for index, pixels in frames.items():
+                self._remember(
+                    f"frame:{self.graph.video_id}:{index}", pixels[np.newaxis, ...]
+                )

@@ -23,7 +23,7 @@ Two corrections to the paper's pseudocode, both clearly intended:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.core.concrete_graph import MaterializationPlan, VideoGraph
 

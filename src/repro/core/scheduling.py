@@ -17,8 +17,8 @@ benchmarks can test scheduling decisions deterministically.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.concrete_graph import MaterializationPlan
 from repro.core.pruning import PruningOutcome

@@ -39,6 +39,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.augment.registry import OpRegistry
+from repro.codec.incremental import AnchorCache
 from repro.core.abstract_graph import AbstractViewGraph, group_tasks_by_dataset
 from repro.core.cache import CacheManager
 from repro.core.concrete_graph import MaterializationPlan, build_plan_window
@@ -136,6 +137,10 @@ class SandService(FileSystemProvider):
         # len() == 0 and is falsy.
         self.store = store if store is not None else LocalStore(storage_budget_bytes)
         self.cache = CacheManager(self.store)
+        # One anchor cache for the service's lifetime: rolling to a new
+        # plan window rebuilds the engine, but decoded anchor state keeps
+        # paying off across windows (videos recur every epoch).
+        self.anchor_cache = AnchorCache()
 
         self._window_lock = threading.RLock()
         self._active_tasks: Set[str] = set()
@@ -221,6 +226,7 @@ class SandService(FileSystemProvider):
             memory_budget_bytes=self.memory_budget_bytes,
             scheduling_mode=self.scheduling_mode,
             registry=self.registry,
+            anchor_cache=self.anchor_cache,
         )
         engine.start()
         group.window_start = epoch_start

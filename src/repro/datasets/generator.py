@@ -15,9 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
-from repro.codec.container import read_container
 from repro.codec.encoder import encode_video
 from repro.codec.intra import encode_intra_video
 from repro.codec.model import VideoMetadata

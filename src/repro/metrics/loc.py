@@ -13,7 +13,7 @@ from __future__ import annotations
 import io
 import tokenize
 from pathlib import Path
-from typing import Iterable, Optional, Set
+from typing import Optional, Set
 
 
 def count_loc(source: str) -> int:

@@ -8,7 +8,7 @@ alongside measured ones.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Sequence
 
 
 def fmt_seconds(value: float) -> str:

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import queue
 import threading
-import traceback
 from typing import Any, Callable, List, Optional
 
 

@@ -11,7 +11,7 @@ once the cost model fixes how long each component stays busy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 

@@ -9,10 +9,10 @@ bench files) makes them importable from tests and notebooks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.rayx.asha import AshaScheduler, Decision
-from repro.sim.costs import BYTES_PER_TB, CostModel, MODEL_PROFILES, NodeProfile
+from repro.sim.costs import BYTES_PER_TB, MODEL_PROFILES, NodeProfile
 from repro.sim.kernel import Simulation
 from repro.simlab.node import SimNode
 from repro.simlab.pipelines import (

@@ -26,7 +26,7 @@ Priorities follow S5.4: demand feeding outranks pre-materialization
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, Optional, Tuple
 
 from repro.sim.kernel import Event, Simulation
 from repro.simlab.node import SimGPU, SimNode

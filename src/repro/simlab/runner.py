@@ -10,7 +10,7 @@ paper's evaluation figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.sim.costs import NodeProfile
 from repro.sim.kernel import Simulation

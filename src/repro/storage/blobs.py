@@ -33,10 +33,18 @@ def encode_array(array: np.ndarray, compress: bool = True) -> bytes:
         raise BlobError("too many dimensions")
     header = struct.pack(_HEADER_FMT, _MAGIC, array.ndim, len(dtype_code))
     shape = struct.pack(f"<{array.ndim}Q", *array.shape)
-    raw = np.ascontiguousarray(array).tobytes()
+    # Zero-copy payload: a C-contiguous ndarray exposes the buffer
+    # protocol, so zlib/join consume its memory directly instead of the
+    # extra full copy `.tobytes()` would make.
+    contiguous = np.ascontiguousarray(array)
     flag = b"\x01" if compress else b"\x00"
-    payload = zlib.compress(raw, _ZLIB_LEVEL) if compress else raw
-    return header + dtype_code + shape + flag + payload
+    if compress:
+        payload = zlib.compress(contiguous, _ZLIB_LEVEL)
+    elif contiguous.size == 0:
+        payload = b""  # memoryview cannot cast zero-length shapes
+    else:
+        payload = contiguous.data.cast("B")
+    return b"".join((header, dtype_code, shape, flag, payload))
 
 
 def decode_array(data: bytes) -> np.ndarray:
@@ -55,9 +63,13 @@ def decode_array(data: bytes) -> np.ndarray:
     if pos >= len(data):
         raise BlobError("blob missing compression flag")
     compressed = data[pos : pos + 1] == b"\x01"
-    payload = data[pos + 1 :]
+    # Zero-copy where possible: slice via memoryview (no byte copy) and
+    # build the array straight over the decompressed buffer — materialized
+    # objects are treated as immutable downstream, so the read-only view
+    # is safe and avoids doubling every cache read's allocation.
+    payload = memoryview(data)[pos + 1 :]
     raw = zlib.decompress(payload) if compressed else payload
     expected = int(np.prod(shape)) * dtype.itemsize if ndim else dtype.itemsize
     if len(raw) != expected:
         raise BlobError(f"payload is {len(raw)} bytes, expected {expected}")
-    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+    return np.frombuffer(raw, dtype=dtype).reshape(shape)

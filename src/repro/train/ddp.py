@@ -13,8 +13,8 @@ cache.  ``bytes_from_remote`` exposes that difference for the benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -11,7 +11,7 @@ synthetic videos carry learnable class structure (the blob geometry in
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

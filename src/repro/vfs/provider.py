@@ -8,7 +8,7 @@ open/read, extended attributes, and directory listing.  Providers see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.vfs.errors import VfsError
 

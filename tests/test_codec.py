@@ -6,14 +6,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.codec import (
+    AnchorCache,
     ContainerError,
     Decoder,
     FrameType,
     GopStructure,
+    IncrementalDecoder,
     SyntheticVideoSource,
     VideoMetadata,
     encode_video,
     frames_to_decode,
+    frames_to_decode_with_cache,
     video_class_of,
 )
 from repro.codec.container import read_container, write_container
@@ -252,3 +255,56 @@ def test_roundtrip_property(frames, gop, seed):
     idx = frames - 1
     out = dec.decode_frames([idx])
     assert np.array_equal(out[idx], src.frame(idx))
+
+
+# -- incremental decoder: differential against the stateless decoder ----------------
+
+
+@given(
+    frames=st.integers(2, 40),
+    gop=st.integers(1, 12),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_incremental_decoder_matches_stateless(frames, gop, data):
+    """Anchor-cache reuse must be pixel-exact across repeated sparse calls."""
+    src = make_video("diff", frames=frames, gop=gop, w=16, h=12)
+    encoded = encode_video(src)
+    inc = IncrementalDecoder(encoded, cache=AnchorCache(10**8))
+    calls = data.draw(
+        st.lists(
+            st.lists(st.integers(0, frames - 1), min_size=1, max_size=6),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    for wanted in calls:
+        got = inc.decode_frames(wanted)
+        reference = Decoder(encoded).decode_frames(wanted)
+        for idx in set(wanted):
+            assert np.array_equal(got[idx], reference[idx]), idx
+
+
+@given(
+    gop_size=st.integers(1, 20),
+    num_frames=st.integers(1, 100),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_cached_plan_is_subset_and_degrades_to_stateless(gop_size, num_frames, data):
+    indices = data.draw(
+        st.lists(st.integers(0, num_frames - 1), min_size=1, max_size=10)
+    )
+    gop = GopStructure(gop_size)
+    stateless = frames_to_decode(gop, indices, num_frames)
+    # Cold cache: exactly the stateless plan.
+    assert frames_to_decode_with_cache(gop, indices, num_frames, set()) == stateless
+    # Any set of cached anchors only ever shrinks the plan, and the
+    # requested frames still come out of (plan | cached anchors).
+    cached = {
+        i for i in data.draw(st.lists(st.integers(0, num_frames - 1), max_size=8))
+        if gop.is_anchor(i)
+    }
+    plan = frames_to_decode_with_cache(gop, indices, num_frames, cached)
+    assert set(plan) <= set(stateless)
+    assert set(indices) <= set(plan) | cached

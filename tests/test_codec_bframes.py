@@ -6,13 +6,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.codec import (
+    AnchorCache,
     Decoder,
     FrameType,
     GopStructure,
+    IncrementalDecoder,
     SyntheticVideoSource,
     VideoMetadata,
     encode_video,
     frames_to_decode,
+    frames_to_decode_with_cache,
 )
 
 
@@ -139,6 +142,47 @@ def test_roundtrip_property_with_b_frames(frames, gop, data):
         assert np.array_equal(out[i], src.frame(i))
     # The plan covered at least the wanted frames.
     assert dec.stats.frames_decoded >= len(set(wanted))
+
+
+@given(
+    frames=st.integers(3, 30),
+    gop=st.integers(2, 12),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_incremental_decoder_matches_stateless_with_b_frames(frames, gop, data):
+    """Differential property across random B-frame layouts and sparse sets."""
+    b = data.draw(st.integers(0, gop - 1))
+    src = make_video(frames=frames, gop=gop, b=b, w=16, h=12, vid=f"d{frames}")
+    encoded = encode_video(src)
+    inc = IncrementalDecoder(encoded, cache=AnchorCache(10**8))
+    calls = data.draw(
+        st.lists(
+            st.lists(st.integers(0, frames - 1), min_size=1, max_size=5),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    for wanted in calls:
+        got = inc.decode_frames(wanted)
+        reference = Decoder(encoded).decode_frames(wanted)
+        for idx in set(wanted):
+            assert np.array_equal(got[idx], reference[idx]), (b, idx)
+    # Reuse never decodes more than the stateless decoder would have.
+    stateless_total = sum(
+        len(frames_to_decode(src.metadata.gop, set(w), frames)) for w in calls
+    )
+    assert inc.stats.frames_decoded <= stateless_total
+
+
+def test_cached_plan_skips_lead_in_around_b_frames():
+    gop = GopStructure(12, b_frames=2)
+    # Anchor 6 cached: B frame 7 needs only its two neighbours + itself.
+    assert frames_to_decode_with_cache(gop, [7], 36, {6}) == [7, 9]
+    # Both anchors cached: just the B.
+    assert frames_to_decode_with_cache(gop, [7], 36, {6, 9}) == [7]
+    # A cached requested anchor costs nothing.
+    assert frames_to_decode_with_cache(gop, [6], 36, {6}) == []
 
 
 def test_pipeline_end_to_end_with_b_frames():

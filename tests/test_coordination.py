@@ -1,6 +1,5 @@
 """Tests for coordinated randomization: frame pool, windows, schedules."""
 
-import math
 
 import numpy as np
 import pytest

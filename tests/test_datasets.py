@@ -5,7 +5,6 @@ import pytest
 from repro.codec.decoder import Decoder
 from repro.datasets import (
     DATASET_PROFILES,
-    DatasetProfile,
     DatasetSpec,
     SyntheticDataset,
     load_dataset_dir,

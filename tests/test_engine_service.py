@@ -10,8 +10,6 @@ from repro.core import (
     CacheManager,
     PreprocessingEngine,
     SandClient,
-    SandService,
-    SchedulingMode,
     VideoMaterializer,
     build_plan_window,
     load_task_config,
@@ -21,7 +19,6 @@ from repro.core import (
     write_checkpoint,
 )
 from repro.datasets import DatasetSpec, SyntheticDataset
-from repro.storage.blobs import decode_array
 from repro.storage.local import LocalStore
 from repro.storage.objectstore import ObjectStore
 from repro.vfs.errors import FileNotFoundVfsError, NoAttributeError

@@ -1,6 +1,5 @@
 """Tests for multi-dataset services (tasks grouped by dataset root)."""
 
-import numpy as np
 import pytest
 
 from repro.core import SandService, load_task_configs

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Event, Interrupt, Simulation, SimulationError, Timeout
+from repro.sim import Interrupt, Simulation, SimulationError, Timeout
 
 
 def test_timeouts_fire_in_time_order():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.costs import BYTES_PER_TB, GPUProfile, MODEL_PROFILES, NodeProfile
+from repro.sim.costs import GPUProfile, MODEL_PROFILES, NodeProfile
 from repro.sim.kernel import Simulation
 from repro.simlab import (
     CpuOnDemandStrategy,
