@@ -74,6 +74,7 @@ from repro.core.engine import EngineStats, PreprocessingEngine
 from repro.core.service import SandService
 from repro.core.posix import SandClient, mount_sand
 from repro.core.recovery import (
+    RecoveryError,
     RecoveryReport,
     read_checkpoint,
     recover,
@@ -97,6 +98,7 @@ __all__ = [
     "ObjectNode",
     "PreprocessingEngine",
     "PruningOutcome",
+    "RecoveryError",
     "RecoveryReport",
     "SamplingPolicy",
     "SandClient",

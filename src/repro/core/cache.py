@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.concrete_graph import MaterializationPlan
 from repro.core.pruning import PruningOutcome
 from repro.storage.local import LocalStore
-from repro.storage.objectstore import StorageFullError
+from repro.storage.objectstore import StorageFullError, TransientStorageError
 
 
 class CacheManager:
@@ -145,7 +145,10 @@ class CacheManager:
                 self._evict_bytes(needed - self.store.free_bytes)
             try:
                 self.store.put(key, data)
-            except StorageFullError:
+            except (StorageFullError, TransientStorageError):
+                # Full: the object is simply not cacheable right now.
+                # Transient: skip this persist — the caller keeps the
+                # object in memory and a later access re-attempts it.
                 return False
             self._insert_seq[key] = self._next_seq
             self._next_seq += 1

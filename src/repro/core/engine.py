@@ -18,8 +18,10 @@ scheduler's memory-pressure probe reads it to trigger the SJF flip.
 
 from __future__ import annotations
 
+import random
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -35,8 +37,26 @@ from repro.core.scheduling import (
     SchedulingMode,
     build_jobs,
 )
+from repro.faults.errors import InjectedWorkerCrash, TransientDecodeError
+from repro.faults.proxies import FaultyDecoder
+from repro.storage.objectstore import TransientStorageError
+from repro.storage.retry import RetryPolicy
 
 DEFAULT_ANCHOR_CACHE_BYTES = 32 * 1024 * 1024
+
+# Failures worth retrying: flaky I/O and flaky decode.  Anything else is
+# a bug (or an injected crash) and must not be silently absorbed by a
+# retry loop.
+_RETRYABLE = (TransientStorageError, TransientDecodeError)
+
+
+@dataclass(frozen=True)
+class DeadLetterRecord:
+    """A pre-materialization job that exhausted its retries."""
+
+    video_id: str
+    attempts: int
+    reason: str
 
 
 @dataclass
@@ -48,6 +68,19 @@ class EngineStats:
     frames_decoded: int = 0
     frames_reused_from_anchor_cache: int = 0
     raw_frame_releases: int = 0
+    # -- failure handling (S5.5 fault model) --------------------------------
+    job_retries: int = 0
+    demand_retries: int = 0
+    worker_crashes: int = 0
+    dead_letters: List[DeadLetterRecord] = field(default_factory=list)
+    fallback_rematerializations: int = 0
+    transient_storage_errors: int = 0
+    corrupt_objects_evicted: int = 0
+    quarantined_keys: List[str] = field(default_factory=list)
+
+    @property
+    def dead_letter_jobs(self) -> List[str]:
+        return [record.video_id for record in self.dead_letters]
 
 
 class PreprocessingEngine:
@@ -66,6 +99,8 @@ class PreprocessingEngine:
         registry: Optional[OpRegistry] = None,
         anchor_cache: Optional[AnchorCache] = None,
         anchor_cache_budget_bytes: int = DEFAULT_ANCHOR_CACHE_BYTES,
+        fault_schedule=None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {num_workers}")
@@ -76,6 +111,19 @@ class PreprocessingEngine:
         self.registry = registry
         self.memory_budget_bytes = memory_budget_bytes
         self.stats = EngineStats()
+        # Fault handling: the schedule injects (crash-at-job-N, decoder
+        # faults via the wrapper below); the retry policy bounds how hard
+        # jobs and demand reads fight transient failures before giving up.
+        self.fault_schedule = fault_schedule
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self._retry_rng = random.Random(
+            f"engine-retry|{getattr(fault_schedule, 'seed', 0)}"
+        )
+        self._decoder_wrapper = (
+            (lambda decoder, video_id: FaultyDecoder(decoder, fault_schedule, video_id))
+            if fault_schedule is not None
+            else None
+        )
         # One anchor cache for the whole engine (and, when the caller
         # passes a long-lived one, across successive plan windows): every
         # materializer's decoder publishes decoded anchors here, so sparse
@@ -96,6 +144,9 @@ class PreprocessingEngine:
         # finished: drain() must wait for these, not just pending_count.
         self._inflight = 0
         self._inflight_lock = threading.Lock()
+        # Monotone claim counter: gives crash-at-job-N a thread-stable,
+        # 1-based job index.
+        self._job_seq = 0
 
         jobs = build_jobs(plan, pruning)
         self.scheduler = MaterializationScheduler(
@@ -111,9 +162,16 @@ class PreprocessingEngine:
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
-        """Launch pre-materialization workers (idempotent)."""
+        """Launch pre-materialization workers (idempotent, restartable).
+
+        Calling ``start`` after ``stop`` relaunches workers: the stop
+        signal is cleared first, so a stopped engine is reusable (the
+        service restarts the same engine when a task re-opens its window).
+        """
         if self._started:
             return
+        self._stop.clear()
+        self._threads = [t for t in self._threads if t.is_alive()]
         self._started = True
         for i in range(self._num_workers):
             thread = threading.Thread(
@@ -123,34 +181,51 @@ class PreprocessingEngine:
             self._threads.append(thread)
 
     def stop(self) -> None:
+        """Signal and join workers.  Idempotent and exception-safe:
+        calling it twice, or after a worker thread died from an
+        exception, neither hangs nor double-joins."""
         self._stop.set()
-        for thread in self._threads:
+        threads, self._threads = self._threads, []
+        current = threading.current_thread()
+        for thread in threads:
+            if thread is current:  # pragma: no cover - defensive
+                continue
             thread.join(timeout=10)
-        self._threads.clear()
+            if thread.is_alive():
+                # A wedged worker: leave it to the daemon reaper rather
+                # than hang shutdown; keep tracking it so a second stop
+                # (or start) still sees it.
+                self._threads.append(thread)
         self._started = False
 
     def drain(self) -> None:
         """Block until all pre-materialization jobs are done.
 
-        With live workers this waits for them; without any (``num_workers=0``
-        or not started), it runs the remaining jobs on the calling thread.
-        "Done" means no job is pending *and* no worker holds a claimed
-        job mid-materialization — claiming marks the scheduler done
-        before the work happens, so ``pending_count`` alone would let
-        ``drain`` return while frontier work is still in flight.
+        With live workers this waits for them; without any (``num_workers=0``,
+        not started, or every worker crashed), it runs the remaining jobs
+        on the calling thread.  "Done" means no job is pending *and* no
+        worker holds a claimed job mid-materialization — claiming marks
+        the scheduler done before the work happens, so ``pending_count``
+        alone would let ``drain`` return while frontier work is still in
+        flight.
         """
-        if not any(t.is_alive() for t in self._threads):
-            while self._run_one_job():
-                pass
-            return
-        import time
-
-        while not self._stop.is_set():
+        while any(t.is_alive() for t in self._threads):
+            if self._stop.is_set():
+                return
             with self._inflight_lock:
                 inflight = self._inflight
             if not self.scheduler.pending_count and not inflight:
                 return
             time.sleep(0.005)
+        # No live workers (never started, or all crashed): finish inline.
+        while True:
+            try:
+                if not self._run_one_job():
+                    return
+            except InjectedWorkerCrash:
+                # The "worker" is the calling thread; treat the crash as
+                # a lost job (the demand path will cover it) and go on.
+                continue
 
     def __enter__(self) -> "PreprocessingEngine":
         self.start()
@@ -182,11 +257,32 @@ class PreprocessingEngine:
                 self.cache is None or leaf_key not in self.cache
             ):
                 self.stats.demand_materializations += 1
-            samples.append(materializer.get(leaf_key))
+            samples.append(self._get_with_retries(materializer, leaf_key))
         batch = np.stack(samples, axis=0)
         self.stats.batches_served += 1
+        self._aggregate_materializer_stats()
         self._note_memory()
         return batch, metadata
+
+    def _get_with_retries(self, materializer: VideoMaterializer, key: str) -> np.ndarray:
+        """Demand-path materialization with bounded retry.
+
+        Storage faults already degrade to recomputation inside the
+        materializer; what reaches here is flaky *compute* (decoder
+        faults).  Those are retried with backoff so one transient blip
+        never poisons a training batch; exhaustion re-raises — the
+        trainer must see a hard, repeated failure.
+        """
+        attempt = 0
+        while True:
+            try:
+                return materializer.get(key)
+            except _RETRYABLE:
+                if attempt >= self.retry_policy.max_retries:
+                    raise
+                self.stats.demand_retries += 1
+                time.sleep(self.retry_policy.delay_for(attempt, self._retry_rng))
+                attempt += 1
 
     def _batch_metadata(self, assembly: BatchAssembly) -> Dict:
         videos, timestamps, labels, frame_lists = [], [], [], []
@@ -213,9 +309,14 @@ class PreprocessingEngine:
     # -- pre-materialization ---------------------------------------------------
     def _worker_loop(self) -> None:
         while not self._stop.is_set():
-            if not self._run_one_job():
-                if self._stop.wait(timeout=0.01):
-                    return
+            try:
+                ran = self._run_one_job()
+            except InjectedWorkerCrash:
+                # This worker dies for real; its claimed job is lost.
+                # Peers and the demand path carry the window.
+                return
+            if not ran and self._stop.wait(timeout=0.01):
+                return
 
     def _run_one_job(self) -> bool:
         job = self.scheduler.next_job(self._current_step())
@@ -226,35 +327,67 @@ class PreprocessingEngine:
         # drain() for the whole life of the job.
         with self._inflight_lock:
             self._inflight += 1
+            self._job_seq += 1
+            job_index = self._job_seq
         try:
             self.scheduler.mark_done(job.video_id)
+            if self.fault_schedule is not None and self.fault_schedule.should_crash_job(
+                job_index
+            ):
+                self.stats.worker_crashes += 1
+                raise InjectedWorkerCrash(
+                    f"injected crash at job #{job_index} ({job.video_id})"
+                )
             materializer = self._materializer(job.video_id)
             frontier = (
                 self.pruning.frontier_of(job.video_id)
                 if self.pruning is not None
                 else {leaf.key for leaf in self.plan.graphs[job.video_id].leaves()}
             )
-            for node_key in sorted(frontier):
-                if self._stop.is_set():
-                    return False
-                materializer.get(node_key)
-                self.stats.pre_materializations += 1
+            self._materialize_with_retries(job.video_id, materializer, sorted(frontier))
             released = materializer.release_raw_frames()
             self.stats.raw_frame_releases += released
-            with self._mat_lock:
-                materializers = list(self._materializers.values())
-            self.stats.frames_decoded = sum(
-                m.stats.frames_decoded for m in materializers
-            )
-            self.stats.frames_reused_from_anchor_cache = sum(
-                m.stats.frames_reused_from_anchor_cache for m in materializers
-            )
+            self._aggregate_materializer_stats()
             self._note_memory()
             self._maybe_trim_memory()
             return True
         finally:
             with self._inflight_lock:
                 self._inflight -= 1
+
+    def _materialize_with_retries(
+        self, video_id: str, materializer: VideoMaterializer, frontier: List[str]
+    ) -> None:
+        """Run one job's frontier with bounded retry + dead-lettering.
+
+        Materialization is idempotent (memoized nodes are free on the
+        second pass), so a retry only re-runs what actually failed.  A
+        job that exhausts its retries is dead-lettered in the stats and
+        skipped — the window stays alive, and the demand path recomputes
+        anything the job failed to pre-materialize.
+        """
+        attempt = 0
+        while True:
+            try:
+                for node_key in frontier:
+                    if self._stop.is_set():
+                        return
+                    materializer.get(node_key)
+                self.stats.pre_materializations += len(frontier)
+                return
+            except _RETRYABLE as exc:
+                if attempt >= self.retry_policy.max_retries:
+                    self.stats.dead_letters.append(
+                        DeadLetterRecord(
+                            video_id=video_id,
+                            attempts=attempt + 1,
+                            reason=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    return
+                self.stats.job_retries += 1
+                time.sleep(self.retry_policy.delay_for(attempt, self._retry_rng))
+                attempt += 1
 
     # -- shared state ------------------------------------------------------------
     def _materializer(self, video_id: str) -> VideoMaterializer:
@@ -272,8 +405,31 @@ class PreprocessingEngine:
                     frontier=frontier,
                     registry=self.registry,
                     anchor_cache=self.anchor_cache,
+                    decoder_wrapper=self._decoder_wrapper,
                 )
             return self._materializers[video_id]
+
+    def _aggregate_materializer_stats(self) -> None:
+        """Roll per-materializer counters up into the engine's stats."""
+        with self._mat_lock:
+            materializers = list(self._materializers.values())
+        self.stats.frames_decoded = sum(m.stats.frames_decoded for m in materializers)
+        self.stats.frames_reused_from_anchor_cache = sum(
+            m.stats.frames_reused_from_anchor_cache for m in materializers
+        )
+        self.stats.fallback_rematerializations = sum(
+            m.stats.fallback_rematerializations for m in materializers
+        )
+        self.stats.transient_storage_errors = sum(
+            m.stats.transient_errors for m in materializers
+        )
+        self.stats.corrupt_objects_evicted = sum(
+            m.stats.corrupt_evictions for m in materializers
+        )
+        store = getattr(self.cache, "store", self.cache)
+        quarantined = getattr(store, "quarantined", None)
+        if quarantined is not None:
+            self.stats.quarantined_keys = list(quarantined)
 
     def _current_step(self) -> int:
         with self._progress_lock:

@@ -29,7 +29,12 @@ from repro.codec.incremental import AnchorCache
 from repro.codec.registry import VideoDecoder, open_decoder
 from repro.core.concrete_graph import ObjectNode, VideoGraph
 from repro.storage.blobs import BlobError, decode_array, encode_array
-from repro.storage.objectstore import ObjectStore, StorageFullError
+from repro.storage.objectstore import (
+    CorruptObjectError,
+    ObjectStore,
+    StorageFullError,
+    TransientStorageError,
+)
 
 
 @dataclass
@@ -42,6 +47,8 @@ class MaterializeStats:
     cache_hits: int = 0
     cache_stores: int = 0
     corrupt_evictions: int = 0
+    transient_errors: int = 0
+    fallback_rematerializations: int = 0
     bytes_in_memory: int = 0
 
     def count_op(self, name: str) -> None:
@@ -87,6 +94,7 @@ class VideoMaterializer:
         frontier: Optional[Set[str]] = None,
         registry: Optional[OpRegistry] = None,
         anchor_cache: Optional[AnchorCache] = None,
+        decoder_wrapper=None,
     ):
         self.graph = graph
         self._encoded = encoded
@@ -94,6 +102,9 @@ class VideoMaterializer:
         self.frontier = frontier or set()
         self.registry = registry or default_registry()
         self.anchor_cache = anchor_cache
+        # Optional hook (video_decoder, video_id) -> decoder, used by the
+        # fault-injection harness to wrap decoders in failure proxies.
+        self.decoder_wrapper = decoder_wrapper
         self.stats = MaterializeStats()
         self._memo: Dict[str, np.ndarray] = {}
         self._decoder: Optional[VideoDecoder] = None
@@ -151,25 +162,52 @@ class VideoMaterializer:
         if node is None:
             raise KeyError(f"{self.graph.video_id}: unknown node {key!r}")
 
-        if self.cache is not None and key in self.cache:
-            blob = self.cache.get(key)
-            if blob is not None:
-                try:
-                    array = decode_array(blob)
-                except BlobError:
-                    # Corrupted cache entry (torn write, bit rot): drop it
-                    # and recompute — the graph can always regenerate.
-                    self.cache.delete(key)
-                    self.stats.corrupt_evictions += 1
-                else:
-                    self.stats.cache_hits += 1
-                    self._remember(key, array)
-                    return array
+        array = self._load_cached(key)
+        if array is not None:
+            self._remember(key, array)
+            return array
 
         array = self._compute(node)
         if key not in self._memo:
             self._remember(key, array)
         self._persist_if_frontier(key, array)
+        return array
+
+    def _load_cached(self, key: str) -> Optional[np.ndarray]:
+        """Fetch+decode a persisted object; ``None`` means recompute.
+
+        Every failure mode degrades to re-materialization from the
+        source video rather than poisoning the batch: a corrupt blob
+        (checksum mismatch → already quarantined by the store, or a
+        decode failure → evicted here) and a transient I/O error (the
+        blob survives; only this read gives up) both report ``None``.
+        """
+        if self.cache is None or key not in self.cache:
+            return None
+        try:
+            blob = self.cache.get(key)
+        except CorruptObjectError:
+            # The store quarantined the key; recompute from source.
+            self.stats.corrupt_evictions += 1
+            self.stats.fallback_rematerializations += 1
+            return None
+        except TransientStorageError:
+            self.stats.transient_errors += 1
+            self.stats.fallback_rematerializations += 1
+            return None
+        if blob is None:
+            return None
+        try:
+            array = decode_array(blob)
+        except BlobError:
+            # Corrupted cache entry that slipped past the store's CRC
+            # (e.g. in-flight corruption): drop it and recompute — the
+            # graph can always regenerate.
+            self.cache.delete(key)
+            self.stats.corrupt_evictions += 1
+            self.stats.fallback_rematerializations += 1
+            return None
+        self.stats.cache_hits += 1
         return array
 
     def _persist_if_frontier(self, key: str, array: np.ndarray) -> None:
@@ -183,6 +221,10 @@ class VideoMaterializer:
             # exhausted mid-window we keep the object in memory and
             # recompute later rather than fail the pipeline.
             pass
+        except TransientStorageError:
+            # Flaky write: skip the persist — the object stays in memory
+            # and a later access re-attempts the store.
+            self.stats.transient_errors += 1
 
     def _remember(self, key: str, array: np.ndarray) -> None:
         self._memo[key] = array
@@ -234,19 +276,11 @@ class VideoMaterializer:
             pending = []
             for index in missing:
                 key = f"frame:{self.graph.video_id}:{index}"
-                if key in self.cache:
-                    blob = self.cache.get(key)
-                    if blob is not None:
-                        try:
-                            array = decode_array(blob)
-                        except BlobError:
-                            self.cache.delete(key)
-                            self.stats.corrupt_evictions += 1
-                        else:
-                            self.stats.cache_hits += 1
-                            self._remember(key, array)
-                            continue
-                pending.append(index)
+                array = self._load_cached(key)
+                if array is not None:
+                    self._remember(key, array)
+                else:
+                    pending.append(index)
             missing = pending
         if not missing:
             return
@@ -254,6 +288,10 @@ class VideoMaterializer:
             self._decoder = open_decoder(
                 self._encoded, anchor_cache=self.anchor_cache
             )
+            if self.decoder_wrapper is not None:
+                self._decoder = self.decoder_wrapper(
+                    self._decoder, self.graph.video_id
+                )
         gop = self.graph.metadata.gop
         by_gop: Dict[int, List[int]] = {}
         for index in missing:

@@ -8,10 +8,16 @@ only in-memory state.  Recovery is the paper's three steps:
    window), so the rebuilt plan is bit-identical to the lost one; the
    checkpoint manifest records those inputs plus the pruning frontier.
 2. **Scan disk for previously persisted objects** — the directory-backed
-   object store rebuilds its index from files.
+   object store rebuilds its index from files, quarantining torn writes.
 3. **Determine optimal recovery points** — diff the frontier against the
    scanned store: only objects that are planned-but-missing need
-   recomputation.
+   recomputation.  Survivors are checksum-validated first, so a blob
+   that rotted while the service was down counts as missing, not as
+   recovered.
+
+A manifest that is itself damaged (truncated by the crash, version
+skew, missing fields) raises :class:`RecoveryError` naming the manifest
+path — never a raw ``JSONDecodeError``/``KeyError``.
 """
 
 from __future__ import annotations
@@ -28,6 +34,17 @@ from repro.storage.objectstore import ObjectStore
 MANIFEST_NAME = "sand-checkpoint.json"
 MANIFEST_VERSION = 1
 
+_REQUIRED_MANIFEST_KEYS = ("seed", "window_start", "k_epochs", "frontier")
+
+
+class RecoveryError(ValueError):
+    """The checkpoint manifest cannot be used for recovery."""
+
+    def __init__(self, path, reason: str):
+        super().__init__(f"cannot recover from checkpoint {str(path)!r}: {reason}")
+        self.path = Path(path)
+        self.reason = reason
+
 
 @dataclass
 class RecoveryReport:
@@ -39,6 +56,7 @@ class RecoveryReport:
     recovered_objects: int
     missing: Dict[str, List[str]] = field(default_factory=dict)  # video -> keys
     stale_keys: List[str] = field(default_factory=list)  # on disk, not planned
+    corrupt_keys: List[str] = field(default_factory=list)  # failed checksum
 
     @property
     def missing_count(self) -> int:
@@ -78,12 +96,33 @@ def write_checkpoint(
 
 
 def read_checkpoint(path: Path) -> dict:
+    """Load and validate the manifest; :class:`RecoveryError` on damage."""
     path = Path(path)
     if path.is_dir():
         path = path / MANIFEST_NAME
-    manifest = json.loads(path.read_text())
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise RecoveryError(path, f"manifest unreadable: {exc}") from exc
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise RecoveryError(
+            path, f"manifest truncated or malformed: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise RecoveryError(path, "manifest is not a JSON object")
     if manifest.get("version") != MANIFEST_VERSION:
-        raise ValueError(f"unsupported checkpoint version {manifest.get('version')}")
+        raise RecoveryError(
+            path,
+            f"unsupported checkpoint version {manifest.get('version')!r} "
+            f"(expected {MANIFEST_VERSION})",
+        )
+    absent = [key for key in _REQUIRED_MANIFEST_KEYS if key not in manifest]
+    if absent:
+        raise RecoveryError(path, f"manifest missing required keys: {absent}")
+    if not isinstance(manifest["frontier"], dict):
+        raise RecoveryError(path, "manifest frontier must be a JSON object")
     return manifest
 
 
@@ -91,22 +130,33 @@ def recover(
     manifest: dict,
     store: ObjectStore,
 ) -> RecoveryReport:
-    """Steps 2-3: rescan the store and diff it against the manifest."""
+    """Steps 2-3: rescan the store and diff it against the manifest.
+
+    Every planned object found on disk is checksum-validated before it
+    counts as recovered; a corrupt survivor is quarantined by the store
+    and reported both in ``missing`` (it must be recomputed) and in
+    ``corrupt_keys`` (so operators can see the rot).
+    """
     store.scan()
     on_disk: Set[str] = set(store.keys())
+    verify = getattr(store, "verify", None)
     planned = 0
     recovered = 0
     missing: Dict[str, List[str]] = {}
+    corrupt: List[str] = []
     planned_keys: Set[str] = set()
     for video_id, keys in manifest["frontier"].items():
         lost = []
         for key in keys:
             planned += 1
             planned_keys.add(key)
-            if key in on_disk:
-                recovered += 1
-            else:
+            if key not in on_disk:
                 lost.append(key)
+            elif verify is not None and not verify(key):
+                corrupt.append(key)
+                lost.append(key)
+            else:
+                recovered += 1
         if lost:
             missing[video_id] = lost
     return RecoveryReport(
@@ -116,4 +166,5 @@ def recover(
         recovered_objects=recovered,
         missing=missing,
         stale_keys=sorted(on_disk - planned_keys),
+        corrupt_keys=sorted(corrupt),
     )

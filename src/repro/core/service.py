@@ -104,6 +104,8 @@ class SandService(FileSystemProvider):
         registry: Optional[OpRegistry] = None,
         store: Optional[LocalStore] = None,
         memory_budget_bytes: int = 512 * 1024 * 1024,
+        fault_schedule=None,
+        retry_policy=None,
     ):
         if not tasks:
             raise ValueError("need at least one task config")
@@ -116,6 +118,11 @@ class SandService(FileSystemProvider):
         self.registry = registry
         self.num_workers = num_workers
         self.memory_budget_bytes = memory_budget_bytes
+        # Fault-injection harness hooks (repro.faults): the schedule
+        # drives injected failures inside every engine this service
+        # builds; the retry policy bounds how the engines fight back.
+        self.fault_schedule = fault_schedule
+        self.retry_policy = retry_policy
 
         self.abstract_graphs: Dict[str, AbstractViewGraph] = {
             t.tag: AbstractViewGraph.from_config(t) for t in tasks
@@ -227,6 +234,8 @@ class SandService(FileSystemProvider):
             scheduling_mode=self.scheduling_mode,
             registry=self.registry,
             anchor_cache=self.anchor_cache,
+            fault_schedule=self.fault_schedule,
+            retry_policy=self.retry_policy,
         )
         engine.start()
         group.window_start = epoch_start

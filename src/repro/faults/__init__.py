@@ -1,0 +1,62 @@
+"""Seeded, deterministic fault injection (the S5.5 fault model, exercised).
+
+The paper's fault-tolerance story — persist everything unpruned, rebuild
+the plan deterministically, recompute only planned-but-missing objects —
+is only credible if failure is actually exercised.  This package makes
+every failure scenario reproducible from a seed:
+
+* :class:`FaultSchedule` + :class:`FaultSpec` — a seeded oracle deciding
+  which operations fail, how (transient error, latency spike, torn
+  write, bit flip, worker crash), and when.
+* :class:`FaultyStore` / :class:`FaultyDecoder` / :class:`FaultyProvider`
+  — transparent proxies wrapping any object store, decoder, or VFS
+  provider in injected faults.
+
+Handling lives with the components: the object store checksums and
+quarantines (:class:`~repro.storage.objectstore.CorruptObjectError`),
+the remote store and the engine retry with bounded exponential backoff
+(:mod:`repro.storage.retry`), the materializer degrades corrupt or
+flaky cache reads to re-materialization from the source video, and
+recovery treats corrupt survivors as missing.  See DESIGN.md ("Fault
+model") for the taxonomy and policy.
+"""
+
+from repro.faults.errors import (
+    InjectedFaultError,
+    InjectedWorkerCrash,
+    TransientDecodeError,
+    TransientStorageError,
+    TransientVfsError,
+)
+from repro.faults.schedule import (
+    KINDS,
+    SITE_DECODE,
+    SITE_ENGINE_JOB,
+    SITE_REMOTE_GET,
+    SITE_REMOTE_PUT,
+    SITE_STORE_GET,
+    SITE_STORE_PUT,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.faults.proxies import FaultyDecoder, FaultyProvider, FaultyStore
+
+__all__ = [
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultyDecoder",
+    "FaultyProvider",
+    "FaultyStore",
+    "InjectedFaultError",
+    "InjectedWorkerCrash",
+    "KINDS",
+    "SITE_DECODE",
+    "SITE_ENGINE_JOB",
+    "SITE_REMOTE_GET",
+    "SITE_REMOTE_PUT",
+    "SITE_STORE_GET",
+    "SITE_STORE_PUT",
+    "TransientDecodeError",
+    "TransientStorageError",
+    "TransientVfsError",
+]

@@ -1,0 +1,41 @@
+"""Exception types raised by injected faults.
+
+:class:`~repro.storage.objectstore.TransientStorageError` lives in the
+storage layer (so storage code can catch it without importing this
+package); the decode- and worker-level fault types live here and are
+re-exported from :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+from repro.storage.objectstore import TransientStorageError
+
+
+class InjectedFaultError(RuntimeError):
+    """Base class for failures raised by the fault-injection harness."""
+
+
+class TransientDecodeError(InjectedFaultError):
+    """A decode attempt failed in a retryable way (injected)."""
+
+
+class TransientVfsError(InjectedFaultError):
+    """A filesystem-provider operation failed in a retryable way."""
+
+
+class InjectedWorkerCrash(InjectedFaultError):
+    """A pre-materialization worker was killed mid-job (injected).
+
+    Worker threads let this propagate, so the thread genuinely dies —
+    the engine must survive with its remaining workers and the demand
+    path.
+    """
+
+
+__all__ = [
+    "InjectedFaultError",
+    "InjectedWorkerCrash",
+    "TransientDecodeError",
+    "TransientStorageError",
+    "TransientVfsError",
+]

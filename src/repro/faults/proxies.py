@@ -1,0 +1,156 @@
+"""Injection proxies: wrap a store, decoder, or VFS provider in faults.
+
+Each proxy is a transparent pass-through (``__getattr__`` delegation)
+that consults a :class:`~repro.faults.schedule.FaultSchedule` before the
+real operation.  Control-flow faults (transient errors, latency spikes)
+fire inside the proxy; payload faults are applied to the bytes:
+
+* ``torn-write`` / ``bit-flip`` on ``store.put`` corrupt the blob *at
+  rest, after* the inner store stamped its checksum — exactly what a
+  failing device does, and exactly what the store's CRC verification
+  must catch on the next read.
+* ``bit-flip`` on ``store.get`` corrupts the bytes in flight (after the
+  store's CRC passed), which only the consumer-side blob decoding can
+  catch — exercising the second defense layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.faults.errors import TransientDecodeError, TransientVfsError
+from repro.faults.schedule import (
+    SITE_DECODE,
+    SITE_STORE_GET,
+    SITE_STORE_PUT,
+    FaultSchedule,
+)
+from repro.storage.objectstore import _key_to_relpath
+from repro.vfs.provider import FileHandle, FileSystemProvider, NodeInfo
+
+
+def _flip_bit(data: bytes, rng) -> bytes:
+    """Flip one deterministic-random bit of a non-empty payload."""
+    if not data:
+        return data
+    mutated = bytearray(data)
+    position = rng.randrange(len(mutated))
+    mutated[position] ^= 1 << rng.randrange(8)
+    return bytes(mutated)
+
+
+def _truncate(data: bytes, fraction: float) -> bytes:
+    """Keep the leading ``fraction`` of the payload (strictly shorter)."""
+    return data[: int(len(data) * fraction)]
+
+
+class FaultyStore:
+    """Fault-injection proxy for any ``ObjectStore``-compatible store."""
+
+    def __init__(self, inner, schedule: FaultSchedule):
+        self.inner = inner
+        self.schedule = schedule
+
+    def put(self, key: str, data: bytes) -> int:
+        payload = self.schedule.apply(SITE_STORE_PUT, key)
+        written = self.inner.put(key, data)
+        for spec in payload:
+            if spec.kind == "torn-write":
+                self.corrupt_at_rest(key, mode="truncate", fraction=spec.tear_fraction)
+            elif spec.kind == "bit-flip":
+                self.corrupt_at_rest(key, mode="bit-flip")
+        return written
+
+    def get(self, key: str):
+        payload = self.schedule.apply(SITE_STORE_GET, key)
+        data = self.inner.get(key)
+        if data is not None:
+            for spec in payload:
+                if spec.kind == "bit-flip":
+                    data = _flip_bit(data, self.schedule.rng(f"read-flip|{key}"))
+        return data
+
+    def corrupt_at_rest(
+        self, key: str, mode: str = "bit-flip", fraction: float = 0.5
+    ) -> bool:
+        """Corrupt the persisted bytes *below* the checksum layer.
+
+        Simulates device-level damage: the store's index and stamped
+        checksum still describe the original bytes, so the next ``get``
+        (or ``verify``/``scan``) must detect the mismatch.  Returns False
+        if the key holds nothing corruptible.
+        """
+        store = self.inner
+        raw = getattr(store, "_read_raw")(key)
+        if not raw:
+            return False
+        if mode == "truncate":
+            mutated = _truncate(raw, fraction)
+        elif mode == "bit-flip":
+            mutated = _flip_bit(raw, self.schedule.rng(f"rest-flip|{key}"))
+        else:
+            raise ValueError(f"unknown corruption mode {mode!r}")
+        if getattr(store, "root", None) is not None:
+            (store.root / _key_to_relpath(key)).write_bytes(mutated)
+        else:
+            store._mem[key] = mutated
+        return True
+
+    # Dunders are looked up on the type, so they need explicit forwards.
+    def __contains__(self, key: str) -> bool:
+        return key in self.inner
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def keys(self) -> Iterator[str]:
+        return self.inner.keys()
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+
+class FaultyDecoder:
+    """Fault-injection proxy for any decoder with ``decode_frames``."""
+
+    def __init__(self, inner, schedule: FaultSchedule, video_id: str = ""):
+        self.inner = inner
+        self.schedule = schedule
+        self.video_id = video_id
+
+    def decode_frames(self, indices):
+        self.schedule.apply(SITE_DECODE, self.video_id, error=TransientDecodeError)
+        return self.inner.decode_frames(indices)
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+
+class FaultyProvider(FileSystemProvider):
+    """Fault-injection proxy for a mounted filesystem provider."""
+
+    def __init__(self, inner: FileSystemProvider, schedule: FaultSchedule):
+        self.inner = inner
+        self.schedule = schedule
+
+    def _inject(self, op: str, path: str) -> None:
+        self.schedule.apply(f"vfs.{op}", path, error=TransientVfsError)
+
+    def lookup(self, path: str) -> NodeInfo:
+        self._inject("lookup", path)
+        return self.inner.lookup(path)
+
+    def open(self, path: str) -> FileHandle:
+        self._inject("open", path)
+        return self.inner.open(path)
+
+    def getxattr(self, path: str, name: str) -> bytes:
+        self._inject("getxattr", path)
+        return self.inner.getxattr(path, name)
+
+    def listdir(self, path: str) -> List[str]:
+        self._inject("listdir", path)
+        return self.inner.listdir(path)
+
+    def release(self, handle: FileHandle) -> None:
+        self.inner.release(handle)

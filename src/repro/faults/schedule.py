@@ -1,0 +1,180 @@
+"""Seeded, deterministic fault schedules.
+
+A :class:`FaultSchedule` decides, per operation, which faults fire.  Two
+trigger forms:
+
+* **rate** — the fault fires with probability ``rate`` per operation,
+  decided by hashing ``(seed, spec, site, key, occurrence#)``.  The
+  occurrence counter is per ``(site, key)``, so a given key's Nth access
+  at a given site always draws the same verdict — a retried operation
+  advances the counter and gets a fresh draw, which is exactly how a
+  real transient fault behaves.
+* **at_count** — the fault fires exactly at the Nth operation seen at
+  that site (1-based), for "crash the worker at job N"-style scenarios.
+
+Both forms are reproducible from the seed given the same operation
+sequence (fully deterministic with ``num_workers=0``; with live worker
+threads, per-key counters keep rate-based draws stable under benign
+interleaving differences).
+
+Fault kinds:
+
+========================  =====================================================
+``transient-error``       raise a retryable error before the operation
+``latency``               sleep ``latency_s`` before the operation
+``torn-write``            truncate the persisted bytes *after* the store
+                          stamped its checksum (a device-level torn write)
+``bit-flip``              flip one payload bit (at rest for puts, in flight
+                          for gets)
+``crash``                 kill the worker executing the matching job
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.storage.objectstore import TransientStorageError
+
+KINDS = ("transient-error", "latency", "torn-write", "bit-flip", "crash")
+
+# Canonical injection sites.  Proxies pass these strings; specs match on
+# them verbatim.
+SITE_STORE_GET = "store.get"
+SITE_STORE_PUT = "store.put"
+SITE_REMOTE_GET = "remote.get"
+SITE_REMOTE_PUT = "remote.put"
+SITE_DECODE = "decoder.decode"
+SITE_ENGINE_JOB = "engine.job"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault source: what fires, where, and how often."""
+
+    kind: str
+    site: str
+    rate: float = 0.0
+    at_count: Optional[int] = None
+    latency_s: float = 0.0
+    tear_fraction: float = 0.5
+    max_fires: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {KINDS}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.at_count is not None and self.at_count < 1:
+            raise ValueError(f"at_count is 1-based, got {self.at_count}")
+        if self.rate == 0.0 and self.at_count is None:
+            raise ValueError("spec needs a rate or an at_count to ever fire")
+        if not 0.0 <= self.tear_fraction < 1.0:
+            raise ValueError(f"tear_fraction must be in [0, 1), got {self.tear_fraction}")
+
+
+class FaultSchedule:
+    """Seeded oracle deciding which faults fire for which operations."""
+
+    def __init__(self, seed: int = 0, specs: Sequence[FaultSpec] = ()):
+        self.seed = int(seed)
+        self.specs: List[FaultSpec] = list(specs)
+        self._lock = threading.Lock()
+        self._key_counts: Dict[Tuple[str, str], int] = {}
+        self._site_counts: Dict[str, int] = {}
+        self._spec_fires: List[int] = [0] * len(self.specs)
+        self._fires: Dict[Tuple[str, str], int] = {}
+
+    # -- decisions ----------------------------------------------------------
+    def _uniform(self, spec_index: int, site: str, key: str, occurrence: int) -> float:
+        token = f"{self.seed}|{spec_index}|{site}|{key}|{occurrence}".encode()
+        digest = hashlib.sha256(token).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def draw(self, site: str, key: str = "") -> List[FaultSpec]:
+        """Which (non-crash) faults fire for this operation?  Counts it."""
+        with self._lock:
+            occurrence = self._key_counts.get((site, key), 0) + 1
+            self._key_counts[(site, key)] = occurrence
+            site_count = self._site_counts.get(site, 0) + 1
+            self._site_counts[site] = site_count
+            fired: List[FaultSpec] = []
+            for index, spec in enumerate(self.specs):
+                if spec.site != site or spec.kind == "crash":
+                    continue
+                if spec.max_fires is not None and self._spec_fires[index] >= spec.max_fires:
+                    continue
+                if spec.at_count is not None:
+                    hit = site_count == spec.at_count
+                else:
+                    hit = self._uniform(index, site, key, occurrence) < spec.rate
+                if hit:
+                    self._record_fire(index, spec)
+                    fired.append(spec)
+            return fired
+
+    def apply(
+        self,
+        site: str,
+        key: str = "",
+        error: Type[BaseException] = TransientStorageError,
+    ) -> List[FaultSpec]:
+        """Fire control-flow faults for one operation.
+
+        Sleeps every matched latency spike, then raises ``error`` if a
+        transient-error spec matched.  Payload-mutating specs
+        (``torn-write``, ``bit-flip``) are returned for the caller (the
+        proxy holding the bytes) to apply.
+        """
+        fired = self.draw(site, key)
+        payload: List[FaultSpec] = []
+        transient: Optional[FaultSpec] = None
+        for spec in fired:
+            if spec.kind == "latency":
+                time.sleep(spec.latency_s)
+            elif spec.kind == "transient-error":
+                transient = spec
+            else:
+                payload.append(spec)
+        if transient is not None:
+            raise error(f"injected transient fault at {site} for {key!r}")
+        return payload
+
+    def should_crash_job(self, job_index: int) -> bool:
+        """Does the crash spec (if any) target this 1-based job index?"""
+        with self._lock:
+            for index, spec in enumerate(self.specs):
+                if spec.kind != "crash":
+                    continue
+                if spec.max_fires is not None and self._spec_fires[index] >= spec.max_fires:
+                    continue
+                if spec.at_count is not None and job_index == spec.at_count:
+                    self._record_fire(index, spec)
+                    return True
+            return False
+
+    def _record_fire(self, index: int, spec: FaultSpec) -> None:
+        self._spec_fires[index] += 1
+        self._fires[(spec.site, spec.kind)] = (
+            self._fires.get((spec.site, spec.kind), 0) + 1
+        )
+
+    # -- accounting ---------------------------------------------------------
+    def fire_counts(self) -> Dict[str, int]:
+        """``{"site:kind": fires}`` for every fault that has fired."""
+        with self._lock:
+            return {f"{site}:{kind}": n for (site, kind), n in sorted(self._fires.items())}
+
+    def total_fires(self) -> int:
+        with self._lock:
+            return sum(self._spec_fires)
+
+    def rng(self, salt: str = ""):
+        """A fresh seeded RNG derived from (seed, salt), for harness use."""
+        import random
+
+        return random.Random(f"{self.seed}|{salt}")

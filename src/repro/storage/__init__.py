@@ -16,19 +16,26 @@ for uint8 frames.  This package provides:
 
 from repro.storage.blobs import decode_array, encode_array
 from repro.storage.objectstore import (
+    CorruptObjectError,
     ObjectStore,
     StorageFullError,
     StoreStats,
+    TransientStorageError,
 )
+from repro.storage.retry import RetryPolicy, call_with_retries
 from repro.storage.local import LocalStore
 from repro.storage.remote import RemoteStore
 
 __all__ = [
+    "CorruptObjectError",
     "LocalStore",
     "ObjectStore",
     "RemoteStore",
+    "RetryPolicy",
     "StorageFullError",
     "StoreStats",
+    "TransientStorageError",
+    "call_with_retries",
     "decode_array",
     "encode_array",
 ]

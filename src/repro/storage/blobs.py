@@ -48,7 +48,14 @@ def encode_array(array: np.ndarray, compress: bool = True) -> bytes:
 
 
 def decode_array(data: bytes) -> np.ndarray:
-    """Inverse of :func:`encode_array`."""
+    """Inverse of :func:`encode_array`.
+
+    Malformed input — truncated, bit-flipped, or otherwise not a blob
+    this module wrote — always raises :class:`BlobError`, never a raw
+    struct/zlib/numpy exception: this is the consumer-side integrity
+    defense behind the object store's checksum, and callers key their
+    corruption fallbacks on it.
+    """
     base = struct.calcsize(_HEADER_FMT)
     if len(data) < base:
         raise BlobError("blob truncated")
@@ -56,9 +63,12 @@ def decode_array(data: bytes) -> np.ndarray:
     if magic != _MAGIC:
         raise BlobError(f"bad magic {magic!r}")
     pos = base
-    dtype = np.dtype(data[pos : pos + dtype_len].decode())
-    pos += dtype_len
-    shape = struct.unpack_from(f"<{ndim}Q", data, pos)
+    try:
+        dtype = np.dtype(data[pos : pos + dtype_len].decode())
+        pos += dtype_len
+        shape = struct.unpack_from(f"<{ndim}Q", data, pos)
+    except (TypeError, ValueError, UnicodeDecodeError, struct.error) as exc:
+        raise BlobError(f"blob header damaged: {exc}") from exc
     pos += 8 * ndim
     if pos >= len(data):
         raise BlobError("blob missing compression flag")
@@ -68,7 +78,10 @@ def decode_array(data: bytes) -> np.ndarray:
     # objects are treated as immutable downstream, so the read-only view
     # is safe and avoids doubling every cache read's allocation.
     payload = memoryview(data)[pos + 1 :]
-    raw = zlib.decompress(payload) if compressed else payload
+    try:
+        raw = zlib.decompress(payload) if compressed else payload
+    except zlib.error as exc:
+        raise BlobError(f"blob payload damaged: {exc}") from exc
     expected = int(np.prod(shape)) * dtype.itemsize if ndim else dtype.itemsize
     if len(raw) != expected:
         raise BlobError(f"payload is {len(raw)} bytes, expected {expected}")

@@ -38,6 +38,18 @@ class LocalStore(ObjectStore):
         """True once usage crosses the eviction threshold (75% in S6)."""
         return self.fraction_used() >= self.eviction_watermark
 
+    def health(self) -> dict:
+        """Operational summary: capacity, usage, and integrity incidents."""
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "used_bytes": self.used_bytes,
+            "free_bytes": self.free_bytes,
+            "objects": len(self),
+            "above_watermark": self.above_watermark(),
+            "integrity_failures": self.stats.integrity_failures,
+            "quarantined_keys": list(self.quarantined),
+        }
+
     def bytes_over_watermark(self) -> int:
         """How many bytes eviction must reclaim to get back under."""
         target = int(self.capacity_bytes * self.eviction_watermark)

@@ -1,4 +1,4 @@
-"""Capacity-accounted key-value blob store.
+"""Capacity-accounted key-value blob store with end-to-end integrity.
 
 Backs SAND's materialized-object cache.  Two backends share one
 interface: a dict (fast, for tests and simulation-driven runs) and a
@@ -6,15 +6,30 @@ directory on the real filesystem (for fault-tolerance tests — objects
 must survive a service restart, S5.5).  Capacity is enforced at put time:
 the store never silently exceeds its budget; callers (the cache manager)
 must evict first.
+
+Every blob is stamped with a CRC-32 at ``put`` and verified at ``get``:
+a persisted object that rotted on disk (bit flip, torn write) raises
+:class:`CorruptObjectError` and is *quarantined* — dropped from the
+index (and, for disk-backed stores, moved aside for forensics) so the
+caller can fall back to re-materializing from the source video instead
+of consuming garbage.  ``scan`` applies the same discipline when
+rebuilding the index after a restart: a blob whose on-disk size
+disagrees with its recorded size is a torn write and is quarantined
+rather than indexed.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
+
+QUARANTINE_DIR = "_quarantine"
+_SUM_SUFFIX = ".sum"
+_KEY_SUFFIX = ".key"
 
 
 class StorageFullError(RuntimeError):
@@ -29,6 +44,25 @@ class StorageFullError(RuntimeError):
         self.available = available
 
 
+class CorruptObjectError(RuntimeError):
+    """A persisted blob failed its integrity check and was quarantined."""
+
+    def __init__(self, key: str, reason: str = "checksum mismatch"):
+        super().__init__(f"object {key!r} is corrupt: {reason}")
+        self.key = key
+        self.reason = reason
+
+
+class TransientStorageError(RuntimeError):
+    """A storage operation failed in a retryable way (flaky I/O, injected).
+
+    Raised by fault injection (:mod:`repro.faults`) and by flaky real
+    backends; callers either retry with backoff (:class:`RemoteStore`,
+    the engine's job loop) or degrade to recomputation (the
+    materializer's cache-read path).
+    """
+
+
 @dataclass
 class StoreStats:
     """Lifetime I/O counters."""
@@ -40,6 +74,7 @@ class StoreStats:
     misses: int = 0
     bytes_written: int = 0
     bytes_read: int = 0
+    integrity_failures: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -54,11 +89,12 @@ def _key_to_relpath(key: str) -> Path:
 
 
 class ObjectStore:
-    """A blob store with a byte-capacity budget.
+    """A blob store with a byte-capacity budget and per-blob checksums.
 
     ``root=None`` keeps blobs in memory; otherwise they live as files
-    under ``root`` (one file per key, content-addressed layout) plus an
-    in-memory index rebuilt by :meth:`scan` after a restart.
+    under ``root`` (one file per key, content-addressed layout, with
+    ``.key`` and ``.sum`` sidecars) plus an in-memory index rebuilt by
+    :meth:`scan` after a restart.
     """
 
     def __init__(self, capacity_bytes: int, root: Optional[Path] = None):
@@ -68,8 +104,10 @@ class ObjectStore:
         self.root = Path(root) if root is not None else None
         self._mem: Dict[str, bytes] = {}
         self._sizes: Dict[str, int] = {}
+        self._checksums: Dict[str, int] = {}
         self.used_bytes = 0
         self.stats = StoreStats()
+        self.quarantined: List[str] = []
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
             self.scan()
@@ -88,41 +126,61 @@ class ObjectStore:
             raise StorageFullError(key, needed, available)
         if key in self._sizes:
             self.delete(key)
+        checksum = zlib.crc32(data)
         if self.root is not None:
             path = self.root / _key_to_relpath(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(".tmp")
             tmp.write_bytes(data)
             os.replace(tmp, path)
-            (path.parent / (path.name + ".key")).write_text(key)
+            (path.parent / (path.name + _KEY_SUFFIX)).write_text(key)
+            (path.parent / (path.name + _SUM_SUFFIX)).write_text(
+                f"{checksum:08x} {needed}"
+            )
         else:
             self._mem[key] = data
         self._sizes[key] = needed
+        self._checksums[key] = checksum
         self.used_bytes += needed
         self.stats.puts += 1
         self.stats.bytes_written += needed
         return needed
 
     def get(self, key: str) -> Optional[bytes]:
-        """Fetch a blob; ``None`` (and a recorded miss) if absent."""
+        """Fetch a blob; ``None`` (and a recorded miss) if absent.
+
+        The blob's checksum is verified against the one stamped at put
+        time: a mismatch quarantines the key and raises
+        :class:`CorruptObjectError` — callers must treat the object as
+        lost and re-materialize it.
+        """
         self.stats.gets += 1
         if key not in self._sizes:
             self.stats.misses += 1
             return None
-        if self.root is not None:
-            path = self.root / _key_to_relpath(key)
-            try:
-                data = path.read_bytes()
-            except FileNotFoundError:
-                # Index out of sync with disk (e.g. external deletion).
-                self._forget(key)
-                self.stats.misses += 1
-                return None
-        else:
-            data = self._mem[key]
+        data = self._read_raw(key)
+        if data is None:
+            # Index out of sync with disk (e.g. external deletion).
+            self._forget(key)
+            self.stats.misses += 1
+            return None
+        if zlib.crc32(data) != self._checksums.get(key):
+            self.quarantine(key, "checksum mismatch on read")
+            self.stats.misses += 1
+            raise CorruptObjectError(key)
         self.stats.hits += 1
         self.stats.bytes_read += len(data)
         return data
+
+    def _read_raw(self, key: str) -> Optional[bytes]:
+        """Read the stored bytes without integrity or stats accounting."""
+        if self.root is not None:
+            path = self.root / _key_to_relpath(key)
+            try:
+                return path.read_bytes()
+            except FileNotFoundError:
+                return None
+        return self._mem.get(key)
 
     def delete(self, key: str) -> bool:
         if key not in self._sizes:
@@ -130,7 +188,8 @@ class ObjectStore:
         if self.root is not None:
             path = self.root / _key_to_relpath(key)
             path.unlink(missing_ok=True)
-            (path.parent / (path.name + ".key")).unlink(missing_ok=True)
+            (path.parent / (path.name + _KEY_SUFFIX)).unlink(missing_ok=True)
+            (path.parent / (path.name + _SUM_SUFFIX)).unlink(missing_ok=True)
         else:
             self._mem.pop(key, None)
         self._forget(key)
@@ -139,6 +198,51 @@ class ObjectStore:
 
     def _forget(self, key: str) -> None:
         self.used_bytes -= self._sizes.pop(key)
+        self._checksums.pop(key, None)
+
+    # -- integrity ---------------------------------------------------------------
+    def verify(self, key: str) -> bool:
+        """Integrity-check one indexed blob; quarantines and returns False
+        on corruption or loss, True when the blob matches its checksum."""
+        if key not in self._sizes:
+            return False
+        data = self._read_raw(key)
+        if data is None:
+            self._forget(key)
+            return False
+        if zlib.crc32(data) != self._checksums.get(key):
+            self.quarantine(key, "checksum mismatch during verification")
+            return False
+        return True
+
+    def verify_all(self) -> List[str]:
+        """Verify every indexed blob; returns the keys that failed."""
+        return [key for key in list(self._sizes) if not self.verify(key)]
+
+    def quarantine(self, key: str, reason: str = "integrity failure") -> None:
+        """Drop ``key`` from the index, preserving the bad bytes on disk.
+
+        Disk-backed stores move the blob under ``root/_quarantine`` (for
+        forensics); memory-backed stores just discard it.  The key is
+        recorded in :attr:`quarantined` either way.
+        """
+        if key not in self._sizes:
+            return
+        if self.root is not None:
+            path = self.root / _key_to_relpath(key)
+            qdir = self.root / QUARANTINE_DIR
+            qdir.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(path, qdir / path.name)
+            except FileNotFoundError:
+                pass
+            (path.parent / (path.name + _KEY_SUFFIX)).unlink(missing_ok=True)
+            (path.parent / (path.name + _SUM_SUFFIX)).unlink(missing_ok=True)
+        else:
+            self._mem.pop(key, None)
+        self._forget(key)
+        self.quarantined.append(key)
+        self.stats.integrity_failures += 1
 
     # -- introspection -----------------------------------------------------------
     def __contains__(self, key: str) -> bool:
@@ -153,6 +257,9 @@ class ObjectStore:
     def size_of(self, key: str) -> Optional[int]:
         return self._sizes.get(key)
 
+    def checksum_of(self, key: str) -> Optional[int]:
+        return self._checksums.get(key)
+
     @property
     def free_bytes(self) -> int:
         return self.capacity_bytes - self.used_bytes
@@ -165,19 +272,47 @@ class ObjectStore:
         """Rebuild the index from disk; returns objects found.
 
         Part of SAND's restart path: "scanning disk for previously
-        persisted objects".  No-op for in-memory stores.
+        persisted objects".  A blob whose size disagrees with its
+        recorded ``.sum`` sidecar is a torn write from the crashed
+        process and is quarantined, not indexed; a blob with no sidecar
+        (written by an older version) is adopted and re-stamped.  No-op
+        for in-memory stores.
         """
         if self.root is None:
             return 0
         self._sizes.clear()
+        self._checksums.clear()
         self.used_bytes = 0
-        for key_file in self.root.rglob("*.key"):
-            blob = key_file.parent / key_file.name[: -len(".key")]
+        for key_file in self.root.rglob("*" + _KEY_SUFFIX):
+            if QUARANTINE_DIR in key_file.parts:
+                continue
+            blob = key_file.parent / key_file.name[: -len(_KEY_SUFFIX)]
             if not blob.exists():
                 key_file.unlink(missing_ok=True)
+                (key_file.parent / (blob.name + _SUM_SUFFIX)).unlink(missing_ok=True)
                 continue
             key = key_file.read_text()
             size = blob.stat().st_size
+            sum_file = key_file.parent / (blob.name + _SUM_SUFFIX)
+            checksum: Optional[int] = None
+            if sum_file.exists():
+                try:
+                    checksum_hex, recorded_size = sum_file.read_text().split()
+                    checksum = int(checksum_hex, 16)
+                    if int(recorded_size) != size:
+                        # Torn write: the process died mid-write.  Index
+                        # it first so quarantine() can account for it.
+                        self._sizes[key] = size
+                        self.used_bytes += size
+                        self.quarantine(key, "size mismatch at scan (torn write)")
+                        continue
+                except (ValueError, OSError):
+                    checksum = None
+            if checksum is None:
+                # Legacy entry (pre-checksum format): adopt and stamp it.
+                checksum = zlib.crc32(blob.read_bytes())
+                sum_file.write_text(f"{checksum:08x} {size}")
             self._sizes[key] = size
+            self._checksums[key] = checksum
             self.used_bytes += size
         return len(self._sizes)

@@ -5,18 +5,30 @@ link bandwidth the simulator charges, and it counts bytes moved in each
 direction so Fig 14's claim — SAND's distributed training pulls only ~3%
 of the baseline's network traffic because it caches materialized objects
 locally — can be measured rather than asserted.
+
+WAN links are the flakiest component in the S5.5 fault model, so
+``get``/``put`` retry :class:`TransientStorageError` with bounded
+exponential backoff + jitter (see :mod:`repro.storage.retry`).  Faults
+come either from a real flaky backend or from an attached
+:class:`repro.faults.FaultSchedule` (the ``fault_schedule`` hook fires
+*inside* the retried operation, so the retry loop genuinely re-attempts
+the injected failure).
 """
 
 from __future__ import annotations
 
+import random
 from pathlib import Path
 from typing import Optional
 
-from repro.storage.objectstore import ObjectStore
+from repro.storage.objectstore import ObjectStore, TransientStorageError
+from repro.storage.retry import RetryPolicy, call_with_retries
+
+_RETRYABLE = (TransientStorageError,)
 
 
 class RemoteStore(ObjectStore):
-    """Remote store with link bandwidth and traffic accounting."""
+    """Remote store with link bandwidth, traffic accounting, and retries."""
 
     def __init__(
         self,
@@ -24,6 +36,8 @@ class RemoteStore(ObjectStore):
         root: Optional[Path] = None,
         link_bw: float = 1.2e9,
         latency_s: float = 0.01,
+        retry: Optional[RetryPolicy] = None,
+        fault_schedule=None,
     ):
         super().__init__(capacity_bytes, root=root)
         if link_bw <= 0:
@@ -34,15 +48,39 @@ class RemoteStore(ObjectStore):
         self.latency_s = float(latency_s)
         self.bytes_downloaded = 0
         self.bytes_uploaded = 0
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_schedule = fault_schedule
+        self.retries = 0
+        seed = getattr(fault_schedule, "seed", 0)
+        self._retry_rng = random.Random(f"remote-retry|{seed}")
+
+    def _inject(self, site: str, key: str) -> None:
+        if self.fault_schedule is not None:
+            self.fault_schedule.apply(site, key, error=TransientStorageError)
+
+    def _count_retry(self, exc: BaseException, attempt: int) -> None:
+        self.retries += 1
 
     def get(self, key: str):
-        data = super().get(key)
+        def attempt():
+            self._inject("remote.get", key)
+            return ObjectStore.get(self, key)
+
+        data = call_with_retries(
+            attempt, self.retry, _RETRYABLE, self._retry_rng, self._count_retry
+        )
         if data is not None:
             self.bytes_downloaded += len(data)
         return data
 
     def put(self, key: str, data: bytes) -> int:
-        written = super().put(key, data)
+        def attempt():
+            self._inject("remote.put", key)
+            return ObjectStore.put(self, key, data)
+
+        written = call_with_retries(
+            attempt, self.retry, _RETRYABLE, self._retry_rng, self._count_retry
+        )
         self.bytes_uploaded += written
         return written
 

@@ -1,0 +1,66 @@
+"""Bounded retry with exponential backoff and jitter.
+
+One policy object shared by everything in the system that retries:
+:class:`~repro.storage.remote.RemoteStore` I/O and the preprocessing
+engine's pre-materialization jobs.  Backoff is exponential with
+multiplicative jitter so concurrent retriers (worker threads hitting the
+same flaky store) decorrelate instead of hammering in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to wait between attempts."""
+
+    max_retries: int = 4
+    base_delay_s: float = 0.002
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    max_delay_s: float = 0.25
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_for(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered."""
+        delay = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
+        return delay * (1.0 + self.jitter * rng.random())
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    retryable: Tuple[Type[BaseException], ...],
+    rng: random.Random,
+    on_retry: Optional[Callable[[BaseException, int], None]] = None,
+) -> T:
+    """Run ``fn``, retrying ``retryable`` failures per ``policy``.
+
+    ``on_retry(exc, attempt)`` fires before each backoff sleep (for
+    stats).  The final failure is re-raised unchanged.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retryable as exc:
+            if attempt >= policy.max_retries:
+                raise
+            if on_retry is not None:
+                on_retry(exc, attempt)
+            time.sleep(policy.delay_for(attempt, rng))
+            attempt += 1

@@ -1,0 +1,233 @@
+"""Crash/recover soak: the full S5.5 restart path under real damage.
+
+A window is materialized to a disk-backed store and checkpointed; the
+"process" then dies, and the surviving directory is damaged three ways
+(a torn half-written blob, a bit-flipped blob, a lost blob).  Recovery
+must quarantine the torn write at scan, catch the bit rot at verify,
+report all three as missing, and the rebuilt engine must recompute
+exactly ``RecoveryReport.missing_count`` objects — no more, no fewer —
+before serving batches byte-identical to the pre-crash run.
+
+Damaged *manifests* are covered too: truncation, version skew, missing
+fields, and unreadable files all surface as :class:`RecoveryError`
+naming the manifest path, never as raw ``JSONDecodeError``/``KeyError``.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CacheManager,
+    PreprocessingEngine,
+    RecoveryError,
+    SandService,
+    build_plan_window,
+    load_task_config,
+    prune_plan,
+    read_checkpoint,
+    recover,
+    write_checkpoint,
+)
+from repro.datasets import DatasetSpec, SyntheticDataset
+from repro.faults import FaultSchedule, FaultyStore
+from repro.storage.local import LocalStore
+
+SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+
+def make_config(tag="t"):
+    return load_task_config({
+        "dataset": {
+            "tag": tag,
+            "video_dataset_path": "/d",
+            "sampling": {
+                "videos_per_batch": 2,
+                "frames_per_video": 4,
+                "frame_stride": 2,
+            },
+            "augmentation": [
+                {
+                    "branch_type": "single",
+                    "inputs": ["frame"],
+                    "outputs": ["a0"],
+                    "config": [
+                        {"resize": {"shape": [18, 24]}},
+                        {"random_crop": {"size": [12, 12]}},
+                    ],
+                }
+            ],
+        }
+    })
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticDataset(
+        DatasetSpec(num_videos=6, min_frames=30, max_frames=45, width=32, height=24, seed=3)
+    )
+
+
+# -- the soak ---------------------------------------------------------------
+
+
+@pytest.mark.faults
+def test_crash_damage_recover_soak(dataset, tmp_path):
+    cfg = make_config()
+    plan = build_plan_window([cfg], dataset, 0, 2, seed=5)
+    pruning = prune_plan(plan, plan.total_cached_bytes() * 1.01)
+    store = LocalStore(10**8, root=tmp_path / "cache")
+    cache = CacheManager(store)
+    cache.register_plan(plan, pruning)
+    engine = PreprocessingEngine(plan, dataset, pruning=pruning, cache=cache, num_workers=0)
+    engine.drain()
+    manifest_path = write_checkpoint(tmp_path, plan, pruning, seed=5)
+    reference = {
+        key: engine.get_batch(*key)[0] for key in sorted(plan.batches)
+    }
+
+    # -- crash.  The directory survives, but damaged three ways: --------
+    keys = sorted(store.keys())
+    assert len(keys) >= 3
+    k_torn, k_flip, k_lost = keys[0], keys[1], keys[2]
+    vandal = FaultyStore(store, FaultSchedule(seed=SEED))
+    vandal.corrupt_at_rest(k_torn, mode="truncate", fraction=0.5)
+    vandal.corrupt_at_rest(k_flip, mode="bit-flip")
+    store.delete(k_lost)
+
+    # -- restart: fresh store over the same directory -------------------
+    fresh_store = LocalStore(10**8, root=tmp_path / "cache")
+    # The torn write was caught at scan (size vs recorded .sum sidecar).
+    assert k_torn in fresh_store.quarantined
+    assert k_torn not in fresh_store
+
+    report = recover(read_checkpoint(manifest_path), fresh_store)
+    # The bit-flipped survivor passed the size check but failed checksum
+    # validation: it counts as missing, not as recovered.
+    assert report.corrupt_keys == [k_flip]
+    assert k_flip in fresh_store.quarantined
+    missing = sorted(k for ks in report.missing.values() for k in ks)
+    assert missing == sorted([k_torn, k_flip, k_lost])
+    assert report.missing_count == 3
+    assert report.recovered_objects == report.planned_objects - 3
+
+    # -- re-materialize: exactly the missing objects are recomputed -----
+    fresh_cache = CacheManager(fresh_store)
+    fresh_cache.register_plan(plan, pruning)
+    engine2 = PreprocessingEngine(
+        plan, dataset, pruning=pruning, cache=fresh_cache, num_workers=0
+    )
+    engine2.drain()
+    assert fresh_store.stats.puts == report.missing_count
+    planned = {key for vid in plan.graphs for key in pruning.frontier_of(vid)}
+    assert set(fresh_store.keys()) == planned
+
+    # -- and the recovered window serves identical batches --------------
+    for key in sorted(plan.batches):
+        assert np.array_equal(engine2.get_batch(*key)[0], reference[key]), key
+
+
+@pytest.mark.faults
+def test_service_recover_from_survives_bit_rot(dataset, tmp_path):
+    service = SandService(
+        [make_config()],
+        dataset,
+        store=LocalStore(10**8, root=tmp_path / "cache"),
+        k_epochs=2,
+        num_workers=0,
+        seed=5,
+    )
+    service.ensure_window(0)
+    service.engine.drain()
+    before, _ = service.batch("t", 0, 0)
+    manifest_path = service.checkpoint(tmp_path)
+    service.shutdown()
+
+    victim = sorted(service.store.keys())[0]
+    FaultyStore(service.store, FaultSchedule(seed=SEED)).corrupt_at_rest(
+        victim, mode="bit-flip"
+    )
+
+    service2 = SandService(
+        [make_config()],
+        dataset,
+        store=LocalStore(10**8, root=tmp_path / "cache"),
+        k_epochs=2,
+        num_workers=0,
+        seed=5,
+    )
+    report = service2.recover_from(manifest_path)
+    assert report.corrupt_keys == [victim]
+    assert victim in {k for ks in report.missing.values() for k in ks}
+    after, _ = service2.batch("t", 0, 0)
+    assert np.array_equal(after, before)
+    service2.shutdown()
+
+
+# -- damaged manifests ------------------------------------------------------
+
+
+def _valid_manifest(dataset, tmp_path):
+    cfg = make_config()
+    plan = build_plan_window([cfg], dataset, 0, 1, seed=5)
+    pruning = prune_plan(plan, plan.total_cached_bytes() * 1.01)
+    return write_checkpoint(tmp_path, plan, pruning, seed=5)
+
+
+def test_truncated_manifest_raises_recovery_error(dataset, tmp_path):
+    path = _valid_manifest(dataset, tmp_path)
+    text = path.read_text()
+    path.write_text(text[: len(text) // 2])  # killed mid-write
+    with pytest.raises(RecoveryError) as excinfo:
+        read_checkpoint(path)
+    assert excinfo.value.path == path
+    assert str(path) in str(excinfo.value)
+    assert "truncated or malformed" in excinfo.value.reason
+
+
+def test_version_skew_raises_recovery_error(tmp_path):
+    path = tmp_path / "sand-checkpoint.json"
+    path.write_text(json.dumps({"version": 99}))
+    with pytest.raises(RecoveryError, match="version"):
+        read_checkpoint(path)
+
+
+def test_manifest_missing_fields_raises_recovery_error(dataset, tmp_path):
+    path = _valid_manifest(dataset, tmp_path)
+    manifest = json.loads(path.read_text())
+    del manifest["frontier"]
+    path.write_text(json.dumps(manifest))
+    with pytest.raises(RecoveryError, match="frontier"):
+        read_checkpoint(path)
+
+
+def test_manifest_wrong_shapes_raise_recovery_error(tmp_path):
+    path = tmp_path / "sand-checkpoint.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(RecoveryError, match="not a JSON object"):
+        read_checkpoint(path)
+    path.write_text(
+        json.dumps(
+            {"version": 1, "seed": 5, "window_start": 0, "k_epochs": 1, "frontier": []}
+        )
+    )
+    with pytest.raises(RecoveryError, match="frontier"):
+        read_checkpoint(path)
+
+
+def test_unreadable_manifest_raises_recovery_error(tmp_path):
+    with pytest.raises(RecoveryError, match="unreadable"):
+        read_checkpoint(tmp_path)  # directory exists, manifest doesn't
+
+
+def test_service_recover_from_wraps_manifest_damage(dataset, tmp_path):
+    path = tmp_path / "sand-checkpoint.json"
+    path.write_text('{"version": 1, "seed": 5, ')  # torn JSON
+    service = SandService([make_config()], dataset, num_workers=0)
+    try:
+        with pytest.raises(RecoveryError):
+            service.recover_from(tmp_path)
+    finally:
+        service.shutdown()

@@ -221,6 +221,73 @@ def test_engine_respects_pruned_frontier(dataset):
     assert np.array_equal(batch, ref)
 
 
+# -- engine lifecycle: idempotent, exception-safe, restartable ----------------------
+
+
+def test_engine_stop_is_idempotent(dataset, plan):
+    engine = PreprocessingEngine(plan, dataset, num_workers=2)
+    engine.start()
+    engine.stop()
+    engine.stop()  # second stop: no hang, no double-join
+    assert not any(t.is_alive() for t in engine._threads)
+
+
+def test_engine_stop_without_start_is_safe(dataset, plan):
+    PreprocessingEngine(plan, dataset, num_workers=2).stop()
+
+
+def test_engine_restarts_after_stop(dataset, plan):
+    engine = PreprocessingEngine(plan, dataset, num_workers=1)
+    engine.start()
+    engine.stop()
+    engine.start()  # stop signal cleared: workers genuinely relaunch
+    try:
+        engine.drain()
+        assert engine.scheduler.pending_count == 0
+        assert engine.stats.pre_materializations > 0
+    finally:
+        engine.stop()
+
+
+def test_context_exit_after_all_workers_crashed(dataset, plan):
+    from repro.faults import SITE_ENGINE_JOB, FaultSchedule, FaultSpec
+
+    schedule = FaultSchedule(
+        seed=0,
+        specs=[
+            FaultSpec(kind="crash", site=SITE_ENGINE_JOB, at_count=1),
+            FaultSpec(kind="crash", site=SITE_ENGINE_JOB, at_count=2),
+        ],
+    )
+    with PreprocessingEngine(
+        plan, dataset, num_workers=2, fault_schedule=schedule
+    ) as engine:
+        engine.drain()  # both workers die; drain finishes inline
+        assert engine.scheduler.pending_count == 0
+    # __exit__ (stop) joined the dead threads without hanging.
+    assert not engine._started
+    assert engine.stats.worker_crashes >= 2
+    batch, _ = engine.get_batch("t", 0, 0)
+    ref, _ = PreprocessingEngine(plan, dataset, num_workers=0).get_batch("t", 0, 0)
+    assert np.array_equal(batch, ref)
+
+
+def test_drain_runs_inline_when_sole_worker_crashes(dataset, plan):
+    from repro.faults import SITE_ENGINE_JOB, FaultSchedule, FaultSpec
+
+    schedule = FaultSchedule(
+        seed=0, specs=[FaultSpec(kind="crash", site=SITE_ENGINE_JOB, at_count=1)]
+    )
+    engine = PreprocessingEngine(plan, dataset, num_workers=1, fault_schedule=schedule)
+    engine.start()
+    try:
+        engine.drain()
+        assert engine.scheduler.pending_count == 0
+        assert engine.stats.worker_crashes == 1
+    finally:
+        engine.stop()
+
+
 # -- service + posix -----------------------------------------------------------------
 
 

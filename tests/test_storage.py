@@ -146,6 +146,120 @@ def test_keys_with_slashes_and_unicode(tmp_path):
     assert ObjectStore(10**6, root=tmp_path).get(key) == b"payload"
 
 
+# -- integrity: checksums, quarantine, torn-write scan ---------------------------
+
+
+def _blob_path(root, key):
+    from repro.storage.objectstore import _key_to_relpath
+
+    return root / _key_to_relpath(key)
+
+
+def test_get_detects_bit_rot_and_quarantines(tmp_path):
+    from repro.storage.objectstore import CorruptObjectError
+
+    store = ObjectStore(10**6, root=tmp_path)
+    store.put("k", b"original-bytes")
+    path = _blob_path(tmp_path, "k")
+    data = bytearray(path.read_bytes())
+    data[0] ^= 0x40
+    path.write_bytes(bytes(data))
+    with pytest.raises(CorruptObjectError) as excinfo:
+        store.get("k")
+    assert excinfo.value.key == "k"
+    assert "k" in store.quarantined
+    assert store.stats.integrity_failures == 1
+    # Quarantined = dropped from the index, bytes kept for forensics.
+    assert "k" not in store
+    assert store.get("k") is None
+    assert (tmp_path / "_quarantine" / path.name).exists()
+
+
+def test_memory_store_checksums_too():
+    from repro.storage.objectstore import CorruptObjectError
+
+    store = ObjectStore(10**6)
+    store.put("k", b"payload")
+    store._mem["k"] = b"pAyload"  # rot below the index
+    with pytest.raises(CorruptObjectError):
+        store.get("k")
+    assert "k" in store.quarantined
+
+
+def test_scan_quarantines_torn_write(tmp_path):
+    store = ObjectStore(10**6, root=tmp_path)
+    store.put("whole", b"A" * 100)
+    store.put("torn", b"B" * 100)
+    path = _blob_path(tmp_path, "torn")
+    path.write_bytes(path.read_bytes()[:37])  # process died mid-write
+
+    recovered = ObjectStore(10**6, root=tmp_path)
+    assert sorted(recovered.keys()) == ["whole"]
+    assert recovered.quarantined == ["torn"]
+    assert recovered.used_bytes == 100
+    assert recovered.get("whole") == b"A" * 100
+
+
+def test_scan_adopts_legacy_blob_without_sidecar(tmp_path):
+    store = ObjectStore(10**6, root=tmp_path)
+    store.put("old", b"pre-checksum era")
+    path = _blob_path(tmp_path, "old")
+    (path.parent / (path.name + ".sum")).unlink()  # written by an older version
+
+    recovered = ObjectStore(10**6, root=tmp_path)
+    assert recovered.get("old") == b"pre-checksum era"
+    # Adopted blobs are re-stamped so the next restart verifies them.
+    assert (path.parent / (path.name + ".sum")).exists()
+
+
+@given(
+    sizes=st.lists(st.integers(2, 64), min_size=1, max_size=8),
+    torn_mask=st.lists(st.booleans(), min_size=8, max_size=8),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_index_rebuild_ignores_torn_files_property(tmp_path_factory, sizes, torn_mask, seed):
+    """Property: after any subset of blobs is torn (half-written), a
+    rebuilt index contains exactly the intact keys with intact bytes,
+    and every torn key is quarantined — never served."""
+    rng = np.random.default_rng(seed)
+    root = tmp_path_factory.mktemp("store")
+    store = ObjectStore(10**7, root=root)
+    blobs = {}
+    for i, size in enumerate(sizes):
+        key = f"obj/{i}"
+        blobs[key] = rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+        store.put(key, blobs[key])
+    torn = {
+        key for i, key in enumerate(blobs) if torn_mask[i % len(torn_mask)]
+    }
+    for key in torn:
+        path = _blob_path(root, key)
+        path.write_bytes(blobs[key][: len(blobs[key]) // 2])
+
+    rebuilt = ObjectStore(10**7, root=root)
+    assert set(rebuilt.keys()) == set(blobs) - torn
+    assert set(rebuilt.quarantined) == torn
+    for key in set(blobs) - torn:
+        assert rebuilt.get(key) == blobs[key]
+    assert rebuilt.used_bytes == sum(len(blobs[k]) for k in set(blobs) - torn)
+
+
+def test_verify_and_health_report(tmp_path):
+    store = LocalStore(10**6, root=tmp_path)
+    store.put("good", b"x" * 10)
+    store.put("bad", b"y" * 10)
+    path = _blob_path(tmp_path, "bad")
+    path.write_bytes(b"z" * 10)  # same size, rotted content
+    assert store.verify("good")
+    assert store.verify_all() == ["bad"]
+    health = store.health()
+    assert health["objects"] == 1
+    assert health["integrity_failures"] == 1
+    assert health["quarantined_keys"] == ["bad"]
+    assert health["used_bytes"] == 10
+
+
 # -- local store -----------------------------------------------------------------
 
 
