@@ -27,13 +27,22 @@ from repro.augment.ops import (
     GaussianBlur,
     InvSample,
     Normalize,
+    Pad,
     RandomCrop,
     Resize,
     Rotate,
     Subsample,
+    params_key_cache_info,
     stable_params_key,
 )
 from repro.augment.expr import ExprError, evaluate_expr
+from repro.augment.fusion import (
+    FusedPlan,
+    TrafficLedger,
+    compile_steps,
+    fusion_cache_info,
+    plan_for,
+)
 from repro.augment.pipeline import (
     AugmentationPlan,
     BranchSpec,
@@ -52,20 +61,27 @@ __all__ = [
     "ColorJitter",
     "ExprError",
     "Flip",
+    "FusedPlan",
     "GaussianBlur",
     "InvSample",
     "Normalize",
     "OpRegistry",
+    "Pad",
     "PipelineError",
     "RandomCrop",
     "Resize",
     "ResolvedStep",
     "Rotate",
     "Subsample",
+    "TrafficLedger",
     "apply_steps",
     "build_plan",
+    "compile_steps",
     "default_registry",
     "evaluate_expr",
+    "fusion_cache_info",
+    "params_key_cache_info",
+    "plan_for",
     "register_op",
     "stable_params_key",
 ]

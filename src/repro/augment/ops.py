@@ -28,9 +28,62 @@ Params = Dict[str, Any]
 ClipShape = Tuple[int, int, int, int]  # (T, H, W, C)
 
 
+def _freeze(value: Any) -> Any:
+    """Hashable content key for a JSON-able value.
+
+    Booleans and floats are tagged so ``True``/``1``/``1.0`` (which
+    compare and hash equal in Python but serialize differently) cannot
+    collide in the cache.
+    """
+    if value is True or value is False:
+        return ("__bool__", value)
+    if isinstance(value, float):
+        return ("__float__", value)
+    if isinstance(value, dict):
+        return tuple((k, _freeze(value[k])) for k in sorted(value))
+    if isinstance(value, (list, tuple)):
+        return ("__seq__",) + tuple(_freeze(v) for v in value)
+    return value
+
+
+_PARAMS_KEY_CACHE: Dict[Any, str] = {}
+_PARAMS_KEY_CACHE_MAX = 65536
+_params_key_hits = 0
+_params_key_misses = 0
+
+
 def stable_params_key(params: Params) -> str:
-    """Canonical hashable encoding of a params dict (for node merging)."""
-    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+    """Canonical hashable encoding of a params dict (for node merging).
+
+    Hot in node merging: the same op configs and sampled params are
+    serialized once per graph edge, thousands of times per plan window.
+    Results are memoized under a content key (params are JSON-able and
+    treated as immutable once sampled, so content-keyed reuse is safe);
+    anything unfreezable falls through to a plain ``json.dumps``.
+    """
+    global _params_key_hits, _params_key_misses
+    try:
+        frozen = _freeze(params)
+        cached = _PARAMS_KEY_CACHE.get(frozen)
+    except TypeError:
+        return json.dumps(params, sort_keys=True, separators=(",", ":"))
+    if cached is not None:
+        _params_key_hits += 1
+        return cached
+    key = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    _params_key_misses += 1
+    if len(_PARAMS_KEY_CACHE) < _PARAMS_KEY_CACHE_MAX:
+        _PARAMS_KEY_CACHE[frozen] = key
+    return key
+
+
+def params_key_cache_info() -> Dict[str, int]:
+    """Hit/miss counters for the :func:`stable_params_key` memo."""
+    return {
+        "hits": _params_key_hits,
+        "misses": _params_key_misses,
+        "size": len(_PARAMS_KEY_CACHE),
+    }
 
 
 def _require_clip(clip: np.ndarray) -> None:
@@ -49,6 +102,20 @@ class AugmentOp:
 
     ``cost_weight`` is the op's relative computational cost per frame
     megapixel; the concrete graph uses it as its edge weight (S5.3).
+
+    ``fusion_kind`` declares how the op participates in operator fusion
+    (:mod:`repro.augment.fusion`):
+
+    * ``"gather"`` — the op is an affine-indexable spatial transform
+      (crop, resize, flip, pad): it must implement :meth:`gather_spec`,
+      and a chain of such ops collapses into one index-gather pass;
+    * ``"pointwise"`` — per-pixel arithmetic (normalize): it must
+      implement :meth:`fuse_epilogue`, and rides as the epilogue of the
+      preceding gather pass;
+    * ``"none"`` — opaque: executed via :meth:`apply`, never fused.
+
+    Fusion is purely an execution strategy — it never changes the op's
+    node-merge identity or its output bytes.
     """
 
     name: str = "base"
@@ -56,10 +123,14 @@ class AugmentOp:
     spatial_window: bool = False
     scope: str = "frame"  # or "clip" for temporal ops
     cost_weight: float = 1.0
+    fusion_kind: str = "none"  # "gather" | "pointwise" | "none"
 
     def __init__(self, config: Optional[Params] = None):
         self.config: Params = dict(config or {})
         self.validate_config()
+        # Serialized once: the config is immutable after construction,
+        # and this key is re-read on every node-merge comparison.
+        self.config_key: str = stable_params_key(self.config)
 
     def validate_config(self) -> None:
         """Raise ValueError on malformed configuration."""
@@ -75,6 +146,31 @@ class AugmentOp:
     def output_shape(self, clip_shape: ClipShape, params: Params) -> ClipShape:
         del params
         return clip_shape
+
+    # -- fusion hooks (see repro.augment.fusion) ---------------------------
+    def is_identity(self, clip_shape: ClipShape, params: Params) -> bool:
+        """True when applying the op would return the input unchanged."""
+        del clip_shape, params
+        return False
+
+    def gather_spec(self, clip_shape: ClipShape, params: Params) -> Tuple[Any, ...]:
+        """Index-space description of a ``"gather"`` op's transform.
+
+        One of ``("slice", top, left, h, w)``, ``("flip_h",)``,
+        ``("resize", out_h, out_w)`` or
+        ``("pad", (top, bottom, left, right), mode, value)``.
+        """
+        raise NotImplementedError(f"{self.name} is not gather-fusable")
+
+    def fuse_epilogue(
+        self, work: np.ndarray, params: Params, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Apply a ``"pointwise"`` op to ``work`` — a float32 view of the
+        clip holding exactly the values ``apply`` would see after
+        ``clip.astype(np.float32)`` — optionally writing into ``out``.
+        Must be bit-identical to :meth:`apply` on the original clip.
+        """
+        raise NotImplementedError(f"{self.name} is not pointwise-fusable")
 
     # -- shared-window coordination hooks (stochastic spatial ops only) ----
     def window_size(self, clip_shape: ClipShape) -> Tuple[int, int]:
@@ -128,6 +224,7 @@ class Resize(AugmentOp):
     name = "resize"
     deterministic = True
     cost_weight = 1.6
+    fusion_kind = "gather"
 
     def validate_config(self) -> None:
         shape = self.config.get("shape")
@@ -143,9 +240,20 @@ class Resize(AugmentOp):
         if any(mode not in ("bilinear",) for mode in interp):
             raise ValueError(f"unsupported interpolation {interp!r}")
 
+    def is_identity(self, clip_shape: ClipShape, params: Params) -> bool:
+        h, w = (int(s) for s in self.config["shape"])
+        return (clip_shape[1], clip_shape[2]) == (h, w)
+
+    def gather_spec(self, clip_shape: ClipShape, params: Params) -> Tuple[Any, ...]:
+        h, w = (int(s) for s in self.config["shape"])
+        return ("resize", h, w)
+
     def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
         _require_clip(clip)
         h, w = (int(s) for s in self.config["shape"])
+        if (clip.shape[1], clip.shape[2]) == (h, w):
+            # Identity short-circuit: no pass, no copy, zero traffic.
+            return clip
         return _resize_bilinear(clip, h, w)
 
     def output_shape(self, clip_shape: ClipShape, params: Params) -> ClipShape:
@@ -160,6 +268,7 @@ class CenterCrop(AugmentOp):
     name = "center_crop"
     deterministic = True
     cost_weight = 0.3
+    fusion_kind = "gather"
 
     def validate_config(self) -> None:
         size = self.config.get("size")
@@ -170,12 +279,24 @@ class CenterCrop(AugmentOp):
         ):
             raise ValueError(f"center_crop needs size: [h, w], got {size!r}")
 
+    def is_identity(self, clip_shape: ClipShape, params: Params) -> bool:
+        ch, cw = (int(s) for s in self.config["size"])
+        return (clip_shape[1], clip_shape[2]) == (ch, cw)
+
+    def gather_spec(self, clip_shape: ClipShape, params: Params) -> Tuple[Any, ...]:
+        ch, cw = (int(s) for s in self.config["size"])
+        _, h, w, _ = clip_shape
+        return ("slice", (h - ch) // 2, (w - cw) // 2, ch, cw)
+
     def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
         _require_clip(clip)
         ch, cw = (int(s) for s in self.config["size"])
         t, h, w, c = clip.shape
         if ch > h or cw > w:
             raise ValueError(f"crop {ch}x{cw} larger than clip {h}x{w}")
+        if (ch, cw) == (h, w):
+            # Full-frame crop: identity, returned without a copy.
+            return clip
         top = (h - ch) // 2
         left = (w - cw) // 2
         return clip[:, top : top + ch, left : left + cw].copy()
@@ -197,6 +318,19 @@ class RandomCrop(AugmentOp):
     deterministic = False
     spatial_window = True
     cost_weight = 0.3
+    fusion_kind = "gather"
+
+    def is_identity(self, clip_shape: ClipShape, params: Params) -> bool:
+        ch, cw = (int(s) for s in self.config["size"])
+        return (
+            (clip_shape[1], clip_shape[2]) == (ch, cw)
+            and int(params.get("top", 0)) == 0
+            and int(params.get("left", 0)) == 0
+        )
+
+    def gather_spec(self, clip_shape: ClipShape, params: Params) -> Tuple[Any, ...]:
+        ch, cw = (int(s) for s in self.config["size"])
+        return ("slice", int(params["top"]), int(params["left"]), ch, cw)
 
     def validate_config(self) -> None:
         size = self.config.get("size")
@@ -259,6 +393,7 @@ class Flip(AugmentOp):
     name = "flip"
     deterministic = False
     cost_weight = 0.2
+    fusion_kind = "gather"
 
     def validate_config(self) -> None:
         prob = self.config.get("flip_prob", 0.5)
@@ -269,11 +404,77 @@ class Flip(AugmentOp):
         prob = float(self.config.get("flip_prob", 0.5))
         return {"flipped": bool(rng.random() < prob)}
 
+    def is_identity(self, clip_shape: ClipShape, params: Params) -> bool:
+        del clip_shape
+        return not params.get("flipped")
+
+    def gather_spec(self, clip_shape: ClipShape, params: Params) -> Tuple[Any, ...]:
+        del clip_shape, params
+        return ("flip_h",)
+
     def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
         _require_clip(clip)
         if params.get("flipped"):
             return clip[:, :, ::-1].copy()
-        return clip.copy()
+        return clip
+
+
+class Pad(AugmentOp):
+    """Spatial padding by ``padding: [top, bottom, left, right]``.
+
+    ``mode`` is ``"constant"`` (fill with ``value``, default 0) or
+    ``"edge"`` (replicate border pixels).  Edge padding is an index clamp,
+    so it composes exactly through a downstream bilinear resize; constant
+    padding forces a fusion-segment split before any resize because
+    bilinear would blend the fill value with source pixels.
+    """
+
+    name = "pad"
+    deterministic = True
+    cost_weight = 0.2
+    fusion_kind = "gather"
+
+    def validate_config(self) -> None:
+        padding = self.config.get("padding", [0, 0, 0, 0])
+        if not isinstance(padding, (list, tuple)) or len(padding) != 4:
+            raise ValueError(f"padding must be [top, bottom, left, right], got {padding!r}")
+        if any(int(p) < 0 for p in padding):
+            raise ValueError(f"padding entries must be >= 0, got {padding!r}")
+        mode = self.config.get("mode", "constant")
+        if mode not in ("constant", "edge"):
+            raise ValueError(f"mode must be 'constant' or 'edge', got {mode!r}")
+        value = int(self.config.get("value", 0))
+        if not 0 <= value <= 255:
+            raise ValueError(f"value must be in [0, 255], got {value}")
+
+    def _padding(self) -> Tuple[int, int, int, int]:
+        top, bottom, left, right = (int(p) for p in self.config.get("padding", [0, 0, 0, 0]))
+        return top, bottom, left, right
+
+    def is_identity(self, clip_shape: ClipShape, params: Params) -> bool:
+        del clip_shape, params
+        return self._padding() == (0, 0, 0, 0)
+
+    def gather_spec(self, clip_shape: ClipShape, params: Params) -> Tuple[Any, ...]:
+        del clip_shape, params
+        mode = self.config.get("mode", "constant")
+        return ("pad", self._padding(), mode, int(self.config.get("value", 0)))
+
+    def apply(self, clip: np.ndarray, params: Params) -> np.ndarray:
+        _require_clip(clip)
+        top, bottom, left, right = self._padding()
+        if (top, bottom, left, right) == (0, 0, 0, 0):
+            return clip
+        widths = ((0, 0), (top, bottom), (left, right), (0, 0))
+        if self.config.get("mode", "constant") == "edge":
+            return np.pad(clip, widths, mode="edge")
+        value = int(self.config.get("value", 0))
+        return np.pad(clip, widths, mode="constant", constant_values=value)
+
+    def output_shape(self, clip_shape: ClipShape, params: Params) -> ClipShape:
+        t, h, w, c = clip_shape
+        top, bottom, left, right = self._padding()
+        return (t, h + top + bottom, w + left + right, c)
 
 
 class ColorJitter(AugmentOp):
@@ -385,6 +586,31 @@ class Normalize(AugmentOp):
     name = "normalize"
     deterministic = True
     cost_weight = 0.5
+    fusion_kind = "pointwise"
+
+    def _mean_std(self) -> Tuple[np.ndarray, np.ndarray]:
+        mean = np.asarray(self.config.get("mean", [0.45, 0.45, 0.45]), dtype=np.float32)
+        std = np.asarray(self.config.get("std", [0.225, 0.225, 0.225]), dtype=np.float32)
+        return mean, std
+
+    def fuse_epilogue(
+        self, work: np.ndarray, params: Params, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Apply normalize to a float32 ``work`` array, optionally into ``out``.
+
+        ``work`` must hold exact uint8 values as float32 (integers 0..255
+        are exactly representable), so the arithmetic below produces the
+        same bits as ``apply`` on the uint8 clip.
+        """
+        del params
+        mean, std = self._mean_std()
+        if out is not None and out.shape == work.shape and out.dtype == np.float32:
+            np.divide(work, np.float32(255.0), out=out)
+            np.subtract(out, mean, out=out)
+            np.divide(out, std, out=out)
+            return out
+        scaled = work / np.float32(255.0)
+        return (scaled - mean) / std
 
     def validate_config(self) -> None:
         for key, default in (("mean", [0.45, 0.45, 0.45]), ("std", [0.225, 0.225, 0.225])):

@@ -50,12 +50,22 @@ class ResolvedStep:
 
     @property
     def key(self) -> Tuple[str, str, str]:
-        """Identity for cross-task node merging: equal keys => equal output."""
-        return (
-            self.op.name,
-            stable_params_key(self.op.config),
-            stable_params_key(self.params),
-        )
+        """Identity for cross-task node merging: equal keys => equal output.
+
+        Hot in graph construction (recomputed per edge), so the tuple is
+        built once per step: the op's config key is precomputed at op
+        construction and the params key goes through the memoized
+        ``stable_params_key``.
+        """
+        cached = self.__dict__.get("_cached_key")
+        if cached is None:
+            cached = (
+                self.op.name,
+                self.op.config_key,
+                stable_params_key(self.params),
+            )
+            object.__setattr__(self, "_cached_key", cached)
+        return cached
 
     def apply(self, clip: np.ndarray) -> np.ndarray:
         return self.op.apply(clip, self.params)

@@ -20,6 +20,7 @@ from repro.augment.ops import (
     GaussianBlur,
     InvSample,
     Normalize,
+    Pad,
     RandomCrop,
     Resize,
     Rotate,
@@ -62,6 +63,7 @@ for _cls in (
     CenterCrop,
     RandomCrop,
     Flip,
+    Pad,
     ColorJitter,
     Rotate,
     GaussianBlur,

@@ -86,9 +86,15 @@ class Decoder:
     in the paper, nothing decoded survives the call unless the caller
     keeps it.  (SAND's whole contribution is to keep it, at the system
     level, on the caller's behalf.)
+
+    Passing ``anchor_cache`` opts into the stateful path: every decode —
+    including :meth:`decode_all` — is delegated to an
+    :class:`~repro.codec.incremental.IncrementalDecoder` sharing this
+    decoder's stats, so full-video decodes warm the cache and sparse
+    re-accesses resume from cached anchors, byte-identically.
     """
 
-    def __init__(self, data: bytes):
+    def __init__(self, data: bytes, anchor_cache=None):
         self._data = data
         # Zero-copy payload access: slicing a memoryview does not copy
         # the record bytes the way slicing ``bytes`` would.
@@ -97,6 +103,20 @@ class Decoder:
         self.metadata: VideoMetadata = metadata
         self._records: List[FrameRecord] = records
         self.stats = DecodeStats()
+        self._anchor_cache = anchor_cache
+        self._incremental = None
+
+    def _incremental_decoder(self):
+        if self._incremental is None:
+            # Local import: incremental.py imports this module.
+            from repro.codec.incremental import IncrementalDecoder
+
+            self._incremental = IncrementalDecoder(
+                self._data, cache=self._anchor_cache
+            )
+            # One stats object for both faces of the decoder.
+            self._incremental.stats = self.stats
+        return self._incremental
 
     def _payload(self, index: int) -> bytes:
         record = self._records[index]
@@ -110,6 +130,8 @@ class Decoder:
 
     def decode_frames(self, indices: Sequence[int]) -> Dict[int, np.ndarray]:
         """Decode the requested frames, plus their codec dependencies."""
+        if self._anchor_cache is not None:
+            return self._incremental_decoder().decode_frames(indices)
         wanted: Set[int] = set(indices)
         md = self.metadata
         gop = md.gop

@@ -11,6 +11,14 @@ the same object, they land on the *same node* and the work is shared.
 That key-level merging is the mechanism behind Fig 16's operation
 reductions.
 
+Keys are *logical* identities and deliberately know nothing about
+execution strategy: the augmentation plan compiler
+(:mod:`repro.augment.fusion`) may collapse a whole per-frame op chain
+into one fused pass at materialization time, but every intermediate
+node keeps its own key, so cross-task merging, pruning, and cache
+addressing are byte-for-byte unaffected by whether a chain ran fused
+or step by step.
+
 A :class:`MaterializationPlan` is the collection of per-video
 :class:`VideoGraph` objects plus the batch-composition table mapping
 ``(task, epoch, iteration)`` to the sample leaves that batch collates.

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.augment.fusion import TrafficLedger
 from repro.augment.registry import OpRegistry
 from repro.codec.incremental import AnchorCache
 from repro.core.cache import CacheManager
@@ -77,6 +78,9 @@ class EngineStats:
     transient_storage_errors: int = 0
     corrupt_objects_evicted: int = 0
     quarantined_keys: List[str] = field(default_factory=list)
+    # Memory traffic across the whole engine: batch assembly plus every
+    # materializer's op executions (recomputed on aggregation).
+    traffic: TrafficLedger = field(default_factory=TrafficLedger)
 
     @property
     def dead_letter_jobs(self) -> List[str]:
@@ -101,6 +105,7 @@ class PreprocessingEngine:
         anchor_cache_budget_bytes: int = DEFAULT_ANCHOR_CACHE_BYTES,
         fault_schedule=None,
         retry_policy: Optional[RetryPolicy] = None,
+        fusion_enabled: bool = True,
     ):
         if num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {num_workers}")
@@ -110,6 +115,10 @@ class PreprocessingEngine:
         self.cache = cache
         self.registry = registry
         self.memory_budget_bytes = memory_budget_bytes
+        self.fusion_enabled = fusion_enabled
+        # Traffic charged by the engine itself (batch-buffer allocation
+        # and writes); materializer ledgers are added on aggregation.
+        self._engine_traffic = TrafficLedger()
         self.stats = EngineStats()
         # Fault handling: the schedule injects (crash-at-job-N, decoder
         # faults via the wrapper below); the retry policy bounds how hard
@@ -249,20 +258,55 @@ class PreprocessingEngine:
         if self.cache is not None:
             self.cache.advance(step)
 
-        samples: List[np.ndarray] = []
         metadata = self._batch_metadata(assembly)
-        for video_id, leaf_key in assembly.samples:
-            materializer = self._materializer(video_id)
-            if not materializer.in_memory(leaf_key) and (
-                self.cache is None or leaf_key not in self.cache
-            ):
-                self.stats.demand_materializations += 1
-            samples.append(self._get_with_retries(materializer, leaf_key))
-        batch = np.stack(samples, axis=0)
+        if self.fusion_enabled:
+            batch = self._assemble_fused(assembly)
+        else:
+            samples: List[np.ndarray] = []
+            for video_id, leaf_key in assembly.samples:
+                materializer = self._materializer(video_id)
+                self._count_demand(materializer, leaf_key)
+                samples.append(self._get_with_retries(materializer, leaf_key))
+            batch = np.stack(samples, axis=0)
+            self._engine_traffic.bytes_allocated += batch.nbytes
+            self._engine_traffic.bytes_copied += batch.nbytes
+            self._engine_traffic.clip_passes += len(samples)
         self.stats.batches_served += 1
         self._aggregate_materializer_stats()
         self._note_memory()
         return batch, metadata
+
+    def _count_demand(self, materializer: VideoMaterializer, key: str) -> None:
+        if not materializer.in_memory(key) and (
+            self.cache is None or key not in self.cache
+        ):
+            self.stats.demand_materializations += 1
+
+    def _assemble_fused(self, assembly: BatchAssembly) -> np.ndarray:
+        """Collate into one preallocated batch buffer (copy elision).
+
+        The first sample materializes normally and fixes the batch's
+        shape/dtype; every other sample is computed (or copied) straight
+        into its slot via the materializer's ``get_into`` fast path —
+        with a fused normalize epilogue, that write *is* the final op.
+        """
+        batch: Optional[np.ndarray] = None
+        for slot, (video_id, leaf_key) in enumerate(assembly.samples):
+            materializer = self._materializer(video_id)
+            self._count_demand(materializer, leaf_key)
+            if batch is None:
+                first = self._get_with_retries(materializer, leaf_key)
+                batch = np.empty(
+                    (len(assembly.samples),) + first.shape, dtype=first.dtype
+                )
+                self._engine_traffic.bytes_allocated += batch.nbytes
+                batch[0] = first
+                self._engine_traffic.bytes_copied += first.nbytes
+                self._engine_traffic.clip_passes += 1
+            else:
+                self._get_into_with_retries(materializer, leaf_key, batch[slot])
+        assert batch is not None  # plans never emit empty batches
+        return batch
 
     def _get_with_retries(self, materializer: VideoMaterializer, key: str) -> np.ndarray:
         """Demand-path materialization with bounded retry.
@@ -277,6 +321,26 @@ class PreprocessingEngine:
         while True:
             try:
                 return materializer.get(key)
+            except _RETRYABLE:
+                if attempt >= self.retry_policy.max_retries:
+                    raise
+                self.stats.demand_retries += 1
+                time.sleep(self.retry_policy.delay_for(attempt, self._retry_rng))
+                attempt += 1
+
+    def _get_into_with_retries(
+        self, materializer: VideoMaterializer, key: str, out: np.ndarray
+    ) -> None:
+        """``_get_with_retries`` for the compute-into-slot path.
+
+        Materialization is deterministic, so a retry after a transient
+        failure mid-write simply overwrites the slot with the same bytes.
+        """
+        attempt = 0
+        while True:
+            try:
+                materializer.get_into(key, out)
+                return
             except _RETRYABLE:
                 if attempt >= self.retry_policy.max_retries:
                     raise
@@ -406,6 +470,7 @@ class PreprocessingEngine:
                     registry=self.registry,
                     anchor_cache=self.anchor_cache,
                     decoder_wrapper=self._decoder_wrapper,
+                    fusion_enabled=self.fusion_enabled,
                 )
             return self._materializers[video_id]
 
@@ -426,6 +491,11 @@ class PreprocessingEngine:
         self.stats.corrupt_objects_evicted = sum(
             m.stats.corrupt_evictions for m in materializers
         )
+        traffic = TrafficLedger()
+        traffic.add(self._engine_traffic)
+        for m in materializers:
+            traffic.add(m.stats.traffic)
+        self.stats.traffic = traffic
         store = getattr(self.cache, "store", self.cache)
         quarantined = getattr(store, "quarantined", None)
         if quarantined is not None:

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.augment.fusion import TrafficLedger, plan_for
 from repro.augment.ops import AugmentOp
 from repro.augment.registry import OpRegistry, default_registry
 from repro.codec.incremental import AnchorCache
@@ -50,6 +51,9 @@ class MaterializeStats:
     transient_errors: int = 0
     fallback_rematerializations: int = 0
     bytes_in_memory: int = 0
+    # Memory traffic (passes over clip data, bytes moved) — priced with
+    # the same policy on the fused and unfused execution paths.
+    traffic: TrafficLedger = field(default_factory=TrafficLedger)
 
     def count_op(self, name: str) -> None:
         self.ops_applied[name] = self.ops_applied.get(name, 0) + 1
@@ -95,6 +99,7 @@ class VideoMaterializer:
         registry: Optional[OpRegistry] = None,
         anchor_cache: Optional[AnchorCache] = None,
         decoder_wrapper=None,
+        fusion_enabled: bool = True,
     ):
         self.graph = graph
         self._encoded = encoded
@@ -102,6 +107,10 @@ class VideoMaterializer:
         self.frontier = frontier or set()
         self.registry = registry or default_registry()
         self.anchor_cache = anchor_cache
+        # Operator fusion: execute aug chains as compiled gather segments
+        # and collate samples into preallocated buffers.  Off = the
+        # step-by-step reference path (still traffic-instrumented).
+        self._fusion_enabled = fusion_enabled
         # Optional hook (video_decoder, video_id) -> decoder, used by the
         # fault-injection harness to wrap decoders in failure proxies.
         self.decoder_wrapper = decoder_wrapper
@@ -115,6 +124,35 @@ class VideoMaterializer:
         """Materialize one node (frames: (1,H,W,3); samples: (T,h,w,C))."""
         with self._lock:
             return self._get_locked(key)
+
+    def get_into(self, key: str, out: np.ndarray) -> None:
+        """Materialize ``key`` directly into ``out`` (copy elision).
+
+        The fast path computes a single-use, uncached sample leaf
+        straight into the caller's buffer (the batch slot) without
+        memoizing it — with fusion's pointwise epilogue, the write into
+        ``out`` is the op's only output pass.  Anything shared, cached,
+        frontier-bound, or clip-op-bearing falls back to ``get`` + copy
+        so caching and reuse decisions are unchanged.
+        """
+        with self._lock:
+            node = self.graph.nodes.get(key)
+            if node is None:
+                raise KeyError(f"{self.graph.video_id}: unknown node {key!r}")
+            if (
+                self._fusion_enabled
+                and node.kind == "sample"
+                and not node.clip_ops
+                and len(node.uses) <= 1
+                and key not in self._memo
+                and key not in self.frontier
+                and (self.cache is None or key not in self.cache)
+            ):
+                self._compute_sample_fused(node, out=out)
+                return
+            array = self._get_locked(key)
+            np.copyto(out, array, casting="no")
+            self.stats.traffic.charge(out.nbytes, allocated=False)
 
     def materialize_frontier(self) -> int:
         """Compute and persist every frontier node; returns nodes stored."""
@@ -240,20 +278,148 @@ class VideoMaterializer:
             return self._memo[node.key]
         if node.kind == "aug":
             assert node.op_args is not None
+            if self._fusion_enabled:
+                return self._compute_aug_fused(node)
             parent = self._get_locked(node.parents[0])
             op, params = _op_from_args(self.registry, node.op_args)
             self.stats.count_op(op.name)
-            return op.apply(parent, params)
+            result = op.apply(parent, params)
+            self._charge(result, parent)
+            return result
         if node.kind == "sample":
+            if self._fusion_enabled:
+                return self._compute_sample_fused(node)
             frames = [self._get_locked(p) for p in node.parents]
             clip = np.concatenate(frames, axis=0)
+            self.stats.traffic.charge(clip.nbytes)
             for op_args in node.clip_ops:
                 op, params = _op_from_args(self.registry, op_args)
                 self.stats.count_op(op.name)
-                clip = op.apply(clip, params)
+                result = op.apply(clip, params)
+                self._charge(result, clip)
+                clip = result
             self.stats.count_op("collate")
             return clip
         raise ValueError(f"unknown node kind {node.kind!r}")
+
+    def _charge(self, result: np.ndarray, source: np.ndarray) -> None:
+        """Price one op application: identity returns are free."""
+        if result is source:
+            self.stats.traffic.identity_skips += 1
+        else:
+            self.stats.traffic.charge(result.nbytes)
+
+    def _fusable_above(self, key: str) -> bool:
+        """May the aug node at ``key`` be computed transiently (skipped)?
+
+        A chain ancestor folds into its descendant's fused plan only if
+        nothing else will ever want it materialized: it must not be
+        memoized or persisted already, not on the caching frontier, and
+        not shared with any other path (``ref_count > 1``).  Breaking
+        the chain at those nodes keeps caching/pruning decisions — and
+        the concrete graph's node-merge keys — exactly as they were.
+        """
+        node = self.graph.nodes.get(key)
+        if node is None or node.kind != "aug":
+            return False
+        if key in self._memo or key in self.frontier or node.ref_count > 1:
+            return False
+        if self.cache is not None and key in self.cache:
+            return False
+        return True
+
+    def _fused_chain(self, node: ObjectNode) -> Tuple[List[ObjectNode], str]:
+        """Longest skip-safe aug chain ending at ``node`` + its base key."""
+        chain = [node]
+        parent_key = node.parents[0]
+        while self._fusable_above(parent_key):
+            parent = self.graph.nodes[parent_key]
+            chain.append(parent)
+            parent_key = parent.parents[0]
+        chain.reverse()
+        return chain, parent_key
+
+    def _compute_aug_fused(self, node: ObjectNode) -> np.ndarray:
+        chain, base_key = self._fused_chain(node)
+        base = self._get_locked(base_key)
+        plan = plan_for(
+            self.registry, tuple(n.op_args for n in chain), base.shape
+        )
+        for link in chain:
+            self.stats.count_op(link.op_args[0])
+        return plan.run(base, self.stats.traffic)
+
+    def _compute_sample_fused(
+        self, node: ObjectNode, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Collate a sample into one preallocated buffer (or ``out``)."""
+        traffic = self.stats.traffic
+        parents = node.parents
+        first = self._get_locked(parents[0])
+        clip_shape = (len(parents),) + first.shape[1:]
+        use_out = (
+            out is not None
+            and not node.clip_ops
+            and out.shape == clip_shape
+            and out.dtype == first.dtype
+        )
+        if use_out:
+            clip = out
+        else:
+            clip = np.empty(clip_shape, dtype=first.dtype)
+            traffic.bytes_allocated += clip.nbytes
+        clip[0:1] = first
+        traffic.bytes_copied += first.nbytes
+        for t, parent_key in enumerate(parents[1:], start=1):
+            self._materialize_parent_into(parent_key, clip[t : t + 1])
+        traffic.clip_passes += 1  # the collation write
+        self.stats.count_op("collate")
+        result: np.ndarray = clip
+        for op_args in node.clip_ops:
+            op, params = _op_from_args(self.registry, op_args)
+            self.stats.count_op(op.name)
+            applied = op.apply(result, params)
+            self._charge(applied, result)
+            result = applied
+        if use_out:
+            return out
+        if out is not None:
+            np.copyto(out, result, casting="no")
+            traffic.charge(out.nbytes, allocated=False)
+            return out
+        return result
+
+    def _materialize_parent_into(self, key: str, slot: np.ndarray) -> None:
+        """Write one collation parent into its slot of the clip buffer.
+
+        Single-use aug chains compute straight into the slot through
+        their fused plan (the pointwise epilogue writes there); anything
+        memoized, cached, or shared materializes normally and copies.
+        """
+        node = self.graph.nodes.get(key)
+        if (
+            node is not None
+            and node.kind == "aug"
+            and node.ref_count <= 1
+            and key not in self._memo
+            and key not in self.frontier
+            and (self.cache is None or key not in self.cache)
+        ):
+            chain, base_key = self._fused_chain(node)
+            base = self._get_locked(base_key)
+            plan = plan_for(
+                self.registry, tuple(n.op_args for n in chain), base.shape
+            )
+            for link in chain:
+                self.stats.count_op(link.op_args[0])
+            result = plan.run(base, self.stats.traffic, out=slot)
+            if result is not slot:
+                np.copyto(slot, result, casting="no")
+                self.stats.traffic.bytes_copied += slot.nbytes
+            return
+        array = self._get_locked(key)
+        np.copyto(slot, array, casting="no")
+        self.stats.traffic.bytes_copied += slot.nbytes
 
     def _decode_wanted(self) -> None:
         """Decode the union of wanted frames, GOP by GOP, and memoize them.

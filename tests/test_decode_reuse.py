@@ -100,6 +100,36 @@ def test_incremental_decoder_reuses_across_calls():
     assert inc.stats.frames_decoded_fresh == inc.stats.frames_decoded
 
 
+def test_decoder_decode_all_routes_through_anchor_cache():
+    """Decoder with an anchor cache delegates *every* decode — including
+    decode_all — to the incremental path, so a full-video sweep warms the
+    cache and later sparse reads resume from anchors, byte-identically.
+    """
+    src = make_video(frames=30, gop=10)
+    encoded = encode_video(src)
+    cache = AnchorCache(10**8)
+    warm = Decoder(encoded, anchor_cache=cache)
+    full = warm.decode_all()
+    assert len(full) == 30
+    for i in (0, 7, 29):
+        assert np.array_equal(full[i], src.frame(i))
+    assert len(cache) > 0  # decode_all published anchors
+
+    # A fresh stateful decoder sharing the cache resumes from anchors.
+    reuse = Decoder(encoded, anchor_cache=cache)
+    out = reuse.decode_frames([13, 17])
+    assert np.array_equal(out[13], src.frame(13))
+    assert np.array_equal(out[17], src.frame(17))
+    assert reuse.stats.frames_reused_from_anchor_cache > 0
+    stateless = Decoder(encoded)
+    stateless.decode_frames([13, 17])
+    assert reuse.stats.frames_decoded < stateless.stats.frames_decoded
+
+    # Stats land on the wrapping Decoder, not a hidden inner object.
+    assert warm.stats.frames_decoded == 30
+    assert warm.stats.frames_requested == 30
+
+
 def test_open_decoder_dispatches_incremental_with_cache():
     encoded = encode_video(make_video())
     cache = AnchorCache(10**6)

@@ -477,3 +477,51 @@ def test_epoch_under_faults_is_byte_identical_to_fault_free_run(dataset, plan):
     )
     assert transient_fires > 0
     assert stats.batches_served == len(plan.batches)
+
+
+def test_fused_engine_under_faults_matches_unfused_fault_free_run(dataset, plan):
+    """Operator fusion must not weaken the capstone guarantee: a *fused*
+    engine under the capstone fault schedule still produces batches
+    byte-identical to an *unfused* fault-free run.
+    """
+    schedule = FaultSchedule(
+        seed=SEED,
+        specs=[
+            FaultSpec(kind="transient-error", site=SITE_STORE_GET, rate=0.05),
+            FaultSpec(kind="transient-error", site=SITE_STORE_PUT, rate=0.05),
+            FaultSpec(kind="crash", site=SITE_ENGINE_JOB, at_count=2, max_fires=1),
+        ],
+    )
+    store = LocalStore(10**8)
+    faulty_store = FaultyStore(store, schedule)
+    cache = CacheManager(faulty_store)
+    pruning = prune_plan(plan, plan.total_cached_bytes() * 1.01)
+    cache.register_plan(plan, pruning)
+    engine = PreprocessingEngine(
+        plan,
+        dataset,
+        pruning=pruning,
+        cache=cache,
+        num_workers=2,
+        fault_schedule=schedule,
+        retry_policy=FAST_RETRY,
+        fusion_enabled=True,
+    )
+    with engine:
+        engine.drain()
+        victim = sorted(store.keys())[0]
+        assert faulty_store.corrupt_at_rest(victim, mode="bit-flip")
+        for vid in plan.graphs:
+            engine._materializer(vid).release_all()
+
+        reference = PreprocessingEngine(
+            plan, dataset, num_workers=0, fusion_enabled=False
+        )
+        for (task, epoch, iteration) in sorted(plan.batches):
+            batch, _ = engine.get_batch(task, epoch, iteration)
+            expected, _ = reference.get_batch(task, epoch, iteration)
+            assert np.array_equal(batch, expected), (task, epoch, iteration)
+
+    assert engine.stats.batches_served == len(plan.batches)
+    assert engine.stats.worker_crashes == 1
+    assert engine.stats.traffic.fused_segments > 0
