@@ -1,0 +1,97 @@
+"""Correctness tooling for SAND: static analysis + runtime sanitizers.
+
+Two halves, one goal — enforce the invariants the differential test
+suite can only spot-check:
+
+* **sandlint** (static): an AST lint engine with a pass registry and
+  per-path policy, shipping passes for determinism (unseeded RNGs,
+  wall-clock reads), zero-copy aliasing (writes through decoder /
+  anchor-cache results), graph-key purity, lock discipline, and fault
+  site registration.  Run it as ``python -m repro.analysis src/``;
+  suppress a deliberate exception inline with
+  ``# sandlint: ignore[<pass-id>]``.
+* **Runtime sanitizers** (opt-in via ``SAND_SANITIZERS=1``; on in CI):
+  an instrumented lock wrapper that fails on lock-order inversion, CRC
+  sentinels detecting write-after-share on copy-elision buffers, and
+  raw-frame leak checks — all reported through ``EngineStats``.
+
+This ``__init__`` exports only the stdlib-light runtime surface (locks,
+sanitizers); the lint engine is imported lazily so the blessed lock
+wrapper can be imported from anywhere — including modules the lint
+passes themselves inspect — without cycles.
+"""
+
+from typing import Any
+
+from repro.analysis.locks import (
+    LOCK_MONITOR,
+    AbstractLock,
+    LockOrderError,
+    LockOrderMonitor,
+    SanitizedLock,
+    make_lock,
+    make_rlock,
+    sanitizers_enabled,
+    set_sanitizers,
+)
+from repro.analysis.sanitizers import (
+    BufferSanitizer,
+    SanitizerReport,
+    buffer_sanitizer,
+    collect_report,
+    reset_sanitizers,
+)
+
+_LINT_EXPORTS = {
+    "Finding": ("repro.analysis.findings", "Finding"),
+    "render": ("repro.analysis.findings", "render"),
+    "LintPass": ("repro.analysis.lint", "LintPass"),
+    "Policy": ("repro.analysis.lint", "Policy"),
+    "PathRule": ("repro.analysis.lint", "PathRule"),
+    "register_pass": ("repro.analysis.lint", "register_pass"),
+    "default_passes": ("repro.analysis.lint", "default_passes"),
+    "default_policy": ("repro.analysis.lint", "default_policy"),
+    "lint_source": ("repro.analysis.lint", "lint_source"),
+    "lint_file": ("repro.analysis.lint", "lint_file"),
+    "lint_paths": ("repro.analysis.lint", "lint_paths"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    entry = _LINT_EXPORTS.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(entry[0])
+    return getattr(module, entry[1])
+
+
+__all__ = [
+    "AbstractLock",
+    "BufferSanitizer",
+    "LOCK_MONITOR",
+    "LockOrderError",
+    "LockOrderMonitor",
+    "SanitizedLock",
+    "SanitizerReport",
+    "buffer_sanitizer",
+    "collect_report",
+    "make_lock",
+    "make_rlock",
+    "reset_sanitizers",
+    "sanitizers_enabled",
+    "set_sanitizers",
+    # lazy lint surface
+    "Finding",
+    "render",
+    "LintPass",
+    "Policy",
+    "PathRule",
+    "register_pass",
+    "default_passes",
+    "default_policy",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]

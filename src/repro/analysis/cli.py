@@ -1,0 +1,74 @@
+"""``python -m repro.analysis`` — run sandlint over files or trees.
+
+Exit status is the contract CI relies on: 0 when every applicable pass
+is clean, 1 when any finding survives pragma suppression, 2 on usage or
+parse errors.  Findings print one per line as ``path:line:col: [pass]
+message`` so editors and CI annotations can jump straight to them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.findings import render
+from repro.analysis.lint import default_passes, default_policy, lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="sandlint: invariant-enforcing static analysis for SAND",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="print every registered pass and exit",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="PASS",
+        help="run only the named pass (repeatable)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    passes = default_passes()
+    if args.list_passes:
+        for lint_pass in passes:
+            print(f"{lint_pass.pass_id:24s} {lint_pass.description}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+    if args.select:
+        known = {p.pass_id for p in passes}
+        unknown = [s for s in args.select if s not in known]
+        if unknown:
+            print(f"error: unknown pass(es): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        passes = [p for p in passes if p.pass_id in set(args.select)]
+    try:
+        findings, checked = lint_paths(
+            args.paths, passes=passes, policy=default_policy()
+        )
+    except (OSError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if findings:
+        print(render(findings))
+        print(
+            f"sandlint: {len(findings)} finding(s) in {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"sandlint: clean ({checked} file(s), {len(passes)} pass(es))")
+    return 0

@@ -1,0 +1,33 @@
+"""Finding records produced by :mod:`repro.analysis` lint passes.
+
+A finding pins one invariant violation to a source location.  Findings
+are plain data — the engine decides suppression (pragmas, policy) and
+the CLI decides presentation — so passes stay trivially testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    pass_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.pass_id}] {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.pass_id)
+
+
+def render(findings: List[Finding]) -> str:
+    """Stable, file-ordered report (one finding per line)."""
+    return "\n".join(f.format() for f in sorted(findings, key=Finding.sort_key))

@@ -1,0 +1,209 @@
+"""The ``sandlint`` engine: pass registry, per-path policy, pragmas.
+
+The engine owns everything that is *not* invariant-specific: discovering
+files, parsing them once, deciding which passes apply to which paths
+(:class:`Policy`), and honoring inline suppression pragmas::
+
+    frames[0] = patch  # sandlint: ignore[shared-buffer-write]
+
+A pragma suppresses only the named pass(es), only on its own line;
+``ignore[all]`` silences every pass on that line.  Passes themselves are
+small AST visitors registered under a stable ``pass_id`` (see
+:mod:`repro.analysis.passes`).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.analysis.findings import Finding
+
+# Modules whose outputs must be a pure function of (inputs, seeds): the
+# decode path, augmentation, the simulator, and the core planner/engine.
+DETERMINISTIC_MODULES: Tuple[str, ...] = (
+    "repro/codec/",
+    "repro/augment/",
+    "repro/sim/",
+    "repro/core/",
+)
+
+# The blessed lock-wrapper module: the one place raw threading locks may
+# be constructed.
+BLESSED_LOCK_MODULE = "repro/analysis/locks.py"
+
+_PRAGMA_RE = re.compile(r"#\s*sandlint:\s*ignore\[([A-Za-z0-9_\-, ]+)\]")
+
+
+class LintPass:
+    """Base class for lint passes.
+
+    Subclasses set :attr:`pass_id` / :attr:`description` and implement
+    :meth:`run`, yielding :class:`Finding` objects for one parsed file.
+    Passes never see pragmas or policy — the engine filters.
+    """
+
+    pass_id: str = ""
+    description: str = ""
+
+    def run(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            pass_id=self.pass_id,
+            message=message,
+        )
+
+
+PASS_REGISTRY: Dict[str, Type[LintPass]] = {}
+
+
+def register_pass(cls: Type[LintPass]) -> Type[LintPass]:
+    """Class decorator adding a pass to the global registry."""
+    if not cls.pass_id:
+        raise ValueError(f"{cls.__name__} has no pass_id")
+    if cls.pass_id in PASS_REGISTRY:
+        raise ValueError(f"duplicate pass_id {cls.pass_id!r}")
+    PASS_REGISTRY[cls.pass_id] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class PathRule:
+    """Where one pass applies.
+
+    ``include`` entries are path substrings (posix separators); an empty
+    tuple means "everywhere".  ``exclude`` entries veto a match.  Paths
+    are normalized before matching, so rules written as
+    ``repro/codec/`` match regardless of the caller's invocation root.
+    """
+
+    include: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    def applies(self, path: str) -> bool:
+        norm = path.replace(os.sep, "/")
+        if any(marker in norm for marker in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(marker in norm for marker in self.include)
+
+
+class Policy:
+    """Maps pass ids to the paths they police."""
+
+    def __init__(self, rules: Optional[Dict[str, PathRule]] = None) -> None:
+        self.rules: Dict[str, PathRule] = dict(rules or {})
+
+    def rule_for(self, pass_id: str) -> PathRule:
+        return self.rules.get(pass_id, PathRule())
+
+    def applies(self, pass_id: str, path: str) -> bool:
+        return self.rule_for(pass_id).applies(path)
+
+
+def default_policy() -> Policy:
+    """The shipped policy: determinism passes scope to deterministic
+    modules; the raw-lock pass exempts the blessed wrapper; everything
+    else runs repo-wide."""
+    return Policy(
+        {
+            "unseeded-rng": PathRule(include=DETERMINISTIC_MODULES),
+            "wall-clock": PathRule(include=DETERMINISTIC_MODULES),
+            "raw-lock": PathRule(exclude=(BLESSED_LOCK_MODULE,)),
+        }
+    )
+
+
+def default_passes() -> List[LintPass]:
+    """Instantiate every registered pass (importing the shipped set)."""
+    # Imported here so registering the shipped passes never races the
+    # registry's population order with custom callers.
+    from repro.analysis import passes as _passes  # noqa: F401
+
+    return [cls() for cls in PASS_REGISTRY.values()]
+
+
+def pragma_suppressions(source: str) -> Dict[int, Set[str]]:
+    """``{line: {pass ids ignored}}`` from inline sandlint pragmas."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if ids:
+            out[lineno] = ids
+    return out
+
+
+def lint_source(
+    source: str,
+    path: str,
+    passes: Optional[Sequence[LintPass]] = None,
+    policy: Optional[Policy] = None,
+) -> List[Finding]:
+    """Run every applicable pass over one file's source."""
+    active_passes = list(passes) if passes is not None else default_passes()
+    active_policy = policy if policy is not None else default_policy()
+    tree = ast.parse(source, filename=path)
+    suppressed = pragma_suppressions(source)
+    findings: List[Finding] = []
+    for lint_pass in active_passes:
+        if not active_policy.applies(lint_pass.pass_id, path):
+            continue
+        for finding in lint_pass.run(tree, path):
+            ignored = suppressed.get(finding.line, set())
+            if finding.pass_id in ignored or "all" in ignored:
+                continue
+            findings.append(finding)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_file(
+    path: str,
+    passes: Optional[Sequence[LintPass]] = None,
+    policy: Optional[Policy] = None,
+) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path, passes=passes, policy=policy)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    passes: Optional[Sequence[LintPass]] = None,
+    policy: Optional[Policy] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint every python file under ``paths``; returns (findings, files)."""
+    active_passes = list(passes) if passes is not None else default_passes()
+    active_policy = policy if policy is not None else default_policy()
+    findings: List[Finding] = []
+    checked = 0
+    for file_path in iter_python_files(paths):
+        checked += 1
+        findings.extend(
+            lint_file(file_path, passes=active_passes, policy=active_policy)
+        )
+    return findings, checked

@@ -1,0 +1,459 @@
+"""The shipped sandlint passes.
+
+Each pass guards one invariant the test suite can only spot-check:
+
+========================  ====================================================
+``unseeded-rng``          RNG construction/use without an explicit seed inside
+                          deterministic modules (byte-identical materialization
+                          is a function of seeds alone)
+``wall-clock``            wall-clock reads inside deterministic modules
+``shared-buffer-write``   in-place writes through names bound from decoder /
+                          anchor-cache results (zero-copy sharing means those
+                          bytes are aliased by the cache and fused epilogues)
+``impure-key``            unhashable / identity-keyed values flowing into
+                          ``stable_params_key`` (graph keys must be pure
+                          content keys or view-graph merging is corrupted)
+``raw-lock``              raw ``threading`` lock construction outside the
+                          blessed wrapper (lock-order sanitizing needs every
+                          lock to be named and instrumented)
+``unregistered-fault-site``  fault-site string literals not registered in
+                          ``repro.faults.schedule`` (the schedule can only
+                          replay sites it knows about)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.lint import LintPass, register_pass
+
+# -- shared helpers ----------------------------------------------------------
+
+
+def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to canonical dotted module/attribute paths.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``; ``from threading
+    import Lock as L`` → ``{"L": "threading.Lock"}``.  Only top-level
+    and function-level imports are honored — good enough for lint.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname is None and "." in alias.name:
+                    # `import numpy.random` binds `numpy`.
+                    aliases[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _canonical(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Canonical dotted path of a Name/Attribute chain, or None."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    root = aliases.get(current.id, current.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _last_segment(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+# -- determinism -------------------------------------------------------------
+
+# Constructors that are fine *when seeded* (≥1 positional/keyword arg).
+_SEEDABLE = {
+    "random.Random",
+    "random.SystemRandom",  # flagged unconditionally below
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "numpy.random.SFC64",
+}
+# random-module calls that are not draws at all.
+_RNG_EXEMPT = {"random.seed", "random.getstate", "random.setstate"}
+
+
+@register_pass
+class UnseededRngPass(LintPass):
+    pass_id = "unseeded-rng"
+    description = (
+        "unseeded random.* / np.random.* use inside deterministic modules"
+    )
+
+    def run(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        aliases = _collect_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _canonical(node.func, aliases)
+            if target is None:
+                continue
+            if target in _RNG_EXEMPT:
+                continue
+            if target == "random.SystemRandom":
+                yield self.finding(
+                    path, node, "SystemRandom is unseedable; derive from a seed"
+                )
+                continue
+            if target in _SEEDABLE:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        path,
+                        node,
+                        f"{target}() without a seed; pass an explicit seed",
+                    )
+                continue
+            if target.startswith("random.") or target.startswith("numpy.random."):
+                yield self.finding(
+                    path,
+                    node,
+                    f"{target}() draws from global RNG state; "
+                    "use a seeded generator instance",
+                )
+
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register_pass
+class WallClockPass(LintPass):
+    pass_id = "wall-clock"
+    description = "wall-clock reads inside deterministic modules"
+
+    def run(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        aliases = _collect_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _canonical(node.func, aliases)
+            if target in _WALL_CLOCK:
+                yield self.finding(
+                    path,
+                    node,
+                    f"{target}() reads the clock in a deterministic module; "
+                    "thread timestamps in from the caller",
+                )
+
+
+# -- aliasing ----------------------------------------------------------------
+
+# Call attribute names whose results are shared zero-copy buffers: the
+# decode family publishes into / reads from the anchor cache, and a
+# snapshot *is* the cache's contents.
+_TAINT_CALL_PREFIXES = ("decode_",)
+_TAINT_CALL_NAMES = {"snapshot"}
+# ndarray methods that mutate the receiver.
+_MUTATING_METHODS = {"fill", "sort", "resize", "put", "partition", "setfield", "byteswap"}
+
+
+def _taints(call: ast.Call) -> bool:
+    name = _last_segment(call.func)
+    if name is None:
+        return False
+    return name in _TAINT_CALL_NAMES or any(
+        name.startswith(p) for p in _TAINT_CALL_PREFIXES
+    )
+
+
+def _base_name(node: ast.AST) -> Optional[str]:
+    """The root Name of a (possibly nested) subscript chain."""
+    current = node
+    while isinstance(current, ast.Subscript):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+class _ScopeAliasing:
+    """Forward-walks one scope tracking names aliased to shared buffers."""
+
+    def __init__(self, lint_pass: LintPass, path: str) -> None:
+        self.lint_pass = lint_pass
+        self.path = path
+        self.tainted: Set[str] = set()
+        self.findings: List[Finding] = []
+
+    # -- taint tracking ------------------------------------------------------
+    def _value_tainted(self, value: ast.AST) -> bool:
+        if isinstance(value, ast.Call):
+            return _taints(value)
+        name = _base_name(value)
+        return name is not None and name in self.tainted
+
+    def _bind(self, target: ast.AST, tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            if tainted:
+                self.tainted.add(target.id)
+            else:
+                self.tainted.discard(target.id)
+
+    def _flag(self, node: ast.AST, name: str, what: str) -> None:
+        self.findings.append(
+            self.lint_pass.finding(
+                self.path,
+                node,
+                f"{what} through {name!r}, which aliases a shared "
+                "decoded/anchor-cache buffer; copy before mutating",
+            )
+        )
+
+    # -- statement walk ------------------------------------------------------
+    def visit_block(self, statements: List[ast.stmt]) -> None:
+        for statement in statements:
+            self.visit_stmt(statement)
+
+    def visit_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested scopes are analyzed separately
+        if isinstance(node, ast.Assign):
+            self._check_expr(node.value)
+            tainted = self._value_tainted(node.value)
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    name = _base_name(target)
+                    if name in self.tainted:
+                        self._flag(node, name, "item assignment")
+                else:
+                    self._bind(target, tainted)
+            return
+        if isinstance(node, ast.AugAssign):
+            self._check_expr(node.value)
+            name = _base_name(node.target)
+            if name in self.tainted:
+                self._flag(node, name, "augmented assignment")
+            return
+        if isinstance(node, ast.For):
+            self._check_expr(node.iter)
+            iter_tainted = self._value_tainted(node.iter) or (
+                isinstance(node.iter, ast.Call)
+                and _last_segment(node.iter.func) in {"items", "values"}
+                and self._value_tainted(node.iter.func.value)  # type: ignore[union-attr]
+            )
+            if isinstance(node.target, ast.Name):
+                self._bind(node.target, iter_tainted)
+            elif isinstance(node.target, ast.Tuple) and node.target.elts:
+                # `for k, v in frames.items()`: the value aliases.
+                self._bind(node.target.elts[-1], iter_tainted)
+            self.visit_block(node.body)
+            self.visit_block(node.orelse)
+            return
+        if isinstance(node, (ast.If, ast.While)):
+            self._check_expr(node.test)
+            self.visit_block(node.body)
+            self.visit_block(node.orelse)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self._check_expr(item.context_expr)
+            self.visit_block(node.body)
+            return
+        if isinstance(node, ast.Try):
+            self.visit_block(node.body)
+            for handler in node.handlers:
+                self.visit_block(handler.body)
+            self.visit_block(node.orelse)
+            self.visit_block(node.finalbody)
+            return
+        if isinstance(node, ast.Expr):
+            self._check_expr(node.value)
+            return
+        if isinstance(node, ast.Return) and node.value is not None:
+            self._check_expr(node.value)
+
+    def _check_expr(self, node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            method = _last_segment(sub.func)
+            if (
+                method in _MUTATING_METHODS
+                and isinstance(sub.func, ast.Attribute)
+            ):
+                name = _base_name(sub.func.value)
+                if name in self.tainted:
+                    self._flag(sub, name, f".{method}() call")
+            elif method == "copyto" and sub.args:
+                name = _base_name(sub.args[0])
+                if name in self.tainted:
+                    self._flag(sub, name, "np.copyto destination")
+
+
+@register_pass
+class SharedBufferWritePass(LintPass):
+    pass_id = "shared-buffer-write"
+    description = "in-place writes to decoder / anchor-cache result arrays"
+
+    def run(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        scopes: List[List[ast.stmt]] = [tree.body]
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        for body in scopes:
+            walker = _ScopeAliasing(self, path)
+            walker.visit_block(body)
+            yield from walker.findings
+
+
+# -- key purity --------------------------------------------------------------
+
+_IMPURE_CALLS = {"id", "object", "hash"}
+
+
+@register_pass
+class ImpureKeyPass(LintPass):
+    pass_id = "impure-key"
+    description = "impure/unordered inputs to stable_params_key graph keys"
+
+    def _impurity(self, arg: ast.AST) -> Optional[Tuple[ast.AST, str]]:
+        for sub in ast.walk(arg):
+            if isinstance(sub, ast.Lambda):
+                return sub, "a lambda has no stable content key"
+            if isinstance(sub, (ast.Set, ast.SetComp)):
+                return sub, "set iteration order is not canonical"
+            if isinstance(sub, ast.GeneratorExp):
+                return sub, "a generator is consumed, not keyed"
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id in _IMPURE_CALLS
+            ):
+                return sub, (
+                    f"{sub.func.id}() keys by object identity, which differs "
+                    "across processes and runs"
+                )
+        return None
+
+    def run(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _last_segment(node.func) != "stable_params_key":
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                found = self._impurity(arg)
+                if found is not None:
+                    culprit, why = found
+                    yield self.finding(
+                        path,
+                        culprit,
+                        f"impure value in stable_params_key input: {why}",
+                    )
+
+
+# -- lock discipline ---------------------------------------------------------
+
+_RAW_LOCKS = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+}
+
+
+@register_pass
+class RawLockPass(LintPass):
+    pass_id = "raw-lock"
+    description = "raw threading lock construction outside the blessed wrapper"
+
+    def run(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        aliases = _collect_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _canonical(node.func, aliases)
+            if target in _RAW_LOCKS:
+                yield self.finding(
+                    path,
+                    node,
+                    f"{target}() bypasses lock-order sanitizing; use "
+                    "repro.analysis.locks.make_lock/make_rlock",
+                )
+
+
+# -- fault sites -------------------------------------------------------------
+
+
+@register_pass
+class FaultSitePass(LintPass):
+    pass_id = "unregistered-fault-site"
+    description = "fault-site literals missing from repro.faults.schedule"
+
+    def _known_sites(self) -> Optional[Set[str]]:
+        # Imported lazily: the lint engine must stay loadable even if the
+        # faults package (or its storage deps) cannot import.
+        try:
+            from repro.faults.schedule import KNOWN_SITES
+        except Exception:  # pragma: no cover - defensive
+            return None
+        return set(KNOWN_SITES)
+
+    def _site_literals(self, node: ast.Call) -> Iterator[Tuple[ast.AST, str]]:
+        name = _last_segment(node.func)
+        if name == "FaultSpec":
+            for keyword in node.keywords:
+                if keyword.arg == "site" and isinstance(keyword.value, ast.Constant):
+                    if isinstance(keyword.value.value, str):
+                        yield keyword.value, keyword.value.value
+            if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+                if isinstance(node.args[1].value, str):
+                    yield node.args[1], node.args[1].value
+        elif name in {"apply", "draw"} and isinstance(node.func, ast.Attribute):
+            owner = _last_segment(node.func.value)
+            if owner in {"schedule", "fault_schedule"} and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    yield first, first.value
+
+    def run(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        known = self._known_sites()
+        if known is None:
+            return
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for literal, site in self._site_literals(node):
+                if site not in known:
+                    yield self.finding(
+                        path,
+                        literal,
+                        f"fault site {site!r} is not registered in "
+                        "repro.faults.schedule (KNOWN_SITES / register_site)",
+                    )

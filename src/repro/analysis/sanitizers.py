@@ -1,0 +1,160 @@
+"""Runtime sanitizers: write-after-share sentinels and leak checks.
+
+Opt-in (``SAND_SANITIZERS=1``; on in CI), off by default so the hot path
+pays nothing.  Three detectors:
+
+* **Lock-order** — lives in :mod:`repro.analysis.locks`; every blessed
+  lock reports acquisitions into a process-global held-before graph.
+* **Write-after-share** — :class:`BufferSanitizer` records a CRC-32
+  sentinel for every buffer that crosses a zero-copy sharing boundary
+  (anchor-cache entries, fused-plan base arrays on the ``get_into``
+  copy-elision path).  ``verify()`` re-checksums; any drift means some
+  alias wrote to bytes another consumer believes are immutable —
+  exactly the corruption class that read-only flags alone cannot catch
+  (older views of the same buffer stay writable).
+* **Raw-frame leaks** — the materializer self-checks after
+  ``release_raw_frames`` that no frame-kind array survived and that its
+  byte accounting matches the memo's actual contents; drift is reported
+  as a leak.
+
+:func:`collect_report` rolls all three into a :class:`SanitizerReport`,
+surfaced through ``EngineStats.sanitizer`` when the engine stops.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.locks import (
+    LOCK_MONITOR,
+    make_lock,
+    sanitizers_enabled,
+    set_sanitizers,
+)
+
+__all__ = [
+    "BufferSanitizer",
+    "SanitizerReport",
+    "buffer_sanitizer",
+    "collect_report",
+    "reset_sanitizers",
+    "sanitizers_enabled",
+    "set_sanitizers",
+]
+
+# Bounded sentinel table: the sanitizer pins guarded arrays (a sentinel
+# must outlive eviction to catch late writers), so cap how many it holds.
+MAX_SENTINELS = 8192
+
+
+@dataclass
+class SanitizerReport:
+    """Everything the sanitizers found; empty lists mean a clean run."""
+
+    lock_order_violations: List[str] = field(default_factory=list)
+    write_after_share: List[str] = field(default_factory=list)
+    raw_frame_leaks: List[str] = field(default_factory=list)
+
+    def clean(self) -> bool:
+        return not (
+            self.lock_order_violations
+            or self.write_after_share
+            or self.raw_frame_leaks
+        )
+
+    def as_dict(self) -> Dict[str, List[str]]:
+        return {
+            "lock_order_violations": list(self.lock_order_violations),
+            "write_after_share": list(self.write_after_share),
+            "raw_frame_leaks": list(self.raw_frame_leaks),
+        }
+
+
+def _checksum(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
+class BufferSanitizer:
+    """CRC sentinels over shared buffers plus a leak message ledger."""
+
+    def __init__(self) -> None:
+        self._mutex = make_lock("buffer-sanitizer")
+        # id(array) -> (array, label, crc).  The strong reference keeps
+        # the id stable for the sentinel's lifetime.
+        self._sentinels: Dict[int, Tuple[np.ndarray, str, int]] = {}
+        self._leaks: List[str] = []
+        self._violations: List[str] = []
+        self.guarded = 0
+
+    # -- write-after-share ---------------------------------------------------
+    def guard(self, array: np.ndarray, label: str) -> None:
+        """Record a sentinel for a buffer crossing a sharing boundary."""
+        with self._mutex:
+            if id(array) in self._sentinels:
+                return
+            if len(self._sentinels) >= MAX_SENTINELS:
+                return
+            self._sentinels[id(array)] = (array, label, _checksum(array))
+            self.guarded += 1
+
+    def verify(self) -> List[str]:
+        """Re-checksum every guarded buffer; returns new violations."""
+        with self._mutex:
+            fresh: List[str] = []
+            for key, (array, label, crc) in list(self._sentinels.items()):
+                if _checksum(array) != crc:
+                    fresh.append(
+                        f"write-after-share: {label} mutated after it was "
+                        "shared zero-copy"
+                    )
+                    del self._sentinels[key]
+            self._violations.extend(fresh)
+            return fresh
+
+    # -- leaks ----------------------------------------------------------------
+    def note_leak(self, message: str) -> None:
+        with self._mutex:
+            self._leaks.append(message)
+
+    # -- reporting ------------------------------------------------------------
+    def report(self) -> Tuple[List[str], List[str]]:
+        self.verify()
+        with self._mutex:
+            return list(self._violations), list(self._leaks)
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._sentinels.clear()
+            self._leaks.clear()
+            self._violations.clear()
+            self.guarded = 0
+
+
+_BUFFER_SANITIZER = BufferSanitizer()
+
+
+def buffer_sanitizer() -> Optional[BufferSanitizer]:
+    """The process-global buffer sanitizer, or None when disabled."""
+    if not sanitizers_enabled():
+        return None
+    return _BUFFER_SANITIZER
+
+
+def collect_report() -> SanitizerReport:
+    """Snapshot every sanitizer's findings (verifying sentinels now)."""
+    write_after_share, leaks = _BUFFER_SANITIZER.report()
+    return SanitizerReport(
+        lock_order_violations=LOCK_MONITOR.report(),
+        write_after_share=write_after_share,
+        raw_frame_leaks=leaks,
+    )
+
+
+def reset_sanitizers() -> None:
+    """Clear all sanitizer state (tests; between independent runs)."""
+    LOCK_MONITOR.reset()
+    _BUFFER_SANITIZER.reset()

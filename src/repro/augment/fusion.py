@@ -45,7 +45,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -85,7 +85,7 @@ class TrafficLedger:
         self.fused_segments += other.fused_segments
         self.identity_skips += other.identity_skips
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, int]:
         return {
             "clip_passes": self.clip_passes,
             "bytes_allocated": self.bytes_allocated,
@@ -104,7 +104,7 @@ class _AxisState:
     exactly as :func:`repro.augment.ops._resize_bilinear` computes them).
     """
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         self.index: Optional[np.ndarray] = np.arange(n, dtype=np.int64)
         self.valid: Optional[np.ndarray] = None  # None = all positions real
         self.lo: Optional[np.ndarray] = None
@@ -116,15 +116,20 @@ class _AxisState:
         return self.weight is not None
 
     def __len__(self) -> int:
-        return len(self.weight) if self.bilinear else len(self.index)
+        if self.weight is not None:
+            return len(self.weight)
+        assert self.index is not None
+        return len(self.index)
 
     def take(self, sel: np.ndarray) -> None:
         """Compose an exact map: new output ``i`` reads old output ``sel[i]``."""
-        if self.bilinear:
+        if self.weight is not None:
+            assert self.lo is not None and self.hi is not None
             self.lo = self.lo[sel]
             self.hi = self.hi[sel]
             self.weight = self.weight[sel]
         else:
+            assert self.index is not None
             self.index = self.index[sel]
         if self.valid is not None:
             self.valid = self.valid[sel]
@@ -138,14 +143,16 @@ class _AxisState:
 
     def absorb_resize(self, out_n: int) -> None:
         """Switch to bilinear mode, replicating ``_resize_bilinear`` exactly."""
-        n = len(self.index)
+        index = self.index
+        assert index is not None  # one resize per segment (absorb enforces it)
+        n = len(index)
         pos = (np.arange(out_n) + 0.5) * (n / out_n) - 0.5
         pos = np.clip(pos, 0, n - 1)
         lo = np.floor(pos).astype(np.int64)
         hi = np.minimum(lo + 1, n - 1)
         self.weight = pos - lo  # float64, same dtype as the unfused path
-        self.lo = self.index[lo]
-        self.hi = self.index[hi]
+        self.lo = index[lo]
+        self.hi = index[hi]
         self.index = None
 
 
@@ -162,7 +169,7 @@ class GatherSegment:
     def out_hw(self) -> Tuple[int, int]:
         return (len(self.y), len(self.x))
 
-    def _apply_fill(self, array: np.ndarray, value) -> None:
+    def _apply_fill(self, array: np.ndarray, value: float) -> None:
         if self.y.valid is not None:
             array[:, ~self.y.valid, :, :] = value
         if self.x.valid is not None:
@@ -203,6 +210,7 @@ class GatherSegment:
         out: Optional[np.ndarray],
     ) -> np.ndarray:
         """Run the pointwise epilogue on float32 ``work`` (scratch)."""
+        assert self.epilogue is not None
         op, params = self.epilogue
         if out is not None and (out.shape != work.shape or out.dtype != np.float32):
             out = None
@@ -216,6 +224,7 @@ class GatherSegment:
         ledger: TrafficLedger,
         out: Optional[np.ndarray],
     ) -> np.ndarray:
+        assert self.y.index is not None and self.x.index is not None
         iy = self.y.index[:, None]
         ix = self.x.index[None, :]
         gathered = clip[:, iy, ix]
@@ -236,6 +245,9 @@ class GatherSegment:
         # index arrays pre-composed with every crop/flip/pad in the
         # segment: the per-pixel float64 arithmetic is unchanged, so the
         # rounded bytes match the unfused chain bit for bit.
+        assert self.y.lo is not None and self.y.hi is not None
+        assert self.x.lo is not None and self.x.hi is not None
+        assert self.y.weight is not None and self.x.weight is not None
         ly, hy = self.y.lo[:, None], self.y.hi[:, None]
         lx, hx = self.x.lo[None, :], self.x.hi[None, :]
         wy = self.y.weight[None, :, None, None]
@@ -363,7 +375,7 @@ class FusedPlan:
 class _SegmentBuilder:
     """Accumulates consecutive gather-fusable ops into one GatherSegment."""
 
-    def __init__(self, in_shape: Tuple[int, int, int, int]):
+    def __init__(self, in_shape: Tuple[int, int, int, int]) -> None:
         self.y = _AxisState(in_shape[1])
         self.x = _AxisState(in_shape[2])
         self.fill: Optional[int] = None
@@ -423,6 +435,12 @@ class _SegmentBuilder:
 
 
 StepLike = Union[ResolvedStep, Tuple[AugmentOp, Params]]
+ClipShape4 = Tuple[int, int, int, int]
+
+
+def _shape4(shape: Sequence[int]) -> ClipShape4:
+    t, h, w, c = (int(s) for s in shape)
+    return (t, h, w, c)
 
 
 def _as_pair(step: StepLike) -> Tuple[AugmentOp, Params]:
@@ -440,7 +458,7 @@ def compile_steps(
     pairs.  The plan executes the exact same bytes as running the chain
     step by step through ``AugmentOp.apply``.
     """
-    shape = tuple(int(s) for s in in_shape)
+    shape = _shape4(in_shape)
     plan = FusedPlan(in_shape=shape, out_shape=shape, total_ops=len(steps))
     identity_ops: List[str] = []
     builder: Optional[_SegmentBuilder] = None
@@ -456,7 +474,7 @@ def compile_steps(
         if op.is_identity(shape, params):
             identity_ops.append(op.name)
             continue
-        out_shape = tuple(int(s) for s in op.output_shape(shape, params))
+        out_shape = _shape4(op.output_shape(shape, params))
         if op.fusion_kind == "gather":
             spec = op.gather_spec(shape, params)
             if builder is None:
@@ -491,7 +509,7 @@ def _plan_cached(
     chain: Tuple[Tuple[str, str, str], ...],
     in_shape: Tuple[int, int, int, int],
 ) -> FusedPlan:
-    pairs = []
+    pairs: List[Tuple[AugmentOp, Params]] = []
     for name, config_json, params_json in chain:
         op = registry.create(name, json.loads(config_json))
         pairs.append((op, json.loads(params_json)))
@@ -509,9 +527,9 @@ def plan_for(
     of nodes per window; plans (and their precomputed index arrays) are
     immutable at run time, so sharing them across threads is safe.
     """
-    return _plan_cached(registry, tuple(chain), tuple(int(s) for s in in_shape))
+    return _plan_cached(registry, tuple(chain), _shape4(in_shape))
 
 
-def fusion_cache_info() -> dict:
+def fusion_cache_info() -> Dict[str, int]:
     info = _plan_cached.cache_info()
     return {"hits": info.hits, "misses": info.misses, "size": info.currsize}

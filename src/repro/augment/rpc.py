@@ -21,11 +21,11 @@ import pickle
 import struct
 import subprocess
 import sys
-import threading
 from typing import Any, BinaryIO, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.locks import make_lock
 from repro.augment.ops import AugmentOp, Params
 
 _LEN_FMT = "<I"
@@ -94,7 +94,7 @@ class RpcAugmentService:
     def __init__(self, python: Optional[str] = None):
         self._python = python or sys.executable
         self._proc: Optional[subprocess.Popen] = None
-        self._lock = threading.Lock()
+        self._lock = make_lock("augment-rpc")
 
     def start(self) -> None:
         if self._proc is not None:

@@ -21,13 +21,14 @@ an empty cache it degrades exactly to
 
 from __future__ import annotations
 
-import threading
 import zlib
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.analysis.locks import make_rlock
+from repro.analysis.sanitizers import buffer_sanitizer
 from repro.codec.container import FrameRecord, read_container
 from repro.codec.decoder import DecodeStats, frames_to_decode
 from repro.codec.encoder import bidirectional_predictor
@@ -97,7 +98,7 @@ class AnchorCache:
         self._entries: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
         self._by_video: Dict[str, Set[int]] = {}
         self._bytes = 0
-        self._lock = threading.RLock()
+        self._lock = make_rlock("anchor-cache")
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -152,7 +153,14 @@ class AnchorCache:
                 self.hits += count
 
     def put(self, video_id: str, index: int, frame: np.ndarray) -> bool:
-        """Insert one decoded anchor; returns False when it cannot fit."""
+        """Insert one decoded anchor; returns False when it cannot fit.
+
+        The inserted array is frozen (``writeable=False``): entries are
+        shared zero-copy with every future hit, so the bytes must never
+        change after insertion.  The flag travels with the object — the
+        decoder's own handle is this same array — and every view
+        :meth:`get`/:meth:`snapshot` hand out inherits it.
+        """
         with self._lock:
             key = (video_id, index)
             if key in self._entries:
@@ -160,6 +168,11 @@ class AnchorCache:
                 return True
             if frame.nbytes > self.budget_bytes:
                 return False
+            if frame.flags.writeable:
+                frame.setflags(write=False)
+            sanitizer = buffer_sanitizer()
+            if sanitizer is not None:
+                sanitizer.guard(frame, f"anchor-cache entry {video_id}[{index}]")
             self._entries[key] = frame
             self._by_video.setdefault(video_id, set()).add(index)
             self._bytes += frame.nbytes

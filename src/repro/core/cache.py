@@ -13,9 +13,9 @@ batch table; the trainer's progress is reported via :meth:`advance`.
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.locks import make_rlock
 from repro.core.concrete_graph import MaterializationPlan
 from repro.core.pruning import PruningOutcome
 from repro.storage.local import LocalStore
@@ -37,7 +37,7 @@ class CacheManager:
             raise ValueError(f"policy must be one of {self.POLICIES}, got {policy!r}")
         self.store = store
         self.policy = policy
-        self._lock = threading.RLock()
+        self._lock = make_rlock("cache-manager")
         # key -> sorted steps at which the object is consumed (min over
         # tasks per use; conservative for multi-task objects).
         self._use_steps: Dict[str, List[int]] = {}

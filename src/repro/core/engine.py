@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.locks import make_lock
+from repro.analysis.sanitizers import SanitizerReport, collect_report, sanitizers_enabled
 from repro.augment.fusion import TrafficLedger
 from repro.augment.registry import OpRegistry
 from repro.codec.incremental import AnchorCache
@@ -81,6 +83,10 @@ class EngineStats:
     # Memory traffic across the whole engine: batch assembly plus every
     # materializer's op executions (recomputed on aggregation).
     traffic: TrafficLedger = field(default_factory=TrafficLedger)
+    # Runtime-sanitizer findings (lock-order inversions, write-after-share,
+    # raw-frame leaks).  None when sanitizers are off; populated on stop()
+    # and by sanitizer_report().
+    sanitizer: Optional[SanitizerReport] = None
 
     @property
     def dead_letter_jobs(self) -> List[str]:
@@ -146,13 +152,13 @@ class PreprocessingEngine:
         )
 
         self._materializers: Dict[str, VideoMaterializer] = {}
-        self._mat_lock = threading.Lock()
+        self._mat_lock = make_lock("engine.materializers")
         self._progress: Dict[str, int] = {t: 0 for t in plan.tasks}
-        self._progress_lock = threading.Lock()
+        self._progress_lock = make_lock("engine.progress")
         # Pre-materialization jobs claimed from the scheduler but not yet
         # finished: drain() must wait for these, not just pending_count.
         self._inflight = 0
-        self._inflight_lock = threading.Lock()
+        self._inflight_lock = make_lock("engine.inflight")
         # Monotone claim counter: gives crash-at-job-N a thread-stable,
         # 1-based job index.
         self._job_seq = 0
@@ -206,6 +212,8 @@ class PreprocessingEngine:
                 # (or start) still sees it.
                 self._threads.append(thread)
         self._started = False
+        if sanitizers_enabled():
+            self.stats.sanitizer = collect_report()
 
     def drain(self) -> None:
         """Block until all pre-materialization jobs are done.
@@ -500,6 +508,13 @@ class PreprocessingEngine:
         quarantined = getattr(store, "quarantined", None)
         if quarantined is not None:
             self.stats.quarantined_keys = list(quarantined)
+
+    def sanitizer_report(self) -> Optional[SanitizerReport]:
+        """Snapshot sanitizer findings now (None when sanitizers are off)."""
+        if not sanitizers_enabled():
+            return None
+        self.stats.sanitizer = collect_report()
+        return self.stats.sanitizer
 
     def _current_step(self) -> int:
         with self._progress_lock:

@@ -16,13 +16,14 @@ from the nearest cached anchor instead of the GOP keyframe.
 from __future__ import annotations
 
 import json
-import threading
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.analysis.locks import make_rlock
+from repro.analysis.sanitizers import buffer_sanitizer
 from repro.augment.fusion import TrafficLedger, plan_for
 from repro.augment.ops import AugmentOp
 from repro.augment.registry import OpRegistry, default_registry
@@ -117,7 +118,7 @@ class VideoMaterializer:
         self.stats = MaterializeStats()
         self._memo: Dict[str, np.ndarray] = {}
         self._decoder: Optional[VideoDecoder] = None
-        self._lock = threading.RLock()
+        self._lock = make_rlock("materializer")
 
     # -- public API ---------------------------------------------------------
     def get(self, key: str) -> np.ndarray:
@@ -149,6 +150,14 @@ class VideoMaterializer:
                 and (self.cache is None or key not in self.cache)
             ):
                 self._compute_sample_fused(node, out=out)
+                sanitizer = buffer_sanitizer()
+                if sanitizer is not None:
+                    # The slot now holds the leaf's final bytes; anything
+                    # rewriting it before the trainer consumes the batch
+                    # is a write-after-share on the copy-elision path.
+                    sanitizer.guard(
+                        out, f"copy-elision slot {self.graph.video_id}:{key}"
+                    )
                 return
             array = self._get_locked(key)
             np.copyto(out, array, casting="no")
@@ -176,7 +185,29 @@ class VideoMaterializer:
                     self.stats.bytes_in_memory -= self._memo[key].nbytes
                     del self._memo[key]
                     dropped += 1
+            self._check_release_postconditions()
             return dropped
+
+    def _check_release_postconditions(self) -> None:
+        """Sanitizer leak check: release must leave no raw frame behind
+        and the byte accounting must match the memo's actual contents."""
+        sanitizer = buffer_sanitizer()
+        if sanitizer is None:
+            return
+        survivors = [
+            key for key in self._memo if self.graph.nodes[key].kind == "frame"
+        ]
+        if survivors:
+            sanitizer.note_leak(
+                f"{self.graph.video_id}: {len(survivors)} raw frame(s) "
+                f"survived release_raw_frames: {sorted(survivors)[:4]}"
+            )
+        actual = sum(array.nbytes for array in self._memo.values())
+        if actual != self.stats.bytes_in_memory:
+            sanitizer.note_leak(
+                f"{self.graph.video_id}: bytes_in_memory accounting drift "
+                f"({self.stats.bytes_in_memory} tracked vs {actual} actual)"
+            )
 
     def release_all(self) -> None:
         with self._lock:

@@ -32,12 +32,12 @@ root the task configs name.
 from __future__ import annotations
 
 import json
-import threading
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.analysis.locks import make_rlock
 from repro.augment.registry import OpRegistry
 from repro.codec.incremental import AnchorCache
 from repro.core.abstract_graph import AbstractViewGraph, group_tasks_by_dataset
@@ -149,7 +149,7 @@ class SandService(FileSystemProvider):
         # paying off across windows (videos recur every epoch).
         self.anchor_cache = AnchorCache()
 
-        self._window_lock = threading.RLock()
+        self._window_lock = make_rlock("service.window")
         self._active_tasks: Set[str] = set()
 
     @staticmethod

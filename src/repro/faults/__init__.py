@@ -30,14 +30,20 @@ from repro.faults.errors import (
 )
 from repro.faults.schedule import (
     KINDS,
+    KNOWN_SITES,
     SITE_DECODE,
     SITE_ENGINE_JOB,
     SITE_REMOTE_GET,
     SITE_REMOTE_PUT,
     SITE_STORE_GET,
     SITE_STORE_PUT,
+    SITE_VFS_GETXATTR,
+    SITE_VFS_LISTDIR,
+    SITE_VFS_LOOKUP,
+    SITE_VFS_OPEN,
     FaultSchedule,
     FaultSpec,
+    register_site,
 )
 from repro.faults.proxies import FaultyDecoder, FaultyProvider, FaultyStore
 
@@ -50,13 +56,19 @@ __all__ = [
     "InjectedFaultError",
     "InjectedWorkerCrash",
     "KINDS",
+    "KNOWN_SITES",
     "SITE_DECODE",
     "SITE_ENGINE_JOB",
     "SITE_REMOTE_GET",
     "SITE_REMOTE_PUT",
     "SITE_STORE_GET",
     "SITE_STORE_PUT",
+    "SITE_VFS_GETXATTR",
+    "SITE_VFS_LISTDIR",
+    "SITE_VFS_LOOKUP",
+    "SITE_VFS_OPEN",
     "TransientDecodeError",
     "TransientStorageError",
     "TransientVfsError",
+    "register_site",
 ]

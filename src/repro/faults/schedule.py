@@ -33,11 +33,11 @@ Fault kinds:
 from __future__ import annotations
 
 import hashlib
-import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
+from repro.analysis.locks import make_lock
 from repro.storage.objectstore import TransientStorageError
 
 KINDS = ("transient-error", "latency", "torn-write", "bit-flip", "crash")
@@ -50,6 +50,36 @@ SITE_REMOTE_GET = "remote.get"
 SITE_REMOTE_PUT = "remote.put"
 SITE_DECODE = "decoder.decode"
 SITE_ENGINE_JOB = "engine.job"
+SITE_VFS_LOOKUP = "vfs.lookup"
+SITE_VFS_OPEN = "vfs.open"
+SITE_VFS_GETXATTR = "vfs.getxattr"
+SITE_VFS_LISTDIR = "vfs.listdir"
+
+# The site registry: every site a spec may target.  A spec naming an
+# unknown site would silently never fire — the harness would "pass"
+# while injecting nothing — so FaultSpec validates against this set (and
+# the `unregistered-fault-site` sandlint pass checks literals
+# statically).  Out-of-tree proxies add their sites via register_site.
+KNOWN_SITES = {
+    SITE_STORE_GET,
+    SITE_STORE_PUT,
+    SITE_REMOTE_GET,
+    SITE_REMOTE_PUT,
+    SITE_DECODE,
+    SITE_ENGINE_JOB,
+    SITE_VFS_LOOKUP,
+    SITE_VFS_OPEN,
+    SITE_VFS_GETXATTR,
+    SITE_VFS_LISTDIR,
+}
+
+
+def register_site(site: str) -> str:
+    """Register an out-of-tree injection site; returns it for reuse."""
+    if not site or not isinstance(site, str):
+        raise ValueError(f"site must be a non-empty string, got {site!r}")
+    KNOWN_SITES.add(site)
+    return site
 
 
 @dataclass(frozen=True)
@@ -67,6 +97,11 @@ class FaultSpec:
     def __post_init__(self):
         if self.kind not in KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; known: {KINDS}")
+        if self.site not in KNOWN_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; known: {sorted(KNOWN_SITES)} "
+                "(register new sites via repro.faults.schedule.register_site)"
+            )
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
         if self.at_count is not None and self.at_count < 1:
@@ -83,7 +118,7 @@ class FaultSchedule:
     def __init__(self, seed: int = 0, specs: Sequence[FaultSpec] = ()):
         self.seed = int(seed)
         self.specs: List[FaultSpec] = list(specs)
-        self._lock = threading.Lock()
+        self._lock = make_lock("fault-schedule")
         self._key_counts: Dict[Tuple[str, str], int] = {}
         self._site_counts: Dict[str, int] = {}
         self._spec_fires: List[int] = [0] * len(self.specs)

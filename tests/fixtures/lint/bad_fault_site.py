@@ -1,0 +1,11 @@
+"""Positive fixture: fault-site literals nobody registered."""
+
+from repro.faults.schedule import FaultSpec
+
+
+def bogus_spec():
+    return FaultSpec(kind="transient-error", site="warp.core", rate=0.5)  # finding
+
+
+def bogus_apply(schedule):
+    schedule.apply("flux.capacitor", "key")  # finding

@@ -1,0 +1,15 @@
+"""Positive fixture: identity-keyed / unordered graph-key inputs."""
+
+from repro.augment.ops import stable_params_key
+
+
+def key_by_identity(op):
+    return stable_params_key({"op": id(op)})  # finding: id()
+
+
+def key_by_set(values):
+    return stable_params_key({"vals": {v for v in values}})  # finding: set
+
+
+def key_by_lambda():
+    return stable_params_key({"fn": lambda x: x})  # finding: lambda

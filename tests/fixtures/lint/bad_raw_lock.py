@@ -1,0 +1,12 @@
+"""Positive fixture: raw threading locks outside the blessed wrapper."""
+
+import threading
+from threading import Lock
+
+MODULE_LOCK = threading.Lock()  # finding: raw lock
+
+
+class Worker:
+    def __init__(self):
+        self.guard = threading.RLock()  # finding: raw rlock
+        self.aliased = Lock()  # finding: from-import alias

@@ -1,0 +1,31 @@
+"""Positive fixture: in-place writes through shared decode results."""
+
+import numpy as np
+
+
+def clobber_decode(decoder, indices):
+    frames = decoder.decode_frames(indices)
+    first = frames[0]
+    first[0, 0, 0] = 255  # finding: item assignment through alias
+    return frames
+
+
+def clobber_snapshot(cache, video_id):
+    anchors = cache.snapshot(video_id)
+    for index, pixels in anchors.items():
+        pixels += 1  # finding: augmented assignment through alias
+    return anchors
+
+
+def clobber_fill(decoder):
+    everything = decoder.decode_all()
+    frame = everything[3]
+    frame.fill(0)  # finding: mutating method on alias
+    return frame
+
+
+def clobber_copyto(decoder, indices, patch):
+    frames = decoder.decode_frames(indices)
+    target = frames[1]
+    np.copyto(target, patch)  # finding: copyto destination aliases
+    return target

@@ -1,0 +1,15 @@
+"""Negative fixture: registered sites, by constant or literal."""
+
+from repro.faults.schedule import SITE_STORE_GET, FaultSpec
+
+
+def by_constant():
+    return FaultSpec(kind="transient-error", site=SITE_STORE_GET, rate=0.5)
+
+
+def by_literal():
+    return FaultSpec(kind="transient-error", site="vfs.open", rate=0.5)
+
+
+def by_schedule(schedule):
+    schedule.apply("store.put", "key")

@@ -1,0 +1,11 @@
+"""Negative fixture: graph keys built from pure, ordered content."""
+
+from repro.augment.ops import stable_params_key
+
+
+def key_by_content(name: str, size: int) -> str:
+    return stable_params_key({"name": name, "size": size})
+
+
+def key_by_sorted(values) -> str:
+    return stable_params_key({"vals": sorted(values)})

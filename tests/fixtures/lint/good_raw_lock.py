@@ -1,0 +1,10 @@
+"""Negative fixture: locks created through the blessed wrapper."""
+
+from repro.analysis.locks import make_lock, make_rlock
+
+MODULE_LOCK = make_lock("fixture.module")
+
+
+class Worker:
+    def __init__(self):
+        self.guard = make_rlock("fixture.worker")

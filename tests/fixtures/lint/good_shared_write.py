@@ -1,0 +1,25 @@
+"""Negative fixture: shared decode results are copied before mutation."""
+
+import numpy as np
+
+
+def patch_a_copy(decoder, indices):
+    frames = decoder.decode_frames(indices)
+    scratch = frames[0].copy()
+    scratch[0, 0, 0] = 255
+    return scratch
+
+
+def read_only_consumers(cache, video_id):
+    anchors = cache.snapshot(video_id)
+    total = 0
+    for index, pixels in anchors.items():
+        total += int(pixels.sum())
+    return total
+
+
+def fresh_buffer(decoder, indices):
+    frames = decoder.decode_frames(indices)
+    stacked = np.stack([frames[i] for i in sorted(frames)], axis=0)
+    stacked[0] = 0
+    return stacked

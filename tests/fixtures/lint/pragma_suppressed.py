@@ -1,0 +1,19 @@
+"""Fixture: real violations silenced by inline sandlint pragmas."""
+
+import threading
+
+SUPPRESSED = threading.Lock()  # sandlint: ignore[raw-lock]
+
+
+def deliberate(decoder, indices):
+    frames = decoder.decode_frames(indices)
+    first = frames[0]
+    first[0, 0, 0] = 255  # sandlint: ignore[shared-buffer-write]
+    return first
+
+
+def everything(decoder):
+    frames = decoder.decode_all()
+    frame = frames[0]
+    frame.fill(0)  # sandlint: ignore[all]
+    return frame

@@ -1,0 +1,21 @@
+"""Positive fixture: unseeded RNG use in a deterministic module."""
+
+import random
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random()  # finding: global RNG draw
+
+
+def make_rng():
+    return np.random.default_rng()  # finding: unseeded generator
+
+
+def shuffle(items: list) -> None:
+    np.random.shuffle(items)  # finding: legacy global state
+
+
+def unseedable() -> float:
+    return random.SystemRandom().random()  # finding: unseedable source

@@ -1,0 +1,16 @@
+"""Positive fixture: wall-clock reads in a deterministic module."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # finding: wall clock
+
+
+def label() -> str:
+    return datetime.now().isoformat()  # finding: wall clock
+
+
+def measure() -> float:
+    return time.perf_counter()  # finding: nondeterministic timer

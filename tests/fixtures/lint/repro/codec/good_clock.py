@@ -1,0 +1,11 @@
+"""Negative fixture: timestamps threaded in; sleep is not a clock read."""
+
+import time
+
+
+def backoff(delay_s: float) -> None:
+    time.sleep(delay_s)
+
+
+def label(timestamp: float) -> str:
+    return f"run-{timestamp:.0f}"

@@ -1,0 +1,17 @@
+"""Negative fixture: every RNG is derived from an explicit seed."""
+
+import random
+
+import numpy as np
+
+
+def jitter(seed: int) -> float:
+    return random.Random(seed).random()
+
+
+def make_rng(seed: int):
+    return np.random.default_rng(seed)
+
+
+def derived(seed: int):
+    return np.random.Generator(np.random.PCG64(seed))

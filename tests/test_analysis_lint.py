@@ -1,0 +1,176 @@
+"""sandlint: each pass against its positive/negative fixtures, pragma
+suppression, policy scoping, the CLI contract, and the repo-clean gate."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.findings import Finding, render
+from repro.analysis.lint import (
+    default_passes,
+    default_policy,
+    lint_paths,
+    lint_source,
+    pragma_suppressions,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "fixtures" / "lint"
+SRC = REPO / "src"
+
+
+def findings_for(fixture: str):
+    findings, checked = lint_paths([str(FIXTURES / fixture)])
+    assert checked == 1
+    return findings
+
+
+# -- per-pass fixtures -------------------------------------------------------
+
+POSITIVE = [
+    ("repro/codec/bad_unseeded_rng.py", "unseeded-rng", 4),
+    ("repro/codec/bad_wall_clock.py", "wall-clock", 3),
+    ("bad_shared_write.py", "shared-buffer-write", 4),
+    ("bad_impure_key.py", "impure-key", 3),
+    ("bad_raw_lock.py", "raw-lock", 3),
+    ("bad_fault_site.py", "unregistered-fault-site", 2),
+]
+
+NEGATIVE = [
+    "repro/codec/good_seeded_rng.py",
+    "repro/codec/good_clock.py",
+    "good_shared_write.py",
+    "good_impure_key.py",
+    "good_raw_lock.py",
+    "good_fault_site.py",
+    "pragma_suppressed.py",
+]
+
+
+@pytest.mark.parametrize("fixture, pass_id, expected", POSITIVE)
+def test_positive_fixture_is_flagged(fixture, pass_id, expected):
+    findings = findings_for(fixture)
+    assert len(findings) == expected, render(findings)
+    assert all(f.pass_id == pass_id for f in findings), render(findings)
+    assert all(f.line > 0 for f in findings)
+
+
+@pytest.mark.parametrize("fixture", NEGATIVE)
+def test_negative_fixture_is_clean(fixture):
+    findings = findings_for(fixture)
+    assert findings == [], render(findings)
+
+
+def test_repo_src_is_clean():
+    """The acceptance gate: sandlint over the whole tree finds nothing."""
+    findings, checked = lint_paths([str(SRC)])
+    assert checked > 50
+    assert findings == [], render(findings)
+
+
+# -- policy scoping ----------------------------------------------------------
+
+UNSEEDED = "import random\n\ndef f():\n    return random.random()\n"
+
+
+def test_determinism_passes_scope_to_deterministic_modules():
+    inside = lint_source(UNSEEDED, "src/repro/codec/x.py")
+    outside = lint_source(UNSEEDED, "src/repro/metrics/x.py")
+    assert [f.pass_id for f in inside] == ["unseeded-rng"]
+    assert outside == []
+
+
+def test_raw_lock_exempts_the_blessed_wrapper():
+    source = "import threading\nL = threading.Lock()\n"
+    blessed = lint_source(source, "src/repro/analysis/locks.py")
+    anywhere = lint_source(source, "src/repro/metrics/x.py")
+    assert blessed == []
+    assert [f.pass_id for f in anywhere] == ["raw-lock"]
+
+
+# -- pragmas -----------------------------------------------------------------
+
+
+def test_pragma_suppresses_named_pass_on_its_line_only():
+    source = (
+        "import threading\n"
+        "A = threading.Lock()  # sandlint: ignore[raw-lock]\n"
+        "B = threading.Lock()\n"
+    )
+    findings = lint_source(source, "x.py")
+    assert [f.line for f in findings] == [3]
+
+
+def test_pragma_for_another_pass_does_not_suppress():
+    source = "import threading\nA = threading.Lock()  # sandlint: ignore[wall-clock]\n"
+    findings = lint_source(source, "x.py")
+    assert [f.pass_id for f in findings] == ["raw-lock"]
+
+
+def test_pragma_parsing_handles_lists():
+    parsed = pragma_suppressions("x = 1  # sandlint: ignore[a, b]\n")
+    assert parsed == {1: {"a", "b"}}
+
+
+# -- findings plumbing -------------------------------------------------------
+
+
+def test_render_is_stable_and_clickable():
+    findings = [
+        Finding("b.py", 2, 0, "p", "m2"),
+        Finding("a.py", 9, 4, "p", "m1"),
+    ]
+    assert render(findings).splitlines() == [
+        "a.py:9:4: [p] m1",
+        "b.py:2:0: [p] m2",
+    ]
+
+
+def test_every_registered_pass_has_id_and_description():
+    passes = default_passes()
+    assert len(passes) >= 6
+    assert len({p.pass_id for p in passes}) == len(passes)
+    assert all(p.description for p in passes)
+
+
+def test_default_policy_scopes_exist_for_registered_passes():
+    policy = default_policy()
+    ids = {p.pass_id for p in default_passes()}
+    assert set(policy.rules).issubset(ids)
+
+
+# -- CLI contract ------------------------------------------------------------
+
+
+def test_cli_exits_nonzero_on_each_positive_fixture(capsys):
+    for fixture, pass_id, _ in POSITIVE:
+        code = main([str(FIXTURES / fixture)])
+        out = capsys.readouterr()
+        assert code == 1, fixture
+        assert f"[{pass_id}]" in out.out
+        assert ":" in out.out.splitlines()[0]  # path:line:col prefix
+
+
+def test_cli_exits_zero_on_repo_src(capsys):
+    assert main([str(SRC)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_select_restricts_passes(capsys):
+    code = main(["--select", "raw-lock", str(FIXTURES / "bad_impure_key.py")])
+    capsys.readouterr()
+    assert code == 0  # impure-key findings exist, but only raw-lock ran
+
+
+def test_cli_usage_errors(capsys):
+    assert main([]) == 2
+    assert main(["--select", "no-such-pass", str(SRC)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_list_passes(capsys):
+    assert main(["--list-passes"]) == 0
+    out = capsys.readouterr().out
+    for pass_id in ("unseeded-rng", "raw-lock", "unregistered-fault-site"):
+        assert pass_id in out

@@ -525,3 +525,53 @@ def test_fused_engine_under_faults_matches_unfused_fault_free_run(dataset, plan)
     assert engine.stats.batches_served == len(plan.batches)
     assert engine.stats.worker_crashes == 1
     assert engine.stats.traffic.fused_segments > 0
+
+
+def test_fused_engine_under_faults_is_sanitizer_clean(dataset, plan):
+    """The capstone scenario again, with runtime sanitizers forced on:
+    the fused epoch under faults must finish with zero lock-order
+    inversions, zero write-after-share hits, and zero raw-frame leaks.
+    """
+    from repro.analysis.sanitizers import reset_sanitizers, set_sanitizers
+
+    set_sanitizers(True)
+    reset_sanitizers()
+    try:
+        schedule = FaultSchedule(
+            seed=SEED,
+            specs=[
+                FaultSpec(kind="transient-error", site=SITE_STORE_GET, rate=0.05),
+                FaultSpec(kind="transient-error", site=SITE_STORE_PUT, rate=0.05),
+                FaultSpec(kind="crash", site=SITE_ENGINE_JOB, at_count=2, max_fires=1),
+            ],
+        )
+        store = LocalStore(10**8)
+        faulty_store = FaultyStore(store, schedule)
+        cache = CacheManager(faulty_store)
+        pruning = prune_plan(plan, plan.total_cached_bytes() * 1.01)
+        cache.register_plan(plan, pruning)
+        engine = PreprocessingEngine(
+            plan,
+            dataset,
+            pruning=pruning,
+            cache=cache,
+            num_workers=2,
+            fault_schedule=schedule,
+            retry_policy=FAST_RETRY,
+            fusion_enabled=True,
+        )
+        with engine:
+            engine.drain()
+            victim = sorted(store.keys())[0]
+            assert faulty_store.corrupt_at_rest(victim, mode="bit-flip")
+            for vid in plan.graphs:
+                engine._materializer(vid).release_all()
+            for key in sorted(plan.batches):
+                engine.get_batch(*key)
+        report = engine.stats.sanitizer
+        assert report is not None
+        assert report.clean(), report.as_dict()
+        assert engine.stats.batches_served == len(plan.batches)
+    finally:
+        reset_sanitizers()
+        set_sanitizers(None)
