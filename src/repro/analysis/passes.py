@@ -97,12 +97,38 @@ _SEEDABLE = {
 # random-module calls that are not draws at all.
 _RNG_EXEMPT = {"random.seed", "random.getstate", "random.setstate"}
 
+# Entropy/identity sources that make a "seeded" RNG nondeterministic
+# anyway (the wall-clock set below joins these at module init).
+_ENTROPY_SOURCES = {
+    "os.urandom",
+    "os.getrandom",
+    "os.getpid",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbits",
+    "secrets.randbelow",
+}
+
+
+def _entropy_call(expr: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted name of the first entropy/clock call inside ``expr``."""
+    for sub in ast.walk(expr):
+        if not isinstance(sub, ast.Call):
+            continue
+        sub_target = _canonical(sub.func, aliases)
+        if sub_target in _ENTROPY_SOURCES or sub_target in _WALL_CLOCK:
+            return sub_target
+    return None
+
 
 @register_pass
 class UnseededRngPass(LintPass):
     pass_id = "unseeded-rng"
     description = (
-        "unseeded random.* / np.random.* use inside deterministic modules"
+        "unseeded (or entropy-seeded) random.* / np.random.* use inside "
+        "deterministic modules"
     )
 
     def run(self, tree: ast.Module, path: str) -> Iterator[Finding]:
@@ -127,6 +153,20 @@ class UnseededRngPass(LintPass):
                         node,
                         f"{target}() without a seed; pass an explicit seed",
                     )
+                    continue
+                # A seed that is itself drawn from the clock or process
+                # entropy is determinism theater: flag the constructor.
+                seed_exprs = list(node.args) + [kw.value for kw in node.keywords]
+                for expr in seed_exprs:
+                    entropy = _entropy_call(expr, aliases)
+                    if entropy is not None:
+                        yield self.finding(
+                            path,
+                            node,
+                            f"{target}() seeded from {entropy}(); derive "
+                            "the seed from the run seed instead",
+                        )
+                        break
                 continue
             if target.startswith("random.") or target.startswith("numpy.random."):
                 yield self.finding(

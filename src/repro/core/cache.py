@@ -158,9 +158,32 @@ class CacheManager:
     def get(self, key: str) -> Optional[bytes]:
         return self.store.get(key)
 
+    def get_view(self, key: str) -> Optional[memoryview]:
+        """Zero-copy read where the store supports it (packed segments).
+
+        The view is only valid until the next store mutation; callers
+        must consume (decode) it before putting or evicting.
+        """
+        reader = getattr(self.store, "get_view", None)
+        if reader is None:
+            data = self.store.get(key)
+            return None if data is None else memoryview(data)
+        return reader(key)
+
     def __contains__(self, key: str) -> bool:
         return key in self.store
 
     def delete(self, key: str) -> bool:
         with self._lock:
             return self.store.delete(key)
+
+    def flush(self) -> int:
+        """Force write-behind store buffers down; no-op otherwise."""
+        flusher = getattr(self.store, "flush", None)
+        return flusher() if flusher is not None else 0
+
+    def close(self) -> None:
+        """Stop background store machinery (write-behind flusher)."""
+        closer = getattr(self.store, "close", None)
+        if closer is not None:
+            closer()

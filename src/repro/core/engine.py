@@ -34,10 +34,13 @@ from repro.codec.incremental import AnchorCache
 from repro.core.cache import CacheManager
 from repro.core.concrete_graph import BatchAssembly, MaterializationPlan
 from repro.core.materializer import VideoMaterializer
+from repro.core.prefetch import BatchPrefetcher, PrefetchStats
 from repro.core.pruning import PruningOutcome
 from repro.core.scheduling import (
     MaterializationScheduler,
     SchedulingMode,
+    WorkClass,
+    WorkGate,
     build_jobs,
 )
 from repro.faults.errors import InjectedWorkerCrash, TransientDecodeError
@@ -83,6 +86,11 @@ class EngineStats:
     # Memory traffic across the whole engine: batch assembly plus every
     # materializer's op executions (recomputed on aggregation).
     traffic: TrafficLedger = field(default_factory=TrafficLedger)
+    # Demand-path pipelining: hand-off queue depth high-water, hit/miss
+    # counts, trainer stall nanoseconds hidden by background assembly.
+    # Always present (zeroed when prefetch is off) so dashboards and
+    # tests never branch on its existence.
+    prefetch: PrefetchStats = field(default_factory=PrefetchStats)
     # Runtime-sanitizer findings (lock-order inversions, write-after-share,
     # raw-frame leaks).  None when sanitizers are off; populated on stop()
     # and by sanitizer_report().
@@ -91,6 +99,12 @@ class EngineStats:
     @property
     def dead_letter_jobs(self) -> List[str]:
         return [record.video_id for record in self.dead_letters]
+
+    def traffic_report(self) -> Dict:
+        """The memory-traffic ledger with the prefetch section rolled in."""
+        report: Dict = dict(self.traffic.as_dict())
+        report["prefetch"] = self.prefetch.as_dict()
+        return report
 
 
 class PreprocessingEngine:
@@ -112,9 +126,14 @@ class PreprocessingEngine:
         fault_schedule=None,
         retry_policy: Optional[RetryPolicy] = None,
         fusion_enabled: bool = True,
+        seed: int = 0,
+        prefetch_depth: int = 0,
+        prefetch_workers: int = 1,
     ):
         if num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+        if prefetch_depth < 0:
+            raise ValueError(f"prefetch_depth must be >= 0, got {prefetch_depth}")
         self.plan = plan
         self.dataset = dataset
         self.pruning = pruning
@@ -122,6 +141,7 @@ class PreprocessingEngine:
         self.registry = registry
         self.memory_budget_bytes = memory_budget_bytes
         self.fusion_enabled = fusion_enabled
+        self.seed = int(seed)
         # Traffic charged by the engine itself (batch-buffer allocation
         # and writes); materializer ledgers are added on aggregation.
         self._engine_traffic = TrafficLedger()
@@ -131,9 +151,10 @@ class PreprocessingEngine:
         # jobs and demand reads fight transient failures before giving up.
         self.fault_schedule = fault_schedule
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
-        self._retry_rng = random.Random(
-            f"engine-retry|{getattr(fault_schedule, 'seed', 0)}"
-        )
+        # Backoff-jitter RNGs are thread-local and derived from the run
+        # seed + thread identity: retried runs stay deterministic, and
+        # concurrent retry loops never interleave draws from one stream.
+        self._retry_rng_local = threading.local()
         self._decoder_wrapper = (
             (lambda decoder, video_id: FaultyDecoder(decoder, fault_schedule, video_id))
             if fault_schedule is not None
@@ -174,6 +195,13 @@ class PreprocessingEngine:
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
         self._started = False
+        # Claim-time priority: demand > prefetch > pre-materialization.
+        self._work_gate = WorkGate()
+        self._prefetcher: Optional[BatchPrefetcher] = (
+            BatchPrefetcher(self, depth=prefetch_depth, workers=prefetch_workers)
+            if prefetch_depth > 0
+            else None
+        )
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
@@ -194,12 +222,16 @@ class PreprocessingEngine:
             )
             thread.start()
             self._threads.append(thread)
+        if self._prefetcher is not None:
+            self._prefetcher.start()
 
     def stop(self) -> None:
         """Signal and join workers.  Idempotent and exception-safe:
         calling it twice, or after a worker thread died from an
         exception, neither hangs nor double-joins."""
         self._stop.set()
+        if self._prefetcher is not None:
+            self._prefetcher.stop()
         threads, self._threads = self._threads, []
         current = threading.current_thread()
         for thread in threads:
@@ -255,7 +287,13 @@ class PreprocessingEngine:
     def get_batch(
         self, task: str, epoch: int, iteration: int
     ) -> Tuple[np.ndarray, Dict]:
-        """Materialize and collate one training batch (demand path)."""
+        """Materialize and collate one training batch (demand path).
+
+        With prefetch enabled, a speculatively assembled batch is handed
+        off if ready (or about to be); otherwise the synchronous path
+        below runs unchanged, so a prefetch miss is byte-identical to
+        prefetch-off.
+        """
         key = (task, epoch, iteration)
         if key not in self.plan.batches:
             raise KeyError(f"no batch planned for {key}")
@@ -266,21 +304,80 @@ class PreprocessingEngine:
         if self.cache is not None:
             self.cache.advance(step)
 
-        metadata = self._batch_metadata(assembly)
-        if self.fusion_enabled:
-            batch = self._assemble_fused(assembly)
-        else:
-            samples: List[np.ndarray] = []
-            for video_id, leaf_key in assembly.samples:
-                materializer = self._materializer(video_id)
-                self._count_demand(materializer, leaf_key)
-                samples.append(self._get_with_retries(materializer, leaf_key))
-            batch = np.stack(samples, axis=0)
-            self._engine_traffic.bytes_allocated += batch.nbytes
-            self._engine_traffic.bytes_copied += batch.nbytes
-            self._engine_traffic.clip_passes += len(samples)
+        if self._prefetcher is not None:
+            ready = self._prefetcher.take(task, epoch, iteration)
+            if ready is not None:
+                batch, metadata = ready
+                self.stats.batches_served += 1
+                self._aggregate_materializer_stats()
+                self._note_memory()
+                return batch, metadata
+
+        self._work_gate.enter(WorkClass.DEMAND)
+        try:
+            metadata = self._batch_metadata(assembly)
+            batch = self._assemble(assembly)
+        finally:
+            self._work_gate.exit(WorkClass.DEMAND)
         self.stats.batches_served += 1
         self._aggregate_materializer_stats()
+        self._note_memory()
+        return batch, metadata
+
+    def _assemble(self, assembly: BatchAssembly) -> np.ndarray:
+        """Materialize and collate one assembly (fused or stacked)."""
+        if self.fusion_enabled:
+            return self._assemble_fused(assembly)
+        samples: List[np.ndarray] = []
+        for video_id, leaf_key in assembly.samples:
+            materializer = self._materializer(video_id)
+            self._count_demand(materializer, leaf_key)
+            samples.append(self._get_with_retries(materializer, leaf_key))
+        batch = np.stack(samples, axis=0)
+        self._engine_traffic.bytes_allocated += batch.nbytes
+        self._engine_traffic.bytes_copied += batch.nbytes
+        self._engine_traffic.clip_passes += len(samples)
+        return batch
+
+    # -- prefetch source protocol ---------------------------------------------
+    def prefetch_tasks(self) -> List[str]:
+        return list(self.plan.tasks)
+
+    def prefetch_order(self, task: str) -> List[Tuple[int, int]]:
+        """(epoch, iteration) pairs for ``task`` in schedule order."""
+        return sorted(
+            (epoch, iteration)
+            for (t, epoch, iteration) in self.plan.batches
+            if t == task
+        )
+
+    def prefetch_allowed(self) -> bool:
+        """Speculation runs only below demand work and memory pressure."""
+        return (
+            not self._stop.is_set()
+            and self._work_gate.clear_above(WorkClass.PREFETCH)
+            and not self.memory_pressure()
+        )
+
+    def memory_pressure(self) -> bool:
+        return self._memory_fraction() >= self.scheduler.memory_threshold
+
+    def assemble_speculative(
+        self, task: str, epoch: int, iteration: int
+    ) -> Tuple[np.ndarray, Dict]:
+        """Assemble one batch off-thread, exactly as the demand path would.
+
+        Materialization is deterministic and memoized, so speculative
+        assembly produces the same bytes the synchronous path would —
+        which is what makes the prefetch-on/off differential exact.
+        """
+        assembly = self.plan.batches[(task, epoch, iteration)]
+        self._work_gate.enter(WorkClass.PREFETCH)
+        try:
+            metadata = self._batch_metadata(assembly)
+            batch = self._assemble(assembly)
+        finally:
+            self._work_gate.exit(WorkClass.PREFETCH)
         self._note_memory()
         return batch, metadata
 
@@ -316,6 +413,16 @@ class PreprocessingEngine:
         assert batch is not None  # plans never emit empty batches
         return batch
 
+    def _jitter_rng(self) -> random.Random:
+        """This thread's backoff-jitter RNG, seeded from run seed + thread name."""
+        rng = getattr(self._retry_rng_local, "rng", None)
+        if rng is None:
+            rng = random.Random(
+                f"engine-retry|{self.seed}|{threading.current_thread().name}"
+            )
+            self._retry_rng_local.rng = rng
+        return rng
+
     def _get_with_retries(self, materializer: VideoMaterializer, key: str) -> np.ndarray:
         """Demand-path materialization with bounded retry.
 
@@ -333,7 +440,7 @@ class PreprocessingEngine:
                 if attempt >= self.retry_policy.max_retries:
                     raise
                 self.stats.demand_retries += 1
-                time.sleep(self.retry_policy.delay_for(attempt, self._retry_rng))
+                time.sleep(self.retry_policy.delay_for(attempt, self._jitter_rng()))
                 attempt += 1
 
     def _get_into_with_retries(
@@ -353,7 +460,7 @@ class PreprocessingEngine:
                 if attempt >= self.retry_policy.max_retries:
                     raise
                 self.stats.demand_retries += 1
-                time.sleep(self.retry_policy.delay_for(attempt, self._retry_rng))
+                time.sleep(self.retry_policy.delay_for(attempt, self._jitter_rng()))
                 attempt += 1
 
     def _batch_metadata(self, assembly: BatchAssembly) -> Dict:
@@ -381,6 +488,11 @@ class PreprocessingEngine:
     # -- pre-materialization ---------------------------------------------------
     def _worker_loop(self) -> None:
         while not self._stop.is_set():
+            # Claim-time priority: defer to running demand/prefetch work.
+            if not self._work_gate.clear_above(WorkClass.PREMATERIALIZE):
+                if self._stop.wait(timeout=0.002):
+                    return
+                continue
             try:
                 ran = self._run_one_job()
             except InjectedWorkerCrash:
@@ -458,7 +570,7 @@ class PreprocessingEngine:
                     )
                     return
                 self.stats.job_retries += 1
-                time.sleep(self.retry_policy.delay_for(attempt, self._retry_rng))
+                time.sleep(self.retry_policy.delay_for(attempt, self._jitter_rng()))
                 attempt += 1
 
     # -- shared state ------------------------------------------------------------
@@ -508,6 +620,8 @@ class PreprocessingEngine:
         quarantined = getattr(store, "quarantined", None)
         if quarantined is not None:
             self.stats.quarantined_keys = list(quarantined)
+        if self._prefetcher is not None:
+            self.stats.prefetch = self._prefetcher.stats.snapshot()
 
     def sanitizer_report(self) -> Optional[SanitizerReport]:
         """Snapshot sanitizer findings now (None when sanitizers are off)."""
@@ -522,7 +636,12 @@ class PreprocessingEngine:
 
     def memory_bytes(self) -> int:
         with self._mat_lock:
-            return sum(m.stats.bytes_in_memory for m in self._materializers.values())
+            total = sum(m.stats.bytes_in_memory for m in self._materializers.values())
+        if self._prefetcher is not None:
+            # Queued speculative batches count against the budget, so the
+            # scheduler's pressure probe (and prefetch_allowed) see them.
+            total += self._prefetcher.queued_bytes()
+        return total
 
     def _memory_fraction(self) -> float:
         if self.memory_budget_bytes <= 0:

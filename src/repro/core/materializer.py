@@ -253,8 +253,12 @@ class VideoMaterializer:
         """
         if self.cache is None or key not in self.cache:
             return None
+        # Prefer the store's zero-copy read (packed segments serve a
+        # memoryview over the segment mmap): the blob decompresses
+        # straight out of the page cache with no intermediate copy.
+        reader = getattr(self.cache, "get_view", None)
         try:
-            blob = self.cache.get(key)
+            blob = reader(key) if reader is not None else self.cache.get(key)
         except CorruptObjectError:
             # The store quarantined the key; recompute from source.
             self.stats.corrupt_evictions += 1
@@ -268,6 +272,13 @@ class VideoMaterializer:
             return None
         try:
             array = decode_array(blob)
+            if isinstance(blob, memoryview) and array.size and np.shares_memory(
+                array, np.frombuffer(blob, dtype=np.uint8)
+            ):
+                # An uncompressed blob decodes as a view over the mmap,
+                # which later store mutations invalidate — detach it.
+                # (Compressed blobs already copied during decompress.)
+                array = np.array(array, copy=True)
         except BlobError:
             # Corrupted cache entry that slipped past the store's CRC
             # (e.g. in-flight corruption): drop it and recompute — the

@@ -57,6 +57,10 @@ class RecoveryReport:
     missing: Dict[str, List[str]] = field(default_factory=dict)  # video -> keys
     stale_keys: List[str] = field(default_factory=list)  # on disk, not planned
     corrupt_keys: List[str] = field(default_factory=list)  # failed checksum
+    # Quarantined during the rescan itself: torn per-object writes and
+    # torn pack-segment tail records (keys, or "<pack:seg@off>" markers
+    # when the tear destroyed the record's identity).
+    scan_quarantined: List[str] = field(default_factory=list)
 
     @property
     def missing_count(self) -> int:
@@ -135,9 +139,16 @@ def recover(
     Every planned object found on disk is checksum-validated before it
     counts as recovered; a corrupt survivor is quarantined by the store
     and reported both in ``missing`` (it must be recomputed) and in
-    ``corrupt_keys`` (so operators can see the rot).
+    ``corrupt_keys`` (so operators can see the rot).  Damage caught
+    structurally by the rescan itself — torn per-object writes, torn
+    pack-segment tail records — lands in ``scan_quarantined``; any such
+    key that was planned also shows up in ``missing``.
     """
+    already_quarantined = len(getattr(store, "quarantined", []))
     store.scan()
+    scan_quarantined = list(
+        getattr(store, "quarantined", [])[already_quarantined:]
+    )
     on_disk: Set[str] = set(store.keys())
     verify = getattr(store, "verify", None)
     planned = 0
@@ -167,4 +178,5 @@ def recover(
         missing=missing,
         stale_keys=sorted(on_disk - planned_keys),
         corrupt_keys=sorted(corrupt),
+        scan_quarantined=scan_quarantined,
     )

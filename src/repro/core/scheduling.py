@@ -9,9 +9,13 @@ of unprocessed edges, so nearly-finished subtrees complete and release
 their decoded raw frames instead of many half-done subtrees pinning
 memory.
 
-This module is pure policy — no threads — so the real engine
+The scheduler itself is pure policy — no threads — so the real engine
 (:mod:`repro.core.engine`) and the simulation harness share it and the
-benchmarks can test scheduling decisions deterministically.
+benchmarks can test scheduling decisions deterministically.  The
+:class:`WorkGate` is the one concession to concurrency: a counter of
+*running* work per priority class that claim loops consult so demand
+feeding outranks prefetch, which outranks pre-materialization, without
+ever blocking work that has already started.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.analysis.locks import make_lock
 from repro.core.concrete_graph import MaterializationPlan
 from repro.core.pruning import PruningOutcome
 
@@ -28,6 +33,50 @@ class SchedulingMode(enum.Enum):
     DEADLINE = "deadline"
     SJF = "sjf"
     FIFO = "fifo"  # the no-scheduling ablation (Fig 18)
+
+
+class WorkClass(enum.IntEnum):
+    """Engine work classes; lower value = higher priority (S5.4)."""
+
+    DEMAND = 0  # get_batch on the trainer's thread
+    PREFETCH = 1  # speculative next-K batch assembly
+    PREMATERIALIZE = 2  # background frontier materialization
+
+
+class WorkGate:
+    """Claim-time priority between the engine's work classes.
+
+    ``enter``/``exit`` bracket a unit of running work and never block.
+    Lower-priority claim loops call :meth:`clear_above` before taking
+    new work: a pre-materialization worker defers while any demand or
+    prefetch assembly runs, and a prefetch worker defers while demand
+    feeding runs.  Work already in flight is never preempted — priority
+    is enforced purely at claim time, which keeps the gate trivially
+    deadlock-free (no waits, just counters).
+    """
+
+    def __init__(self) -> None:
+        self._lock = make_lock("work-gate")
+        self._running: Dict[WorkClass, int] = {cls: 0 for cls in WorkClass}
+
+    def enter(self, work_class: WorkClass) -> None:
+        with self._lock:
+            self._running[work_class] += 1
+
+    def exit(self, work_class: WorkClass) -> None:
+        with self._lock:
+            self._running[work_class] = max(0, self._running[work_class] - 1)
+
+    def running(self, work_class: WorkClass) -> int:
+        with self._lock:
+            return self._running[work_class]
+
+    def clear_above(self, work_class: WorkClass) -> bool:
+        """True when no higher-priority work is currently running."""
+        with self._lock:
+            return all(
+                self._running[cls] == 0 for cls in WorkClass if cls < work_class
+            )
 
 
 @dataclass

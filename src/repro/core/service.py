@@ -106,6 +106,7 @@ class SandService(FileSystemProvider):
         memory_budget_bytes: int = 512 * 1024 * 1024,
         fault_schedule=None,
         retry_policy=None,
+        prefetch_depth: int = 2,
     ):
         if not tasks:
             raise ValueError("need at least one task config")
@@ -123,6 +124,9 @@ class SandService(FileSystemProvider):
         # builds; the retry policy bounds how the engines fight back.
         self.fault_schedule = fault_schedule
         self.retry_policy = retry_policy
+        # Demand-path pipelining: each engine speculatively assembles the
+        # next K batches per task on background threads (0 disables).
+        self.prefetch_depth = prefetch_depth
 
         self.abstract_graphs: Dict[str, AbstractViewGraph] = {
             t.tag: AbstractViewGraph.from_config(t) for t in tasks
@@ -236,6 +240,8 @@ class SandService(FileSystemProvider):
             anchor_cache=self.anchor_cache,
             fault_schedule=self.fault_schedule,
             retry_policy=self.retry_policy,
+            seed=self.seed,
+            prefetch_depth=self.prefetch_depth,
         )
         engine.start()
         group.window_start = epoch_start
@@ -249,6 +255,8 @@ class SandService(FileSystemProvider):
             for group in self._groups.values():
                 if group.engine is not None:
                     group.engine.stop()
+            # Flush write-behind storage and release pack mappings.
+            self.cache.close()
 
     # -- fault tolerance (S5.5) -------------------------------------------------
     def checkpoint(self, directory) -> Path:

@@ -33,8 +33,10 @@ from repro.faults.schedule import (
     KNOWN_SITES,
     SITE_DECODE,
     SITE_ENGINE_JOB,
+    SITE_PACK_READ,
     SITE_REMOTE_GET,
     SITE_REMOTE_PUT,
+    SITE_STORE_FLUSH,
     SITE_STORE_GET,
     SITE_STORE_PUT,
     SITE_VFS_GETXATTR,
@@ -59,8 +61,10 @@ __all__ = [
     "KNOWN_SITES",
     "SITE_DECODE",
     "SITE_ENGINE_JOB",
+    "SITE_PACK_READ",
     "SITE_REMOTE_GET",
     "SITE_REMOTE_PUT",
+    "SITE_STORE_FLUSH",
     "SITE_STORE_GET",
     "SITE_STORE_PUT",
     "SITE_VFS_GETXATTR",

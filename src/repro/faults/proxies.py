@@ -70,6 +70,20 @@ class FaultyStore:
                     data = _flip_bit(data, self.schedule.rng(f"read-flip|{key}"))
         return data
 
+    def get_view(self, key: str):
+        # The zero-copy read is still a read: same fault site, same
+        # per-key occurrence stream as ``get`` — a consumer switching
+        # between the two must not dodge (or double-draw) faults.
+        payload = self.schedule.apply(SITE_STORE_GET, key)
+        reader = getattr(self.inner, "get_view", None)
+        data = reader(key) if reader is not None else self.inner.get(key)
+        if data is None:
+            return None
+        for spec in payload:
+            if spec.kind == "bit-flip":
+                data = _flip_bit(bytes(data), self.schedule.rng(f"read-flip|{key}"))
+        return data if isinstance(data, memoryview) else memoryview(data)
+
     def corrupt_at_rest(
         self, key: str, mode: str = "bit-flip", fraction: float = 0.5
     ) -> bool:
@@ -90,6 +104,10 @@ class FaultyStore:
             mutated = _flip_bit(raw, self.schedule.rng(f"rest-flip|{key}"))
         else:
             raise ValueError(f"unknown corruption mode {mode!r}")
+        writer = getattr(store, "_write_raw", None)
+        if writer is not None:
+            # Below-checksum write hook (handles packed segments too).
+            return bool(writer(key, mutated))
         if getattr(store, "root", None) is not None:
             (store.root / _key_to_relpath(key)).write_bytes(mutated)
         else:

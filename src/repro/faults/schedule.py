@@ -54,6 +54,8 @@ SITE_VFS_LOOKUP = "vfs.lookup"
 SITE_VFS_OPEN = "vfs.open"
 SITE_VFS_GETXATTR = "vfs.getxattr"
 SITE_VFS_LISTDIR = "vfs.listdir"
+SITE_STORE_FLUSH = "store.flush"
+SITE_PACK_READ = "pack.read"
 
 # The site registry: every site a spec may target.  A spec naming an
 # unknown site would silently never fire — the harness would "pass"
@@ -71,6 +73,8 @@ KNOWN_SITES = {
     SITE_VFS_OPEN,
     SITE_VFS_GETXATTR,
     SITE_VFS_LISTDIR,
+    SITE_STORE_FLUSH,
+    SITE_PACK_READ,
 }
 
 

@@ -64,7 +64,9 @@ def decode_array(data: bytes) -> np.ndarray:
         raise BlobError(f"bad magic {magic!r}")
     pos = base
     try:
-        dtype = np.dtype(data[pos : pos + dtype_len].decode())
+        # bytes(...) tolerates memoryview input (the store's zero-copy
+        # get_view path hands packed payloads in without a copy).
+        dtype = np.dtype(bytes(data[pos : pos + dtype_len]).decode())
         pos += dtype_len
         shape = struct.unpack_from(f"<{ndim}Q", data, pos)
     except (TypeError, ValueError, UnicodeDecodeError, struct.error) as exc:

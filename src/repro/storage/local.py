@@ -9,9 +9,12 @@ simulator charges for reads and writes.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.storage.objectstore import ObjectStore
+
+if TYPE_CHECKING:
+    from repro.faults.schedule import FaultSchedule
 
 
 class LocalStore(ObjectStore):
@@ -24,8 +27,19 @@ class LocalStore(ObjectStore):
         read_bw: float = 2.4e9,
         write_bw: float = 1.2e9,
         eviction_watermark: float = 0.75,
+        pack_threshold: int = 0,
+        pack_segment_bytes: int = 4 * 1024 * 1024,
+        write_behind: bool = False,
+        fault_schedule: Optional["FaultSchedule"] = None,
     ):
-        super().__init__(capacity_bytes, root=root)
+        super().__init__(
+            capacity_bytes,
+            root=root,
+            pack_threshold=pack_threshold,
+            pack_segment_bytes=pack_segment_bytes,
+            write_behind=write_behind,
+            fault_schedule=fault_schedule,
+        )
         if not 0.0 < eviction_watermark <= 1.0:
             raise ValueError(
                 f"eviction watermark must be in (0, 1], got {eviction_watermark}"
@@ -40,7 +54,7 @@ class LocalStore(ObjectStore):
 
     def health(self) -> dict:
         """Operational summary: capacity, usage, and integrity incidents."""
-        return {
+        report = {
             "capacity_bytes": self.capacity_bytes,
             "used_bytes": self.used_bytes,
             "free_bytes": self.free_bytes,
@@ -49,6 +63,10 @@ class LocalStore(ObjectStore):
             "integrity_failures": self.stats.integrity_failures,
             "quarantined_keys": list(self.quarantined),
         }
+        packs = self.pack_info()
+        if packs is not None:
+            report["packs"] = packs
+        return report
 
     def bytes_over_watermark(self) -> int:
         """How many bytes eviction must reclaim to get back under."""

@@ -25,7 +25,11 @@ import os
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:
+    from repro.faults.schedule import FaultSchedule
+    from repro.storage.packs import PackLocation, PackManager
 
 QUARANTINE_DIR = "_quarantine"
 _SUM_SUFFIX = ".sum"
@@ -65,7 +69,14 @@ class TransientStorageError(RuntimeError):
 
 @dataclass
 class StoreStats:
-    """Lifetime I/O counters."""
+    """Lifetime I/O counters.
+
+    ``fs_*`` counts *physical filesystem operations* — file creations,
+    data writes, data reads, unlinks — the currency the packed-segment
+    fast path economizes.  The legacy per-object layout pays three
+    creations and four writes per put; a packed put pays a fraction of
+    one batched append.
+    """
 
     puts: int = 0
     gets: int = 0
@@ -75,11 +86,27 @@ class StoreStats:
     bytes_written: int = 0
     bytes_read: int = 0
     integrity_failures: int = 0
+    fs_creates: int = 0
+    fs_writes: int = 0
+    fs_reads: int = 0
+    fs_deletes: int = 0
+    fs_flushes: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def fs_ops(self) -> int:
+        """Total physical filesystem operations."""
+        return (
+            self.fs_creates
+            + self.fs_writes
+            + self.fs_reads
+            + self.fs_deletes
+            + self.fs_flushes
+        )
 
 
 def _key_to_relpath(key: str) -> Path:
@@ -95,22 +122,68 @@ class ObjectStore:
     under ``root`` (one file per key, content-addressed layout, with
     ``.key`` and ``.sum`` sidecars) plus an in-memory index rebuilt by
     :meth:`scan` after a restart.
+
+    With ``pack_threshold > 0`` (disk-backed stores only), blobs at or
+    under the threshold skip the per-object layout and are appended to
+    packed segment files under ``root/packs`` (:mod:`repro.storage.packs`)
+    — per-record CRC-32, one batched filesystem append per flush instead
+    of three file creations per blob, zero-copy :meth:`get_view` reads.
+    ``write_behind=True`` moves durability off the put path entirely: a
+    background flusher batches appends and :meth:`flush`/:meth:`close`
+    force them down.  Packing is opt-in; the default (0) keeps the
+    per-object layout for every blob.
     """
 
-    def __init__(self, capacity_bytes: int, root: Optional[Path] = None):
+    def __init__(
+        self,
+        capacity_bytes: int,
+        root: Optional[Path] = None,
+        pack_threshold: int = 0,
+        pack_segment_bytes: int = 4 * 1024 * 1024,
+        write_behind: bool = False,
+        fault_schedule: Optional["FaultSchedule"] = None,
+    ):
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        if pack_threshold < 0:
+            raise ValueError(f"pack_threshold must be >= 0, got {pack_threshold}")
         self.capacity_bytes = int(capacity_bytes)
         self.root = Path(root) if root is not None else None
+        self.pack_threshold = int(pack_threshold)
         self._mem: Dict[str, bytes] = {}
         self._sizes: Dict[str, int] = {}
         self._checksums: Dict[str, int] = {}
+        self._pack_locs: Dict[str, "PackLocation"] = {}
+        self._packs: Optional["PackManager"] = None
         self.used_bytes = 0
         self.stats = StoreStats()
         self.quarantined: List[str] = []
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
+            if self.pack_threshold > 0:
+                # Deferred import: faults.schedule imports this module
+                # for TransientStorageError, and packs sits above both.
+                from repro.storage.packs import PackManager
+
+                self._packs = PackManager(
+                    self.root / "packs",
+                    segment_bytes=pack_segment_bytes,
+                    write_behind=write_behind,
+                    fault_schedule=fault_schedule,
+                    fs_note=self._note_fs_op,
+                )
             self.scan()
+
+    def _note_fs_op(self, tag: str) -> None:
+        """Physical-operation callback shared with the pack manager."""
+        if tag == "create":
+            self.stats.fs_creates += 1
+        elif tag == "write":
+            self.stats.fs_writes += 1
+        elif tag == "read":
+            self.stats.fs_reads += 1
+        elif tag == "delete":
+            self.stats.fs_deletes += 1
 
     # -- core operations -------------------------------------------------------
     def put(self, key: str, data: bytes) -> int:
@@ -127,16 +200,27 @@ class ObjectStore:
         if key in self._sizes:
             self.delete(key)
         checksum = zlib.crc32(data)
-        if self.root is not None:
+        if (
+            self._packs is not None
+            and self.root is not None
+            and needed <= self.pack_threshold
+        ):
+            # Fast path: one staged append, durability batched by the
+            # flusher.  Physical fs ops are accounted by the pack
+            # manager via _note_fs_op.
+            self._pack_locs[key] = self._packs.append(key, data, checksum)
+        elif self.root is not None:
             path = self.root / _key_to_relpath(key)
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(".tmp")
-            tmp.write_bytes(data)
-            os.replace(tmp, path)
-            (path.parent / (path.name + _KEY_SUFFIX)).write_text(key)
+            tmp.write_bytes(data)  # create + write
+            os.replace(tmp, path)  # write (metadata commit)
+            (path.parent / (path.name + _KEY_SUFFIX)).write_text(key)  # create + write
             (path.parent / (path.name + _SUM_SUFFIX)).write_text(
                 f"{checksum:08x} {needed}"
-            )
+            )  # create + write
+            self.stats.fs_creates += 3
+            self.stats.fs_writes += 4
         else:
             self._mem[key] = data
         self._sizes[key] = needed
@@ -172,24 +256,100 @@ class ObjectStore:
         self.stats.bytes_read += len(data)
         return data
 
+    def get_view(self, key: str) -> Optional[memoryview]:
+        """Zero-copy variant of :meth:`get` for packed blobs.
+
+        Packed blobs come back as a :class:`memoryview` over the
+        segment's ``mmap`` — no payload copy.  The view is valid until
+        the store is mutated; callers that hold it across puts/evictions
+        must copy.  Per-object blobs are read normally and wrapped.
+        Integrity discipline is identical to :meth:`get`.
+        """
+        self.stats.gets += 1
+        if key not in self._sizes:
+            self.stats.misses += 1
+            return None
+        location = self._pack_locs.get(key)
+        if location is not None and self._packs is not None:
+            view = self._packs.read(location)
+            if view is None:
+                # Physically lost (torn flush, external damage).
+                self._pack_locs.pop(key, None)
+                self._forget(key)
+                self.stats.misses += 1
+                return None
+        else:
+            data = self._read_raw(key)
+            if data is None:
+                self._forget(key)
+                self.stats.misses += 1
+                return None
+            view = memoryview(data)
+        if zlib.crc32(view) != self._checksums.get(key):
+            self.quarantine(key, "checksum mismatch on read")
+            self.stats.misses += 1
+            raise CorruptObjectError(key)
+        self.stats.hits += 1
+        self.stats.bytes_read += len(view)
+        return view
+
     def _read_raw(self, key: str) -> Optional[bytes]:
         """Read the stored bytes without integrity or stats accounting."""
+        location = self._pack_locs.get(key)
+        if location is not None and self._packs is not None:
+            view = self._packs.read(location)
+            return None if view is None else bytes(view)
         if self.root is not None:
             path = self.root / _key_to_relpath(key)
             try:
-                return path.read_bytes()
+                data = path.read_bytes()
             except FileNotFoundError:
                 return None
+            self.stats.fs_reads += 1
+            return data
         return self._mem.get(key)
+
+    def _write_raw(self, key: str, data: bytes) -> bool:
+        """Overwrite the stored bytes *below* the integrity layer.
+
+        Fault-injection hook (:class:`repro.faults.FaultyStore` rots
+        blobs at rest through this): the index keeps the original size
+        and checksum, so the damage is only discoverable by
+        verification, exactly like device-level rot.  For packed blobs
+        the bytes are fitted to the record's physical payload region so
+        segment framing survives.
+        """
+        location = self._pack_locs.get(key)
+        if location is not None and self._packs is not None:
+            return self._packs.overwrite_payload(location, data)
+        if self.root is not None:
+            path = self.root / _key_to_relpath(key)
+            if not path.parent.exists():
+                return False
+            path.write_bytes(data)
+            self.stats.fs_writes += 1
+            return True
+        if key not in self._mem:
+            return False
+        self._mem[key] = data
+        return True
 
     def delete(self, key: str) -> bool:
         if key not in self._sizes:
             return False
-        if self.root is not None:
+        location = self._pack_locs.pop(key, None)
+        if location is not None and self._packs is not None:
+            # Logical delete plus a tombstone so a restart's scan of the
+            # append-only log doesn't resurrect the key; the segment
+            # file goes once fully dead.
+            self._packs.delete(location)
+            self._packs.append_tombstone(key)
+        elif self.root is not None:
             path = self.root / _key_to_relpath(key)
             path.unlink(missing_ok=True)
             (path.parent / (path.name + _KEY_SUFFIX)).unlink(missing_ok=True)
             (path.parent / (path.name + _SUM_SUFFIX)).unlink(missing_ok=True)
+            self.stats.fs_deletes += 3
         else:
             self._mem.pop(key, None)
         self._forget(key)
@@ -199,6 +359,7 @@ class ObjectStore:
     def _forget(self, key: str) -> None:
         self.used_bytes -= self._sizes.pop(key)
         self._checksums.pop(key, None)
+        self._pack_locs.pop(key, None)
 
     # -- integrity ---------------------------------------------------------------
     def verify(self, key: str) -> bool:
@@ -228,7 +389,21 @@ class ObjectStore:
         """
         if key not in self._sizes:
             return
-        if self.root is not None:
+        location = self._pack_locs.pop(key, None)
+        if location is not None and self._packs is not None:
+            # Copy the damaged payload out of the segment for forensics,
+            # then drop the record.
+            qdir = self.root / QUARANTINE_DIR  # type: ignore[operator]
+            qdir.mkdir(parents=True, exist_ok=True)
+            try:
+                view = self._packs.read(location)
+            except TransientStorageError:
+                view = None
+            if view is not None:
+                (qdir / _key_to_relpath(key).name).write_bytes(bytes(view))
+            self._packs.delete(location)
+            self._packs.append_tombstone(key)
+        elif self.root is not None:
             path = self.root / _key_to_relpath(key)
             qdir = self.root / QUARANTINE_DIR
             qdir.mkdir(parents=True, exist_ok=True)
@@ -282,6 +457,7 @@ class ObjectStore:
             return 0
         self._sizes.clear()
         self._checksums.clear()
+        self._pack_locs.clear()
         self.used_bytes = 0
         for key_file in self.root.rglob("*" + _KEY_SUFFIX):
             if QUARANTINE_DIR in key_file.parts:
@@ -315,4 +491,74 @@ class ObjectStore:
             self._sizes[key] = size
             self._checksums[key] = checksum
             self.used_bytes += size
+        if self._packs is not None:
+            self._scan_packs()
         return len(self._sizes)
+
+    def _scan_packs(self) -> None:
+        """Index packed records; quarantine torn ones record-wise.
+
+        Integrity policy matches the per-object layout: structural
+        damage (a torn tail record) is caught *here* and quarantined —
+        its bytes preserved under ``_quarantine`` — while content rot
+        inside a whole record is left for :meth:`get`/:meth:`verify` to
+        catch by CRC.  Records earlier in a torn segment survive.
+        Duplicate keys (an overwrite's earlier record) resolve to the
+        later append.
+        """
+        assert self._packs is not None and self.root is not None
+        records, torn = self._packs.scan()
+        for record in records:
+            if record.key in self._sizes:
+                # Earlier copy — a superseded pack record, or a per-file
+                # blob from before a threshold change: the later packed
+                # append wins.
+                previous = self._pack_locs.get(record.key)
+                if previous is not None:
+                    self._packs.note_dead(previous)
+                self.used_bytes -= self._sizes.pop(record.key, 0)
+                self._checksums.pop(record.key, None)
+            if record.tombstone:
+                self._packs.note_dead(record.location)
+                continue
+            self._pack_locs[record.key] = record.location
+            self._sizes[record.key] = record.location.payload_length
+            self._checksums[record.key] = record.checksum
+            self.used_bytes += record.location.payload_length
+        qdir = self.root / QUARANTINE_DIR
+        for damaged in torn:
+            qdir.mkdir(parents=True, exist_ok=True)
+            name = (
+                f"pack-seg{damaged.segment:06d}-at{damaged.offset}"
+                + (".record" if damaged.key is None else "")
+            )
+            if damaged.key is not None:
+                name = _key_to_relpath(damaged.key).name
+                self.quarantined.append(damaged.key)
+            else:
+                self.quarantined.append(f"<pack:{damaged.segment}@{damaged.offset}>")
+            (qdir / name).write_bytes(damaged.data)
+            self.stats.integrity_failures += 1
+
+    # -- durability ---------------------------------------------------------------
+    def flush(self) -> int:
+        """Force staged packed appends to disk; returns records flushed."""
+        if self._packs is None:
+            return 0
+        self.stats.fs_flushes += 1
+        return self._packs.flush()
+
+    def close(self) -> None:
+        """Stop the write-behind flusher and drain staged appends."""
+        if self._packs is not None:
+            self._packs.close()
+
+    def pack_info(self) -> Optional[Dict[str, int]]:
+        """Pack-layer counters for health reporting; ``None`` if unpacked."""
+        if self._packs is None:
+            return None
+        info = self._packs.stats.as_dict()
+        info["segments"] = len(self._packs.segment_ids())
+        info["pending_bytes"] = self._packs.pending_bytes()
+        info["packed_objects"] = len(self._pack_locs)
+        return info

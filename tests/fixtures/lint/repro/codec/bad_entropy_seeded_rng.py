@@ -1,0 +1,24 @@
+"""Positive fixture: seeded constructors whose seed is itself entropy."""
+
+import os
+import random
+import uuid
+
+import numpy as np
+
+
+def pid_seeded():
+    return random.Random(os.getpid())  # finding: process identity as seed
+
+
+def urandom_seeded():
+    seed = int.from_bytes(os.urandom(8), "little")
+    return np.random.default_rng(seed)  # ok here; flagged at the draw below
+
+
+def inline_urandom():
+    return np.random.default_rng(int.from_bytes(os.urandom(8), "little"))  # finding
+
+
+def uuid_seeded():
+    return random.Random(seed=uuid.uuid4().int)  # finding: uuid entropy

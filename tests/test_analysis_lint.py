@@ -30,6 +30,7 @@ def findings_for(fixture: str):
 
 POSITIVE = [
     ("repro/codec/bad_unseeded_rng.py", "unseeded-rng", 4),
+    ("repro/codec/bad_entropy_seeded_rng.py", "unseeded-rng", 3),
     ("repro/codec/bad_wall_clock.py", "wall-clock", 3),
     ("bad_shared_write.py", "shared-buffer-write", 4),
     ("bad_impure_key.py", "impure-key", 3),

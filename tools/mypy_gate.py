@@ -36,6 +36,10 @@ STRICT_ARGS = [
     "repro.analysis",
     "-m",
     "repro.augment.fusion",
+    "-m",
+    "repro.core.prefetch",
+    "-m",
+    "repro.storage.packs",
 ]
 
 TREE_ARGS = ["--follow-imports=normal", "-p", "repro"]
@@ -78,10 +82,16 @@ def load_baseline() -> Set[str]:
 def strict_tier() -> int:
     code, output = run_mypy(STRICT_ARGS)
     if code != 0:
-        print("mypy --strict failed for repro.analysis / repro.augment.fusion:")
+        print(
+            "mypy --strict failed for repro.analysis / repro.augment.fusion / "
+            "repro.core.prefetch / repro.storage.packs:"
+        )
         print(output)
         return 1
-    print("strict tier clean: repro.analysis, repro.augment.fusion")
+    print(
+        "strict tier clean: repro.analysis, repro.augment.fusion, "
+        "repro.core.prefetch, repro.storage.packs"
+    )
     return 0
 
 
