@@ -70,6 +70,11 @@ class TrafficLedger:
     bytes_copied: int = 0
     fused_segments: int = 0
     identity_skips: int = 0
+    # Near-duplicate output-slot reuse (codec-signal copy elision): a
+    # collation slot filled by copying the previous slot instead of
+    # re-running its augmentation chain, and the augment passes elided.
+    reused_slots: int = 0
+    augment_passes_skipped: int = 0
 
     def charge(self, nbytes: int, allocated: bool = True) -> None:
         """One full-clip pass producing ``nbytes`` of output."""
@@ -78,12 +83,26 @@ class TrafficLedger:
         if allocated:
             self.bytes_allocated += nbytes
 
+    def note_slot_reuse(self, nbytes: int, passes_skipped: int) -> None:
+        """One collation slot filled from its neighbor (near-dup reuse).
+
+        The copy itself is still a full-slot pass (charged as copied
+        bytes, no allocation); ``passes_skipped`` records how many
+        augmentation op applications the reuse elided.
+        """
+        self.clip_passes += 1
+        self.bytes_copied += nbytes
+        self.reused_slots += 1
+        self.augment_passes_skipped += passes_skipped
+
     def add(self, other: "TrafficLedger") -> None:
         self.clip_passes += other.clip_passes
         self.bytes_allocated += other.bytes_allocated
         self.bytes_copied += other.bytes_copied
         self.fused_segments += other.fused_segments
         self.identity_skips += other.identity_skips
+        self.reused_slots += other.reused_slots
+        self.augment_passes_skipped += other.augment_passes_skipped
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -92,6 +111,8 @@ class TrafficLedger:
             "bytes_copied": self.bytes_copied,
             "fused_segments": self.fused_segments,
             "identity_skips": self.identity_skips,
+            "reused_slots": self.reused_slots,
+            "augment_passes_skipped": self.augment_passes_skipped,
         }
 
 

@@ -19,12 +19,21 @@ This package implements a real codec with exactly those semantics:
 * :mod:`repro.codec.incremental` — stateful decode reuse: a byte-budgeted
   LRU of decoded anchors and a decoder that resumes from the nearest
   cached anchor instead of the GOP keyframe,
-* :mod:`repro.codec.model` — GOP/frame-type model and video metadata.
+* :mod:`repro.codec.model` — GOP/frame-type model and video metadata,
+* :mod:`repro.codec.signals` — metadata-only frame signals (frame type,
+  anchor geometry, stored inter-frame delta magnitude) and the pure
+  near-duplicate collapse rule every reuse layer keys on.
 """
 
 from repro.codec.model import FrameType, GopStructure, VideoMetadata
 from repro.codec.synthetic import SyntheticVideoSource, frame_pixels, video_class_of
-from repro.codec.container import ContainerError, read_container, write_container
+from repro.codec.container import (
+    UNKNOWN_DELTA,
+    ContainerError,
+    read_container,
+    read_delta_track,
+    write_container,
+)
 from repro.codec.encoder import encode_video
 from repro.codec.decoder import DecodeStats, Decoder, frames_to_decode
 from repro.codec.incremental import (
@@ -32,6 +41,7 @@ from repro.codec.incremental import (
     IncrementalDecoder,
     frames_to_decode_with_cache,
 )
+from repro.codec.signals import FrameSignal, FrameSignals, next_use_after
 from repro.codec.intra import IntraDecoder, encode_intra_video
 from repro.codec.registry import UnknownCodecError, decoder_for_path, open_decoder
 
@@ -41,13 +51,17 @@ __all__ = [
     "DecodeStats",
     "Decoder",
     "IncrementalDecoder",
+    "FrameSignal",
+    "FrameSignals",
     "FrameType",
     "GopStructure",
     "SyntheticVideoSource",
     "VideoMetadata",
     "IntraDecoder",
+    "UNKNOWN_DELTA",
     "UnknownCodecError",
     "decoder_for_path",
+    "next_use_after",
     "encode_intra_video",
     "encode_video",
     "open_decoder",
@@ -55,6 +69,7 @@ __all__ = [
     "frames_to_decode",
     "frames_to_decode_with_cache",
     "read_container",
+    "read_delta_track",
     "video_class_of",
     "write_container",
 ]

@@ -11,25 +11,40 @@ Layout::
     +--------------------------------------------------------------+
     | index: num_frames x offset u64 (from start of records)       |
     +--------------------------------------------------------------+
+    | delta track: num_frames x f32 (v3+)                          |
+    +--------------------------------------------------------------+
     | index_offset u64 | magic "SVCX"                              |
     +--------------------------------------------------------------+
 
 The trailing index is what makes frame-accurate seeking possible, like the
 sample tables of an MP4: a decoder can jump straight to the keyframe of
 the GOP it needs instead of scanning the stream.
+
+The **delta track** (v3) stores, per frame, the mean absolute pixel delta
+against the *previous display-order frame*, measured by the encoder while
+it still holds the raw pixels.  It is the codec-level motion signal
+(Déjà Vu / CodecSight style) that near-duplicate reuse keys on: reading
+it touches only container metadata — no payload is ever decompressed.
+Frame 0 (and any frame whose delta was not measured) stores +inf, which
+no finite reuse threshold matches.
 """
 
 from __future__ import annotations
 
+import math
 import struct
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.codec.model import FrameType, VideoMetadata
 
 MAGIC = b"SVC1"
 FOOTER_MAGIC = b"SVCX"
-VERSION = 2  # v2 added the b_frames field
+VERSION = 3  # v2 added b_frames; v3 added the inter-frame delta track
+_READABLE_VERSIONS = (2, 3)  # v2 containers simply have no delta track
+
+#: Delta value meaning "no measurement": frame 0, or a v2 container.
+UNKNOWN_DELTA = math.inf
 
 # magic, version, w, h, frames, gop, b_frames, fps, id_len
 _HEADER_FMT = "<4sHHHIHHf H"
@@ -59,11 +74,22 @@ class FrameRecord:
 def write_container(
     metadata: VideoMetadata,
     records: Sequence[Tuple[FrameType, bytes]],
+    deltas: Optional[Sequence[float]] = None,
 ) -> bytes:
-    """Serialize coded frame payloads into SVC1 bytes."""
+    """Serialize coded frame payloads into SVC1 bytes.
+
+    ``deltas`` is the per-frame inter-frame delta-magnitude track (one
+    float per frame, display order).  When omitted every slot stores
+    :data:`UNKNOWN_DELTA`, so a container written without measurements
+    never triggers near-duplicate reuse.
+    """
     if len(records) != metadata.num_frames:
         raise ContainerError(
             f"{metadata.num_frames} frames declared, {len(records)} records given"
+        )
+    if deltas is not None and len(deltas) != metadata.num_frames:
+        raise ContainerError(
+            f"{metadata.num_frames} frames declared, {len(deltas)} deltas given"
         )
     video_id = metadata.video_id.encode()
     if len(video_id) > 0xFFFF:
@@ -94,6 +120,8 @@ def write_container(
         cursor += _RECORD_HDR_SIZE + len(payload)
     index_offset = records_start + cursor
     parts.append(struct.pack(f"<{len(offsets)}Q", *offsets))
+    track = deltas if deltas is not None else [UNKNOWN_DELTA] * metadata.num_frames
+    parts.append(struct.pack(f"<{len(track)}f", *track))
     parts.append(struct.pack(_FOOTER_FMT, index_offset, FOOTER_MAGIC))
     return b"".join(parts)
 
@@ -115,7 +143,7 @@ def read_container(data: bytes) -> Tuple[VideoMetadata, List[FrameRecord]]:
     ) = struct.unpack_from(_HEADER_FMT, data, 0)
     if magic != MAGIC:
         raise ContainerError(f"bad magic {magic!r}")
-    if version != VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ContainerError(f"unsupported version {version}")
     id_start = _HEADER_SIZE
     video_id = data[id_start : id_start + id_len].decode()
@@ -155,3 +183,31 @@ def read_container(data: bytes) -> Tuple[VideoMetadata, List[FrameRecord]]:
             FrameRecord(_CODE_TYPE[type_code], payload_start, payload_len)
         )
     return metadata, records
+
+
+def read_delta_track(data: bytes) -> Optional[Tuple[float, ...]]:
+    """Read the per-frame delta-magnitude track without touching payloads.
+
+    Returns ``None`` for v2 containers (written before the track
+    existed).  The read is metadata-only: header + footer + the track
+    floats themselves — no frame payload is sliced or decompressed.
+    """
+    if len(data) < _HEADER_SIZE + _FOOTER_SIZE:
+        raise ContainerError("container truncated")
+    magic, version = struct.unpack_from("<4sH", data, 0)
+    if magic != MAGIC:
+        raise ContainerError(f"bad magic {magic!r}")
+    if version not in _READABLE_VERSIONS:
+        raise ContainerError(f"unsupported version {version}")
+    if version < 3:
+        return None
+    (num_frames,) = struct.unpack_from("<I", data, struct.calcsize("<4sHHH"))
+    index_offset, footer_magic = struct.unpack_from(
+        _FOOTER_FMT, data, len(data) - _FOOTER_SIZE
+    )
+    if footer_magic != FOOTER_MAGIC:
+        raise ContainerError(f"bad footer magic {footer_magic!r}")
+    track_offset = index_offset + 8 * num_frames
+    if track_offset + 4 * num_frames > len(data) - _FOOTER_SIZE:
+        raise ContainerError("delta track extends past footer")
+    return struct.unpack_from(f"<{num_frames}f", data, track_offset)

@@ -56,6 +56,7 @@ class DecodeStats:
     frames_requested: int = 0
     frames_decoded: int = 0
     frames_reused_from_anchor_cache: int = 0
+    frames_skipped_near_duplicate: int = 0
     bytes_read: int = 0
     decode_calls: int = 0
 
@@ -75,6 +76,7 @@ class DecodeStats:
         self.frames_requested += other.frames_requested
         self.frames_decoded += other.frames_decoded
         self.frames_reused_from_anchor_cache += other.frames_reused_from_anchor_cache
+        self.frames_skipped_near_duplicate += other.frames_skipped_near_duplicate
         self.bytes_read += other.bytes_read
         self.decode_calls += other.decode_calls
 
@@ -94,7 +96,7 @@ class Decoder:
     re-accesses resume from cached anchors, byte-identically.
     """
 
-    def __init__(self, data: bytes, anchor_cache=None):
+    def __init__(self, data: bytes, anchor_cache=None, reuse_threshold: float = 0.0):
         self._data = data
         # Zero-copy payload access: slicing a memoryview does not copy
         # the record bytes the way slicing ``bytes`` would.
@@ -104,15 +106,23 @@ class Decoder:
         self._records: List[FrameRecord] = records
         self.stats = DecodeStats()
         self._anchor_cache = anchor_cache
+        self._reuse_threshold = reuse_threshold
         self._incremental = None
 
     def _incremental_decoder(self):
         if self._incremental is None:
             # Local import: incremental.py imports this module.
-            from repro.codec.incremental import IncrementalDecoder
+            from repro.codec.incremental import AnchorCache, IncrementalDecoder
 
+            cache = self._anchor_cache
+            if cache is None:
+                # Near-dup reuse without a shared cache: a zero-budget
+                # cache keeps the stateful path otherwise stateless.
+                cache = AnchorCache(0)
             self._incremental = IncrementalDecoder(
-                self._data, cache=self._anchor_cache
+                self._data,
+                cache=cache,
+                reuse_threshold=self._reuse_threshold,
             )
             # One stats object for both faces of the decoder.
             self._incremental.stats = self.stats
@@ -130,7 +140,7 @@ class Decoder:
 
     def decode_frames(self, indices: Sequence[int]) -> Dict[int, np.ndarray]:
         """Decode the requested frames, plus their codec dependencies."""
-        if self._anchor_cache is not None:
+        if self._anchor_cache is not None or self._reuse_threshold > 0:
             return self._incremental_decoder().decode_frames(indices)
         wanted: Set[int] = set(indices)
         md = self.metadata

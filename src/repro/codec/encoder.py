@@ -17,7 +17,7 @@ from typing import Iterable, List, Tuple
 
 import numpy as np
 
-from repro.codec.container import write_container
+from repro.codec.container import UNKNOWN_DELTA, write_container
 from repro.codec.model import FrameType, VideoMetadata
 from repro.codec.synthetic import SyntheticVideoSource
 
@@ -51,6 +51,17 @@ def encode_frames(
             f"metadata declares {metadata.num_frames} frames, got {len(buffered)}"
         )
 
+    # Per-frame motion signal, measured while the raw pixels are in hand:
+    # mean absolute delta against the previous display-order frame.  It is
+    # persisted in the container's delta track so readers can key
+    # near-duplicate reuse on it without decoding anything.
+    deltas: List[float] = [UNKNOWN_DELTA]
+    for index in range(1, len(buffered)):
+        diff = np.abs(
+            buffered[index].astype(np.int16) - buffered[index - 1].astype(np.int16)
+        )
+        deltas.append(float(diff.mean()))
+
     records: List[Tuple[FrameType, bytes]] = []
     for index, frame in enumerate(buffered):
         ftype = gop.frame_type(index, metadata.num_frames)
@@ -66,7 +77,7 @@ def encode_frames(
             predictor = bidirectional_predictor(buffered[prev_idx], buffered[next_idx])
             payload = (frame - predictor).tobytes()
         records.append((ftype, zlib.compress(payload, _ZLIB_LEVEL)))
-    return write_container(metadata, records)
+    return write_container(metadata, records, deltas=deltas)
 
 
 def encode_video(source: SyntheticVideoSource) -> bytes:

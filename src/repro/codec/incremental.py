@@ -23,18 +23,57 @@ from __future__ import annotations
 
 import zlib
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
 from repro.analysis.locks import make_rlock
 from repro.analysis.sanitizers import buffer_sanitizer
-from repro.codec.container import FrameRecord, read_container
+from repro.codec.container import FrameRecord, read_container, read_delta_track
 from repro.codec.decoder import DecodeStats, frames_to_decode
 from repro.codec.encoder import bidirectional_predictor
 from repro.codec.model import FrameType, GopStructure, VideoMetadata
+from repro.codec.signals import FrameSignals
 
 DEFAULT_ANCHOR_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class AnchorOracle(Protocol):
+    """Future-knowledge interface for Belady-style anchor eviction.
+
+    ``next_use(video_id, index, now)`` returns the next global step
+    strictly after ``now`` at which the anchor ``(video_id, index)`` will
+    be needed, or ``None`` if it is never needed again.  The engine
+    builds an exact oracle from the registered task schedules
+    (:func:`repro.core.clairvoyant.oracle_from_plan`) — clairvoyance is
+    real here, not learned.
+    """
+
+    def next_use(self, video_id: str, index: int, now: int) -> Optional[int]:
+        ...
+
+
+@dataclass
+class AnchorCacheVideoStats:
+    """Per-video accounting for one video's anchors in the cache."""
+
+    hits: int = 0
+    misses: int = 0
+    reuses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "reuses": self.reuses}
 
 
 def frames_to_decode_with_cache(
@@ -79,16 +118,26 @@ def frames_to_decode_with_cache(
 
 
 class AnchorCache:
-    """Byte-budgeted LRU of decoded anchor frames, shared across videos.
+    """Byte-budgeted cache of decoded anchor frames, shared across videos.
 
     Keys are ``(video_id, frame_index)``; values are the exact pixel
     arrays the decoder produced (callers treat decoded frames as
     immutable, so entries are shared by reference, not copied).  The
     cache never holds more than ``budget_bytes`` of pixels: inserting
-    past the budget evicts least-recently-used entries, and a frame
-    larger than the whole budget is simply not cached (graceful
-    degradation to stateless decoding).  Thread safe — engine workers on
-    different videos share one cache.
+    past the budget evicts entries, and a frame larger than the whole
+    budget is simply not cached (graceful degradation to stateless
+    decoding).  Thread safe — engine workers on different videos share
+    one cache.
+
+    Eviction is LRU by default.  When an :class:`AnchorOracle` is
+    attached (:meth:`set_oracle`) and the engine keeps :meth:`advance`-ing
+    the access clock, eviction becomes Belady's clairvoyant rule: the
+    victim is the entry whose next use is farthest in the future (an
+    entry never used again is evicted first).  Because the new entry is
+    itself a candidate, admission is clairvoyant too — a just-decoded
+    anchor with no future use never displaces one that has.  Ties and
+    oracle-less operation fall back to LRU order, so with no oracle the
+    behavior is byte-for-byte the historical LRU.
     """
 
     def __init__(self, budget_bytes: int = DEFAULT_ANCHOR_CACHE_BYTES):
@@ -102,6 +151,31 @@ class AnchorCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._video_stats: Dict[str, AnchorCacheVideoStats] = {}
+        self._oracle: Optional[AnchorOracle] = None
+        self._clock = -1  # global step *before* the first get_batch
+
+    # -- clairvoyance ---------------------------------------------------------
+    def set_oracle(self, oracle: Optional[AnchorOracle]) -> None:
+        """Attach (or detach, with None) the future-access oracle."""
+        with self._lock:
+            self._oracle = oracle
+
+    def advance(self, step: int) -> None:
+        """Move the access clock to global ``step`` (monotonic)."""
+        with self._lock:
+            if step > self._clock:
+                self._clock = step
+
+    @property
+    def clock(self) -> int:
+        return self._clock
+
+    def _stats_for(self, video_id: str) -> AnchorCacheVideoStats:
+        stats = self._video_stats.get(video_id)
+        if stats is None:
+            stats = self._video_stats[video_id] = AnchorCacheVideoStats()
+        return stats
 
     # -- accounting -----------------------------------------------------------
     @property
@@ -121,9 +195,11 @@ class AnchorCache:
             frame = self._entries.get((video_id, index))
             if frame is None:
                 self.misses += 1
+                self._stats_for(video_id).misses += 1
                 return None
             self._entries.move_to_end((video_id, index))
             self.hits += 1
+            self._stats_for(video_id).hits += 1
             return frame
 
     def snapshot(self, video_id: str) -> Dict[int, np.ndarray]:
@@ -140,17 +216,26 @@ class AnchorCache:
                 self._entries.move_to_end((video_id, index))
             return out
 
-    def note_reuse(self, count: int) -> None:
-        """Credit ``hits`` for anchors a decoder reused via :meth:`snapshot`.
+    def note_reuse(self, video_id: str, count: int, misses: int = 0) -> None:
+        """Credit ``hits``/``misses`` for one decode's realized cache use.
 
         ``snapshot`` itself cannot tell which entries will end up
         truncating a decode plan, so the decoder reports the realized
-        reuse here; without this the hit counter would sit at zero on
-        the cache's primary access path.
+        reuse here (``count`` anchors served from cache, ``misses``
+        anchors it had to decode); without this the counters would sit
+        at zero on the cache's primary access path.
         """
-        if count:
-            with self._lock:
+        if not count and not misses:
+            return
+        with self._lock:
+            stats = self._stats_for(video_id)
+            if count:
                 self.hits += count
+                stats.hits += count
+                stats.reuses += count
+            if misses:
+                self.misses += misses
+                stats.misses += misses
 
     def put(self, video_id: str, index: int, frame: np.ndarray) -> bool:
         """Insert one decoded anchor; returns False when it cannot fit.
@@ -176,9 +261,12 @@ class AnchorCache:
             self._entries[key] = frame
             self._by_video.setdefault(video_id, set()).add(index)
             self._bytes += frame.nbytes
+            # Evicting *after* insertion makes admission clairvoyant when
+            # an oracle is attached: the new entry competes on next-use
+            # distance and may itself be the victim.
             while self._bytes > self.budget_bytes:
-                self._evict_lru()
-            return True
+                self._evict_one()
+            return key in self._entries
 
     def drop_video(self, video_id: str) -> int:
         """Forget every anchor of one video (e.g. dataset eviction)."""
@@ -198,8 +286,12 @@ class AnchorCache:
             self._by_video.clear()
             self._bytes = 0
 
-    def _evict_lru(self) -> None:
-        key, frame = self._entries.popitem(last=False)
+    def _evict_one(self) -> None:
+        if self._oracle is None:
+            key, frame = self._entries.popitem(last=False)
+        else:
+            key = self._belady_victim()
+            frame = self._entries.pop(key)
         video_id, index = key
         self._bytes -= frame.nbytes
         videos = self._by_video.get(video_id)
@@ -208,6 +300,45 @@ class AnchorCache:
             if not videos:
                 del self._by_video[video_id]
         self.evictions += 1
+
+    def _belady_victim(self) -> Tuple[str, int]:
+        """Belady's rule: evict the entry used farthest in the future.
+
+        Entries with no future use at all are evicted first; among
+        entries tied on next-use distance the least-recently-used wins
+        (iteration order of the OrderedDict), keeping the policy
+        deterministic and degrading gracefully where the oracle is
+        uninformative.
+        """
+        assert self._oracle is not None
+        victim: Optional[Tuple[str, int]] = None
+        victim_next = -1
+        for key in self._entries:  # LRU -> MRU order
+            video_id, index = key
+            next_use = self._oracle.next_use(video_id, index, self._clock)
+            if next_use is None:
+                return key  # dead entry: never used again
+            if next_use > victim_next:
+                victim, victim_next = key, next_use
+        assert victim is not None
+        return victim
+
+    def report(self) -> Dict[str, Any]:
+        """Counter snapshot for :meth:`EngineStats.traffic_report`."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "bytes_used": self._bytes,
+                "budget_bytes": self.budget_bytes,
+                "clairvoyant": self._oracle is not None,
+                "per_video": {
+                    vid: stats.as_dict()
+                    for vid, stats in sorted(self._video_stats.items())
+                },
+            }
 
 
 class IncrementalDecoder:
@@ -221,6 +352,17 @@ class IncrementalDecoder:
     cache — reuse it.  Output pixels are byte-identical to the stateless
     decoder's (the cache stores the exact arrays the decode produced, and
     P/B reconstruction is deterministic given the reference pixels).
+
+    With ``reuse_threshold > 0`` the decoder additionally collapses
+    near-duplicate frames using the container's stored delta track: a
+    non-anchor frame whose delta magnitude is strictly below the
+    threshold returns its predecessor's *effective* frame's pixels
+    instead of being decoded (see
+    :meth:`repro.codec.signals.FrameSignals.effective_frame`).  The
+    mapping is a pure function of the container bytes and the threshold
+    — never of cache state — and anchors never collapse, so the reduced
+    plan is always a subset of the full plan.  At threshold 0 no frame
+    ever collapses and output is byte-identical to today.
     """
 
     def __init__(
@@ -228,7 +370,10 @@ class IncrementalDecoder:
         data: bytes,
         cache: Optional[AnchorCache] = None,
         budget_bytes: int = DEFAULT_ANCHOR_CACHE_BYTES,
+        reuse_threshold: float = 0.0,
     ):
+        if reuse_threshold < 0:
+            raise ValueError(f"reuse_threshold must be >= 0, got {reuse_threshold}")
         self._data = data
         self._view = memoryview(data)
         metadata, records = read_container(data)
@@ -236,6 +381,17 @@ class IncrementalDecoder:
         self._records: List[FrameRecord] = records
         self.cache = cache if cache is not None else AnchorCache(budget_bytes)
         self.stats = DecodeStats()
+        self.reuse_threshold = reuse_threshold
+        self._signals: Optional[FrameSignals] = None
+
+    @property
+    def signals(self) -> FrameSignals:
+        """Metadata-only codec signals for this container (lazy)."""
+        if self._signals is None:
+            self._signals = FrameSignals(
+                self.metadata, read_delta_track(self._data)
+            )
+        return self._signals
 
     def _payload(self, index: int) -> bytes:
         record = self._records[index]
@@ -252,15 +408,32 @@ class IncrementalDecoder:
         wanted: Set[int] = set(indices)
         md = self.metadata
         gop = md.gop
+        # Near-duplicate collapse: map each wanted frame to its effective
+        # frame and decode only the effective set.  Pure in the container
+        # bytes + threshold, so identical across cache states.
+        if self.reuse_threshold > 0 and self.signals.has_deltas:
+            effective = {
+                i: self.signals.effective_frame(i, self.reuse_threshold)
+                for i in wanted
+            }
+        else:
+            effective = {i: i for i in wanted}
+        targets: Set[int] = set(effective.values())
         anchors = self.cache.snapshot(md.video_id)
-        plan = frames_to_decode_with_cache(gop, wanted, md.num_frames, anchors)
+        plan = frames_to_decode_with_cache(gop, targets, md.num_frames, anchors)
         plan_set = set(plan)
-        stateless = frames_to_decode(gop, wanted, md.num_frames)
+        stateless = frames_to_decode(gop, targets, md.num_frames)
         self.stats.frames_requested += len(wanted)
         self.stats.decode_calls += 1
         reused = sum(1 for index in stateless if index not in plan_set)
         self.stats.frames_reused_from_anchor_cache += reused
-        self.cache.note_reuse(reused)
+        missed_anchors = sum(1 for index in plan if gop.is_anchor(index))
+        self.cache.note_reuse(md.video_id, reused, misses=missed_anchors)
+        if targets != wanted:
+            # Decode passes saved by the collapse alone (cache-independent):
+            # full plan for the raw request minus full plan for the targets.
+            full = frames_to_decode(gop, wanted, md.num_frames)
+            self.stats.frames_skipped_near_duplicate += len(full) - len(stateless)
 
         # Seed the working set with every cached anchor of this video:
         # the plan's P/B references outside the plan resolve from here.
@@ -296,7 +469,7 @@ class IncrementalDecoder:
             self.stats.frames_decoded += 1
             decoded[index] = predictor + raw
 
-        return {index: decoded[index] for index in wanted}
+        return {index: decoded[effective[index]] for index in wanted}
 
     def decode_all(self) -> Dict[int, np.ndarray]:
         return self.decode_frames(range(self.metadata.num_frames))

@@ -37,13 +37,18 @@ class UnknownCodecError(ValueError):
 
 
 def open_decoder(
-    data: bytes, anchor_cache: Optional[AnchorCache] = None
+    data: bytes,
+    anchor_cache: Optional[AnchorCache] = None,
+    reuse_threshold: float = 0.0,
 ) -> VideoDecoder:
     """Instantiate the right decoder for container bytes (magic sniff).
 
     With ``anchor_cache``, inter-coded formats get the stateful
     :class:`IncrementalDecoder` sharing that cache; all-intra formats
     have no inter-frame dependencies to reuse and keep their decoder.
+    ``reuse_threshold`` enables near-duplicate frame collapse for
+    inter-coded formats (ignored for all-intra: SVI1 containers carry no
+    delta track).
     """
     magic = data[:4]
     factory = _BY_MAGIC.get(magic)
@@ -51,8 +56,12 @@ def open_decoder(
         raise UnknownCodecError(
             f"unknown container magic {magic!r}; known: {sorted(_BY_MAGIC)}"
         )
-    if anchor_cache is not None and magic == SVC_MAGIC:
-        return IncrementalDecoder(data, cache=anchor_cache)
+    if magic == SVC_MAGIC and (anchor_cache is not None or reuse_threshold > 0):
+        return IncrementalDecoder(
+            data,
+            cache=anchor_cache if anchor_cache is not None else AnchorCache(0),
+            reuse_threshold=reuse_threshold,
+        )
     return factory(data)
 
 

@@ -47,10 +47,20 @@ def frame_pixels(
     width: int,
     height: int,
     num_classes: int = _NUM_CLASSES_DEFAULT,
+    motion_scale: float = 1.0,
+    noise_scale: float = 1.0,
 ) -> np.ndarray:
-    """Render frame ``index`` of ``video_id`` as an (H, W, 3) uint8 array."""
+    """Render frame ``index`` of ``video_id`` as an (H, W, 3) uint8 array.
+
+    ``motion_scale`` multiplies the blob's per-frame speed and
+    ``noise_scale`` the per-frame noise amplitude; both default to 1.0
+    (byte-identical to the historical content).  Low values model the
+    long-GOP, low-motion footage where codec-signal reuse pays off.
+    """
     if index < 0:
         raise ValueError(f"negative frame index: {index}")
+    if motion_scale < 0 or noise_scale < 0:
+        raise ValueError("motion_scale and noise_scale must be >= 0")
     rng = np.random.default_rng(_seed_of(video_id) ^ 0x9E3779B9)
     # Per-video stable scene: two sinusoid fields with random phase.
     fx, fy = rng.uniform(1.0, 4.0, size=2)
@@ -64,7 +74,7 @@ def frame_pixels(
     # Class-dependent moving blob: position advances with the frame index,
     # blob aspect ratio encodes the class so labels are learnable.
     label = video_class_of(video_id, num_classes)
-    speed = 0.02 + 0.01 * (label + 1)
+    speed = (0.02 + 0.01 * (label + 1)) * motion_scale
     cx = (0.2 + speed * index) % 1.0
     cy = (0.6 + 0.5 * speed * index) % 1.0
     aspect = 0.5 + 0.5 * label
@@ -75,7 +85,7 @@ def frame_pixels(
 
     # Low-amplitude per-frame noise (deterministic per frame).
     noise_rng = np.random.default_rng(_seed_of(video_id, salt=f"n{index}"))
-    noise = noise_rng.standard_normal((height, width, 1)) * 0.03
+    noise = noise_rng.standard_normal((height, width, 1)) * 0.03 * noise_scale
 
     pixels = np.clip((base + noise + 1.0) * 0.5, 0.0, 1.0)
     return (pixels * 255.0).astype(np.uint8)
@@ -87,6 +97,8 @@ class SyntheticVideoSource:
 
     metadata: VideoMetadata
     num_classes: int = _NUM_CLASSES_DEFAULT
+    motion_scale: float = 1.0
+    noise_scale: float = 1.0
 
     @property
     def label(self) -> int:
@@ -100,7 +112,13 @@ class SyntheticVideoSource:
                 f"for {md.video_id!r}"
             )
         return frame_pixels(
-            md.video_id, index, md.width, md.height, self.num_classes
+            md.video_id,
+            index,
+            md.width,
+            md.height,
+            self.num_classes,
+            motion_scale=self.motion_scale,
+            noise_scale=self.noise_scale,
         )
 
     def frames(

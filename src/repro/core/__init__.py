@@ -70,6 +70,11 @@ from repro.core.scheduling import (
 )
 from repro.core.materializer import MaterializeStats, VideoMaterializer
 from repro.core.cache import CacheManager
+from repro.core.clairvoyant import (
+    NextUseOracle,
+    oracle_from_accesses,
+    oracle_from_plan,
+)
 from repro.core.engine import EngineStats, PreprocessingEngine
 from repro.core.service import SandService
 from repro.core.posix import SandClient, mount_sand
@@ -95,6 +100,7 @@ __all__ = [
     "MaterializationPlan",
     "MaterializationScheduler",
     "MaterializeStats",
+    "NextUseOracle",
     "ObjectNode",
     "PreprocessingEngine",
     "PruningOutcome",
@@ -122,6 +128,8 @@ __all__ = [
     "load_task_configs",
     "mount_sand",
     "naive_budgeted_leaves",
+    "oracle_from_accesses",
+    "oracle_from_plan",
     "parse_view_path",
     "prune_plan",
     "read_checkpoint",

@@ -5,7 +5,9 @@ crosses 75% of the budget, evict in order
 
 1. objects that have already been used and are not required again in the
    current plan window, then
-2. objects with the longest deadlines (furthest future first use),
+2. objects with the longest deadlines (furthest future first use) —
+   Belady's clairvoyant rule, exact here because tasks register their
+   schedules up front; equal deadlines break toward larger blobs first,
 
 until usage is back under the watermark.  Deadlines come from the plan's
 batch table; the trainer's progress is reported via :meth:`advance`.
@@ -93,18 +95,28 @@ class CacheManager:
                 return step
         return None
 
-    def _eviction_order(self) -> List[Tuple[int, int, str]]:
-        """Keys in eviction order (policy-dependent)."""
-        ranked = []
+    def _eviction_order(self) -> List[Tuple[int, int, int, str]]:
+        """Keys in eviction order (policy-dependent).
+
+        The deadline policy is Belady's clairvoyant rule over the plan's
+        batch table: class 1 is objects with no future use (Belady's
+        "never used again" — always first out), class 2 ranks by exact
+        next-use distance, farthest first.  Among equal deadlines, larger
+        blobs go first — one eviction call frees more bytes, so byte
+        pressure is relieved with fewer deletions — with the key as the
+        final deterministic tie-break.
+        """
+        ranked: List[Tuple[int, int, int, str]] = []
         for key in self.store.keys():
             if self.policy == "fifo":
-                ranked.append((0, self._insert_seq.get(key, 0), key))
+                ranked.append((0, self._insert_seq.get(key, 0), 0, key))
                 continue
             deadline = self.deadline_of(key)
             if deadline is None:
-                ranked.append((0, 0, key))  # class 1: never needed again
+                ranked.append((0, 0, 0, key))  # class 1: never needed again
             else:
-                ranked.append((1, -deadline, key))  # class 2: longest first
+                size = self.store.size_of(key) or 0
+                ranked.append((1, -deadline, -size, key))  # class 2
         ranked.sort()
         return ranked
 
@@ -119,7 +131,7 @@ class CacheManager:
     def _evict_bytes(self, nbytes: int) -> int:
         freed = 0
         count = 0
-        for _, _, key in self._eviction_order():
+        for _, _, _, key in self._eviction_order():
             if freed >= nbytes:
                 break
             size = self.store.size_of(key) or 0

@@ -1,0 +1,116 @@
+"""Exact future-access oracles for Belady-style (clairvoyant) eviction.
+
+Belady's MIN rule — evict the entry whose next use is farthest in the
+future — is usually presented as an unimplementable ideal, approximated
+by LRU or learned predictors.  SAND is in the unusual position of having
+the ideal *available*: tasks register their full schedules up front, so
+the plan's batch table IS the future access sequence.  This module turns
+that table into an :class:`~repro.codec.incremental.AnchorOracle` the
+:class:`~repro.codec.incremental.AnchorCache` consults at eviction time.
+
+Two constructors:
+
+* :func:`oracle_from_plan` — the engine path.  Walks every sample leaf's
+  frame indices, expands them to the anchors their decode depends on
+  (anchor chain, plus the following anchor for B frames), and records
+  the global step of every use.
+* :func:`oracle_from_accesses` — the benchmark/ablation path.  Takes an
+  explicit per-step access sequence and does the same expansion, so
+  oracle-vs-LRU comparisons run the *identical* request stream.
+
+The oracle is conservative, never wrong: it may list a use that
+near-duplicate collapse later skips (wasting a little budget), but it
+never misses a real use, so clairvoyant eviction cannot change decoded
+bytes — only how often the decoder resumes from a cached anchor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.codec.model import FrameType, GopStructure, VideoMetadata
+from repro.codec.signals import next_use_after
+
+
+class NextUseOracle:
+    """Maps ``(video_id, anchor_index)`` to its sorted future use steps."""
+
+    def __init__(self, uses: Dict[Tuple[str, int], List[int]]):
+        self._uses: Dict[Tuple[str, int], List[int]] = {
+            key: sorted(set(steps)) for key, steps in uses.items()
+        }
+
+    def next_use(self, video_id: str, index: int, now: int) -> Optional[int]:
+        """Next step strictly after ``now`` needing this anchor, or None."""
+        steps = self._uses.get((video_id, index))
+        if not steps:
+            return None
+        return next_use_after(steps, now)
+
+    def __len__(self) -> int:
+        return len(self._uses)
+
+    def tracked_anchors(self, video_id: str) -> List[int]:
+        return sorted(i for (vid, i) in self._uses if vid == video_id)
+
+
+def _anchors_needed(
+    gop: GopStructure, index: int, num_frames: int
+) -> List[int]:
+    """Anchor frames a decode of ``index`` depends on (incl. itself)."""
+    needed = list(gop.anchor_chain(index))
+    if gop.frame_type(index, num_frames) is FrameType.B:
+        next_anchor = gop.next_anchor(index, num_frames)
+        if next_anchor is not None:
+            needed.append(next_anchor)
+    return needed
+
+
+def oracle_from_plan(plan: object) -> NextUseOracle:
+    """Build the exact anchor-use oracle from a materialization plan.
+
+    For every sample leaf, every frame it reads is expanded to the
+    anchors that decode depends on, and each of the leaf's uses
+    contributes its global step.  ``plan`` is duck-typed (``graphs`` +
+    ``global_step``) to avoid a circular import with concrete_graph.
+    """
+    uses: Dict[Tuple[str, int], List[int]] = {}
+    graphs = getattr(plan, "graphs")
+    global_step = getattr(plan, "global_step")
+    for video_id, graph in graphs.items():
+        metadata = graph.metadata
+        gop = metadata.gop
+        for leaf in graph.leaves():
+            indices = leaf.frame_indices or ()
+            anchors: set[int] = set()
+            for index in indices:
+                anchors.update(_anchors_needed(gop, index, metadata.num_frames))
+            for use in leaf.uses:
+                step = global_step(use.task, use.epoch, use.iteration)
+                for anchor in anchors:
+                    uses.setdefault((video_id, anchor), []).append(step)
+    return NextUseOracle(uses)
+
+
+def oracle_from_accesses(
+    metadata: VideoMetadata,
+    accesses: Sequence[Iterable[int]],
+    video_id: Optional[str] = None,
+) -> NextUseOracle:
+    """Oracle over an explicit access sequence (one frame-set per step).
+
+    Step ``t`` is position ``t`` in ``accesses``; each access's frames
+    are expanded to their anchor dependencies exactly as the engine path
+    does.  Used by the oracle-vs-LRU ablation so both policies face the
+    same stream.
+    """
+    vid = video_id if video_id is not None else metadata.video_id
+    gop = metadata.gop
+    uses: Dict[Tuple[str, int], List[int]] = {}
+    for step, frames in enumerate(accesses):
+        anchors: set[int] = set()
+        for index in frames:
+            anchors.update(_anchors_needed(gop, index, metadata.num_frames))
+        for anchor in anchors:
+            uses.setdefault((vid, anchor), []).append(step)
+    return NextUseOracle(uses)

@@ -32,6 +32,7 @@ from repro.augment.fusion import TrafficLedger
 from repro.augment.registry import OpRegistry
 from repro.codec.incremental import AnchorCache
 from repro.core.cache import CacheManager
+from repro.core.clairvoyant import oracle_from_plan
 from repro.core.concrete_graph import BatchAssembly, MaterializationPlan
 from repro.core.materializer import VideoMaterializer
 from repro.core.prefetch import BatchPrefetcher, PrefetchStats
@@ -73,7 +74,11 @@ class EngineStats:
     peak_memory_bytes: int = 0
     frames_decoded: int = 0
     frames_reused_from_anchor_cache: int = 0
+    frames_skipped_near_duplicate: int = 0
     raw_frame_releases: int = 0
+    # Anchor-cache counter snapshot (global + per-video hit/miss/reuse),
+    # refreshed on aggregation; always present so dashboards never branch.
+    anchor_cache: Dict = field(default_factory=dict)
     # -- failure handling (S5.5 fault model) --------------------------------
     job_retries: int = 0
     demand_retries: int = 0
@@ -101,9 +106,10 @@ class EngineStats:
         return [record.video_id for record in self.dead_letters]
 
     def traffic_report(self) -> Dict:
-        """The memory-traffic ledger with the prefetch section rolled in."""
+        """The memory-traffic ledger with prefetch and anchor-cache blocks."""
         report: Dict = dict(self.traffic.as_dict())
         report["prefetch"] = self.prefetch.as_dict()
+        report["anchor_cache"] = dict(self.anchor_cache)
         return report
 
 
@@ -129,11 +135,15 @@ class PreprocessingEngine:
         seed: int = 0,
         prefetch_depth: int = 0,
         prefetch_workers: int = 1,
+        reuse_threshold: float = 0.0,
+        clairvoyant_cache: bool = True,
     ):
         if num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {num_workers}")
         if prefetch_depth < 0:
             raise ValueError(f"prefetch_depth must be >= 0, got {prefetch_depth}")
+        if reuse_threshold < 0:
+            raise ValueError(f"reuse_threshold must be >= 0, got {reuse_threshold}")
         self.plan = plan
         self.dataset = dataset
         self.pruning = pruning
@@ -171,6 +181,14 @@ class PreprocessingEngine:
             if anchor_cache is not None
             else AnchorCache(anchor_cache_budget_bytes)
         )
+        self.reuse_threshold = reuse_threshold
+        self.clairvoyant_cache = clairvoyant_cache
+        if clairvoyant_cache:
+            # The registered task schedules ARE the future access
+            # sequence, so the anchor cache gets an exact Belady oracle:
+            # eviction picks the anchor used farthest in the future.
+            # Decoded bytes are unchanged — only reuse frequency improves.
+            self.anchor_cache.set_oracle(oracle_from_plan(plan))
 
         self._materializers: Dict[str, VideoMaterializer] = {}
         self._mat_lock = make_lock("engine.materializers")
@@ -303,6 +321,9 @@ class PreprocessingEngine:
             self._progress[task] = max(self._progress[task], step)
         if self.cache is not None:
             self.cache.advance(step)
+        # Keep the anchor cache's Belady clock in lockstep with training
+        # progress so next-use distances are measured from "now".
+        self.anchor_cache.advance(step)
 
         if self._prefetcher is not None:
             ready = self._prefetcher.take(task, epoch, iteration)
@@ -591,6 +612,7 @@ class PreprocessingEngine:
                     anchor_cache=self.anchor_cache,
                     decoder_wrapper=self._decoder_wrapper,
                     fusion_enabled=self.fusion_enabled,
+                    reuse_threshold=self.reuse_threshold,
                 )
             return self._materializers[video_id]
 
@@ -602,6 +624,10 @@ class PreprocessingEngine:
         self.stats.frames_reused_from_anchor_cache = sum(
             m.stats.frames_reused_from_anchor_cache for m in materializers
         )
+        self.stats.frames_skipped_near_duplicate = sum(
+            m.stats.frames_skipped_near_duplicate for m in materializers
+        )
+        self.stats.anchor_cache = self.anchor_cache.report()
         self.stats.fallback_rematerializations = sum(
             m.stats.fallback_rematerializations for m in materializers
         )

@@ -27,8 +27,10 @@ from repro.analysis.sanitizers import buffer_sanitizer
 from repro.augment.fusion import TrafficLedger, plan_for
 from repro.augment.ops import AugmentOp
 from repro.augment.registry import OpRegistry, default_registry
+from repro.codec.container import ContainerError
 from repro.codec.incremental import AnchorCache
 from repro.codec.registry import VideoDecoder, open_decoder
+from repro.codec.signals import FrameSignals
 from repro.core.concrete_graph import ObjectNode, VideoGraph
 from repro.storage.blobs import BlobError, decode_array, encode_array
 from repro.storage.objectstore import (
@@ -45,6 +47,7 @@ class MaterializeStats:
 
     frames_decoded: int = 0
     frames_reused_from_anchor_cache: int = 0
+    frames_skipped_near_duplicate: int = 0
     ops_applied: Dict[str, int] = field(default_factory=dict)
     cache_hits: int = 0
     cache_stores: int = 0
@@ -101,13 +104,21 @@ class VideoMaterializer:
         anchor_cache: Optional[AnchorCache] = None,
         decoder_wrapper=None,
         fusion_enabled: bool = True,
+        reuse_threshold: float = 0.0,
     ):
+        if reuse_threshold < 0:
+            raise ValueError(f"reuse_threshold must be >= 0, got {reuse_threshold}")
         self.graph = graph
         self._encoded = encoded
         self.cache = cache
         self.frontier = frontier or set()
         self.registry = registry or default_registry()
         self.anchor_cache = anchor_cache
+        self.reuse_threshold = reuse_threshold
+        # Lazy codec signals for near-dup slot reuse; False = probed and
+        # unavailable (all-intra container with no delta track).
+        self._signals: Optional[FrameSignals] = None
+        self._signals_probed = False
         # Operator fusion: execute aug chains as compiled gather segments
         # and collate samples into preallocated buffers.  Off = the
         # step-by-step reference path (still traffic-instrumented).
@@ -412,8 +423,25 @@ class VideoMaterializer:
             traffic.bytes_allocated += clip.nbytes
         clip[0:1] = first
         traffic.bytes_copied += first.nbytes
+        prev_identity = self._slot_identity(parents[0])
         for t, parent_key in enumerate(parents[1:], start=1):
-            self._materialize_parent_into(parent_key, clip[t : t + 1])
+            identity = self._slot_identity(parent_key)
+            if (
+                identity is not None
+                and identity == prev_identity
+                and self._slot_reuse_allowed(parent_key)
+            ):
+                # Near-duplicate slot reuse: this parent's chain produces
+                # byte-identical output to the previous slot (same
+                # effective source frame, same op identities), so copy
+                # the neighbor instead of re-running the chain.
+                np.copyto(clip[t : t + 1], clip[t - 1 : t])
+                traffic.note_slot_reuse(
+                    clip[t].nbytes, passes_skipped=len(identity[1])
+                )
+            else:
+                self._materialize_parent_into(parent_key, clip[t : t + 1])
+            prev_identity = identity
         traffic.clip_passes += 1  # the collation write
         self.stats.count_op("collate")
         result: np.ndarray = clip
@@ -430,6 +458,71 @@ class VideoMaterializer:
             traffic.charge(out.nbytes, allocated=False)
             return out
         return result
+
+    def _frame_signals(self) -> Optional[FrameSignals]:
+        """Codec signals for this video, or None (no delta track / intra)."""
+        if not self._signals_probed:
+            self._signals_probed = True
+            try:
+                self._signals = FrameSignals.from_container(self._encoded)
+            except ContainerError:
+                # All-intra SVI1 (or any non-SVC1 container): no signals.
+                self._signals = None
+        return self._signals
+
+    def _slot_identity(
+        self, key: str
+    ) -> Optional[Tuple[Tuple[str, object], Tuple[Tuple[str, str, str], ...]]]:
+        """Content identity of a collation parent for near-dup slot reuse.
+
+        Walks the parent's *full* augmentation chain down to its base
+        (ignoring memoization state, so the identity is a pure function
+        of the graph and the container bytes) and keys the base frame by
+        its threshold-collapsed effective index.  Two parents with equal
+        identities produce byte-identical output.  None disables reuse
+        for this slot (threshold off, no delta track, or unrecognized
+        chain shape).
+        """
+        if self.reuse_threshold <= 0:
+            return None
+        signals = self._frame_signals()
+        if signals is None or not signals.has_deltas:
+            return None
+        ops: List[Tuple[str, str, str]] = []
+        node = self.graph.nodes.get(key)
+        while node is not None and node.kind == "aug":
+            if node.op_args is None:  # pragma: no cover - aug nodes carry args
+                return None
+            ops.append(node.op_args)
+            node = self.graph.nodes.get(node.parents[0])
+        if node is None:
+            return None
+        if node.kind == "frame" and node.frame_index is not None:
+            base: Tuple[str, object] = (
+                "frame",
+                signals.effective_frame(node.frame_index, self.reuse_threshold),
+            )
+        else:
+            base = ("key", node.key)
+        return (base, tuple(reversed(ops)))
+
+    def _slot_reuse_allowed(self, key: str) -> bool:
+        """May this parent's materialization be skipped entirely?
+
+        Mirrors the ``_materialize_parent_into`` fast-path conditions:
+        only a single-use aug node that nothing else will read (not
+        memoized, not frontier-bound, not persisted) can go unmaterialized
+        without changing caching or sharing behavior.
+        """
+        node = self.graph.nodes.get(key)
+        return (
+            node is not None
+            and node.kind == "aug"
+            and node.ref_count <= 1
+            and key not in self._memo
+            and key not in self.frontier
+            and (self.cache is None or key not in self.cache)
+        )
 
     def _materialize_parent_into(self, key: str, slot: np.ndarray) -> None:
         """Write one collation parent into its slot of the clip buffer.
@@ -494,7 +587,9 @@ class VideoMaterializer:
             return
         if self._decoder is None:
             self._decoder = open_decoder(
-                self._encoded, anchor_cache=self.anchor_cache
+                self._encoded,
+                anchor_cache=self.anchor_cache,
+                reuse_threshold=self.reuse_threshold,
             )
             if self.decoder_wrapper is not None:
                 self._decoder = self.decoder_wrapper(
@@ -507,12 +602,16 @@ class VideoMaterializer:
         for gop_id in sorted(by_gop):
             before = self._decoder.stats.frames_decoded
             before_reused = self._decoder.stats.frames_reused_from_anchor_cache
+            before_skipped = self._decoder.stats.frames_skipped_near_duplicate
             frames = self._decoder.decode_frames(by_gop[gop_id])
             self.stats.frames_decoded += (
                 self._decoder.stats.frames_decoded - before
             )
             self.stats.frames_reused_from_anchor_cache += (
                 self._decoder.stats.frames_reused_from_anchor_cache - before_reused
+            )
+            self.stats.frames_skipped_near_duplicate += (
+                self._decoder.stats.frames_skipped_near_duplicate - before_skipped
             )
             for index, pixels in frames.items():
                 self._remember(

@@ -107,6 +107,8 @@ class SandService(FileSystemProvider):
         fault_schedule=None,
         retry_policy=None,
         prefetch_depth: int = 2,
+        reuse_threshold: float = 0.0,
+        clairvoyant_cache: bool = True,
     ):
         if not tasks:
             raise ValueError("need at least one task config")
@@ -127,6 +129,11 @@ class SandService(FileSystemProvider):
         # Demand-path pipelining: each engine speculatively assembles the
         # next K batches per task on background threads (0 disables).
         self.prefetch_depth = prefetch_depth
+        # Codec-signal reuse: near-duplicate collapse threshold (0 = off,
+        # byte-identical) and Belady-oracle anchor eviction (on by
+        # default; output-invariant either way).
+        self.reuse_threshold = reuse_threshold
+        self.clairvoyant_cache = clairvoyant_cache
 
         self.abstract_graphs: Dict[str, AbstractViewGraph] = {
             t.tag: AbstractViewGraph.from_config(t) for t in tasks
@@ -242,6 +249,8 @@ class SandService(FileSystemProvider):
             retry_policy=self.retry_policy,
             seed=self.seed,
             prefetch_depth=self.prefetch_depth,
+            reuse_threshold=self.reuse_threshold,
+            clairvoyant_cache=self.clairvoyant_cache,
         )
         engine.start()
         group.window_start = epoch_start

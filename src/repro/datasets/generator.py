@@ -44,10 +44,17 @@ class DatasetSpec:
     codec: str = "inter"  # "inter" (SVC1, .svc) or "intra" (SVI1, .svi)
     num_classes: int = 4
     seed: int = 0
+    # Content knobs (1.0 = historical content, byte-identical): scale the
+    # per-frame blob motion and noise amplitude.  Low values produce the
+    # long-GOP, low-motion profile where codec-signal reuse pays off.
+    motion_scale: float = 1.0
+    noise_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.codec not in ("inter", "intra"):
             raise ValueError(f"codec must be inter|intra, got {self.codec!r}")
+        if self.motion_scale < 0 or self.noise_scale < 0:
+            raise ValueError("motion_scale and noise_scale must be >= 0")
         if self.num_videos < 1:
             raise ValueError(f"need at least one video, got {self.num_videos}")
         if not 1 <= self.min_frames <= self.max_frames:
@@ -99,7 +106,10 @@ class SyntheticDataset:
 
     def source(self, video_id: str) -> SyntheticVideoSource:
         return SyntheticVideoSource(
-            self.metadata(video_id), num_classes=self.spec.num_classes
+            self.metadata(video_id),
+            num_classes=self.spec.num_classes,
+            motion_scale=self.spec.motion_scale,
+            noise_scale=self.spec.noise_scale,
         )
 
     def label(self, video_id: str) -> int:

@@ -145,7 +145,7 @@ def test_eviction_prefers_used_up_objects():
     # Train past the early leaf's only use: it becomes class-1 evictable.
     cache.advance(plan.first_use_step(early) + 1)
     order = cache._eviction_order()
-    assert order[0][2] == early.key
+    assert order[0][-1] == early.key
 
 
 def test_eviction_by_longest_deadline():
@@ -159,7 +159,7 @@ def test_eviction_by_longest_deadline():
         cache.put(leaf.key, b"x" * 10)
     # Nothing used yet: the longest-deadline object evicts first.
     order = cache._eviction_order()
-    assert order[0][2] == leaves[-1].key
+    assert order[0][-1] == leaves[-1].key
 
 
 def test_watermark_eviction():

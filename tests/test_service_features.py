@@ -165,7 +165,7 @@ def test_fifo_policy_evicts_oldest_first():
     cache.put("first", b"x" * 10)
     cache.put("second", b"y" * 10)
     order = cache._eviction_order()
-    assert order[0][2] == "first"
+    assert order[0][-1] == "first"
 
 
 # -- engine memory pressure ------------------------------------------------------------

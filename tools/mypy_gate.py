@@ -37,6 +37,8 @@ STRICT_ARGS = [
     "-m",
     "repro.augment.fusion",
     "-m",
+    "repro.codec.signals",
+    "-m",
     "repro.core.prefetch",
     "-m",
     "repro.storage.packs",
@@ -83,13 +85,13 @@ def strict_tier() -> int:
     code, output = run_mypy(STRICT_ARGS)
     if code != 0:
         print(
-            "mypy --strict failed for repro.analysis / repro.augment.fusion / "
+            "mypy --strict failed for repro.analysis / repro.augment.fusion / repro.codec.signals / "
             "repro.core.prefetch / repro.storage.packs:"
         )
         print(output)
         return 1
     print(
-        "strict tier clean: repro.analysis, repro.augment.fusion, "
+        "strict tier clean: repro.analysis, repro.augment.fusion, repro.codec.signals, "
         "repro.core.prefetch, repro.storage.packs"
     )
     return 0
