@@ -21,6 +21,15 @@ def main(argv=None) -> int:
     parser.add_argument("--videos", type=int, default=8, help="corpus size")
     parser.add_argument("--epochs", type=int, default=2, help="epochs to train")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--tiered", action="store_true",
+        help="run with a replicated remote tier (k=2) behind the local store",
+    )
+    parser.add_argument(
+        "--status", action="store_true",
+        help="print the service status report (per-tier bytes, segment "
+             "live/dead ratios, replication health) as JSON after the run",
+    )
     args = parser.parse_args(argv)
 
     from repro import SandClient, load_task_config, __version__
@@ -52,9 +61,15 @@ def main(argv=None) -> int:
             ],
         }
     })
+    service_kwargs = {}
+    if args.tiered:
+        from repro.storage import RemoteStore
+
+        service_kwargs["remote_store"] = RemoteStore(256 * 1024 * 1024)
     client, service = SandClient.create(
         [config], dataset, storage_budget_bytes=64 * 1024 * 1024,
         k_epochs=max(1, args.epochs), num_workers=1, seed=args.seed,
+        **service_kwargs,
     )
     try:
         ctrl = client.begin_task("demo")
@@ -78,6 +93,10 @@ def main(argv=None) -> int:
               f"{len(service.store)} objects "
               f"({service.store.used_bytes / 1e6:.1f} MB)")
         client.finish_task(ctrl)
+        if args.status:
+            import json
+
+            print(json.dumps(service.status(), indent=2, default=str))
     finally:
         service.shutdown()
     print("OK")

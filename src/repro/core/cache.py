@@ -47,6 +47,7 @@ class CacheManager:
         self._insert_seq: Dict[str, int] = {}
         self._next_seq = 0
         self.evictions = 0
+        self.demotions = 0
 
     # -- plan registration ----------------------------------------------------
     def register_plan(
@@ -107,7 +108,11 @@ class CacheManager:
         final deterministic tie-break.
         """
         ranked: List[Tuple[int, int, int, str]] = []
-        for key in self.store.keys():
+        # Tiered stores distinguish the evictable hot set from the full
+        # key set (remote-only keys hold their last replica — deleting
+        # them would be data loss, and demoting them frees nothing).
+        hot_keys = getattr(self.store, "hot_keys", self.store.keys)
+        for key in hot_keys():
             if self.policy == "fifo":
                 ranked.append((0, self._insert_seq.get(key, 0), 0, key))
                 continue
@@ -129,12 +134,26 @@ class CacheManager:
             return self._evict_bytes(target)
 
     def _evict_bytes(self, nbytes: int) -> int:
+        """Reclaim local bytes: demote where the store supports tiers.
+
+        With a tiered store, eviction *demotes* — the bytes move to the
+        warm tier and the object stays recoverable by copy instead of
+        recompute (prune-and-demote, not prune-and-delete).  Demotion
+        failure (warm tier down or full) falls back to deletion so byte
+        pressure is always relieved.
+        """
         freed = 0
         count = 0
+        demoter = getattr(self.store, "demote", None)
         for _, _, _, key in self._eviction_order():
             if freed >= nbytes:
                 break
             size = self.store.size_of(key) or 0
+            if demoter is not None and demoter(key):
+                freed += size
+                count += 1
+                self.demotions += 1
+                continue
             if self.store.delete(key):
                 freed += size
                 count += 1

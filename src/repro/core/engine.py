@@ -96,6 +96,11 @@ class EngineStats:
     # Always present (zeroed when prefetch is off) so dashboards and
     # tests never branch on its existence.
     prefetch: PrefetchStats = field(default_factory=PrefetchStats)
+    # Storage-layer failure ledger: remote retries/dead-letters and tier
+    # transitions (demotions, failovers, heals, repairs), pulled from the
+    # store's storage_failure_report() on aggregation.  Empty for plain
+    # single-tier stores, so the block is always present but may be {}.
+    storage: Dict = field(default_factory=dict)
     # Runtime-sanitizer findings (lock-order inversions, write-after-share,
     # raw-frame leaks).  None when sanitizers are off; populated on stop()
     # and by sanitizer_report().
@@ -110,6 +115,7 @@ class EngineStats:
         report: Dict = dict(self.traffic.as_dict())
         report["prefetch"] = self.prefetch.as_dict()
         report["anchor_cache"] = dict(self.anchor_cache)
+        report["storage"] = dict(self.storage)
         return report
 
 
@@ -646,6 +652,20 @@ class PreprocessingEngine:
         quarantined = getattr(store, "quarantined", None)
         if quarantined is not None:
             self.stats.quarantined_keys = list(quarantined)
+        # Storage-layer retries/dead-letters and tier transitions were a
+        # ledger blind spot: they happen inside RemoteStore/TieredStore,
+        # below the materializer's counters.  Pull them up here.
+        reporter = getattr(store, "storage_failure_report", None)
+        if reporter is not None:
+            self.stats.storage = dict(reporter())
+        else:
+            retries = getattr(store, "retries", None)
+            dead = getattr(store, "dead_letters", None)
+            if retries is not None or dead is not None:
+                self.stats.storage = {
+                    "remote_retries": int(retries or 0),
+                    "remote_dead_letters": int(dead or 0),
+                }
         if self._prefetcher is not None:
             self.stats.prefetch = self._prefetcher.stats.snapshot()
 

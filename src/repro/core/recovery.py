@@ -61,6 +61,9 @@ class RecoveryReport:
     # torn pack-segment tail records (keys, or "<pack:seg@off>" markers
     # when the tear destroyed the record's identity).
     scan_quarantined: List[str] = field(default_factory=list)
+    # Tiered stores only: survivors whose replica count was restored to
+    # target by the post-diff repair pass (0 for single-tier stores).
+    replicas_repaired: int = 0
 
     @property
     def missing_count(self) -> int:
@@ -170,6 +173,14 @@ def recover(
                 recovered += 1
         if lost:
             missing[video_id] = lost
+    # Tiered stores: survivors may have lost a replica in the crash
+    # (e.g. the write-behind replica never landed).  Repairing here
+    # restores k=2 before training resumes, so a second failure during
+    # the recovered epoch still does not force recompute.
+    repairs = 0
+    repairer = getattr(store, "repair_scan", None)
+    if repairer is not None:
+        repairs = int(repairer().get("repaired", 0))
     return RecoveryReport(
         window_start=manifest["window_start"],
         k_epochs=manifest["k_epochs"],
@@ -179,4 +190,5 @@ def recover(
         stale_keys=sorted(on_disk - planned_keys),
         corrupt_keys=sorted(corrupt),
         scan_quarantined=scan_quarantined,
+        replicas_repaired=repairs,
     )

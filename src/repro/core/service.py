@@ -63,6 +63,7 @@ from repro.core.views import (
 )
 from repro.storage.blobs import encode_array
 from repro.storage.local import LocalStore
+from repro.storage.tiering import TieredStore
 from repro.vfs.errors import (
     FileNotFoundVfsError,
     IsADirectoryVfsError,
@@ -103,6 +104,8 @@ class SandService(FileSystemProvider):
         scheduling_mode: SchedulingMode = SchedulingMode.DEADLINE,
         registry: Optional[OpRegistry] = None,
         store: Optional[LocalStore] = None,
+        remote_store=None,
+        replication: int = 2,
         memory_budget_bytes: int = 512 * 1024 * 1024,
         fault_schedule=None,
         retry_policy=None,
@@ -153,7 +156,20 @@ class SandService(FileSystemProvider):
 
         # Note: `store or ...` would be wrong — an empty ObjectStore has
         # len() == 0 and is falsy.
-        self.store = store if store is not None else LocalStore(storage_budget_bytes)
+        base_store = store if store is not None else LocalStore(storage_budget_bytes)
+        if remote_store is not None:
+            # Tiered deployment: the remote tier replicates hot objects
+            # (k=2 by default) and absorbs demoted warm/cold spillover,
+            # so byte pressure demotes instead of deleting and blob loss
+            # recovers by copy instead of recompute.
+            self.store = TieredStore(
+                base_store,
+                remote_store,
+                replication=replication,
+                fault_schedule=fault_schedule,
+            )
+        else:
+            self.store = base_store
         self.cache = CacheManager(self.store)
         # One anchor cache for the service's lifetime: rolling to a new
         # plan window rebuilds the engine, but decoded anchor state keeps
@@ -266,6 +282,70 @@ class SandService(FileSystemProvider):
                     group.engine.stop()
             # Flush write-behind storage and release pack mappings.
             self.cache.close()
+
+    # -- operations ------------------------------------------------------------
+    def status(self) -> Dict:
+        """Operator-facing snapshot: windows, storage health, failures.
+
+        The storage block surfaces per-tier bytes, pack segment
+        live/dead ratios, replication counters, and under-replicated
+        key counts when the store is tiered (plain stores report their
+        single-tier health).  JSON-serializable throughout.
+        """
+        with self._window_lock:
+            health = getattr(self.store, "health", None)
+            storage: Dict = (
+                health()
+                if health is not None
+                else {
+                    "capacity_bytes": self.store.capacity_bytes,
+                    "used_bytes": self.store.used_bytes,
+                    "objects": len(self.store),
+                }
+            )
+            engines: Dict[str, Dict] = {}
+            for path, group in self._groups.items():
+                if group.engine is None:
+                    continue
+                stats = group.engine.stats
+                engines[path] = {
+                    "window_start": group.window_start,
+                    "batches_served": stats.batches_served,
+                    "demand_materializations": stats.demand_materializations,
+                    "pre_materializations": stats.pre_materializations,
+                    "job_retries": stats.job_retries,
+                    "dead_letters": len(stats.dead_letters),
+                    "fallback_rematerializations": stats.fallback_rematerializations,
+                    "storage_failures": dict(stats.storage),
+                }
+            return {
+                "tasks": sorted(self.tasks),
+                "active_tasks": sorted(self._active_tasks),
+                "cache": {
+                    "evictions": self.cache.evictions,
+                    "demotions": self.cache.demotions,
+                },
+                "storage": storage,
+                "engines": engines,
+            }
+
+    def storage_maintenance(self) -> Dict:
+        """One background maintenance pass over the store.
+
+        Re-replicates under-replicated keys (tiered stores) and
+        compacts tombstoned pack segments; safe to call any time the
+        caller is not concurrently mutating the store from another
+        thread, and a no-op for stores without those capabilities.
+        """
+        with self._window_lock:
+            report: Dict = {}
+            repairer = getattr(self.store, "repair_scan", None)
+            if repairer is not None:
+                report["repair"] = repairer()
+            compactor = getattr(self.store, "compact_packs", None)
+            if compactor is not None:
+                report["compaction"] = compactor()
+            return report
 
     # -- fault tolerance (S5.5) -------------------------------------------------
     def checkpoint(self, directory) -> Path:

@@ -33,12 +33,16 @@ from repro.faults.schedule import (
     KNOWN_SITES,
     SITE_DECODE,
     SITE_ENGINE_JOB,
+    SITE_PACK_COMPACT,
     SITE_PACK_READ,
     SITE_REMOTE_GET,
     SITE_REMOTE_PUT,
     SITE_STORE_FLUSH,
     SITE_STORE_GET,
     SITE_STORE_PUT,
+    SITE_TIER_DEMOTE,
+    SITE_TIER_PROMOTE,
+    SITE_TIER_REPAIR,
     SITE_VFS_GETXATTR,
     SITE_VFS_LISTDIR,
     SITE_VFS_LOOKUP,
@@ -61,12 +65,16 @@ __all__ = [
     "KNOWN_SITES",
     "SITE_DECODE",
     "SITE_ENGINE_JOB",
+    "SITE_PACK_COMPACT",
     "SITE_PACK_READ",
     "SITE_REMOTE_GET",
     "SITE_REMOTE_PUT",
     "SITE_STORE_FLUSH",
     "SITE_STORE_GET",
     "SITE_STORE_PUT",
+    "SITE_TIER_DEMOTE",
+    "SITE_TIER_PROMOTE",
+    "SITE_TIER_REPAIR",
     "SITE_VFS_GETXATTR",
     "SITE_VFS_LISTDIR",
     "SITE_VFS_LOOKUP",

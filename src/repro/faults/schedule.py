@@ -27,6 +27,9 @@ Fault kinds:
 ``bit-flip``              flip one payload bit (at rest for puts, in flight
                           for gets)
 ``crash``                 kill the worker executing the matching job
+``tier-down``             an entire storage tier is unreachable for a window
+                          of ``down_for`` consecutive operations at the site,
+                          starting at the ``at_count``-th
 ========================  =====================================================
 """
 
@@ -40,7 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Type
 from repro.analysis.locks import make_lock
 from repro.storage.objectstore import TransientStorageError
 
-KINDS = ("transient-error", "latency", "torn-write", "bit-flip", "crash")
+KINDS = ("transient-error", "latency", "torn-write", "bit-flip", "crash", "tier-down")
 
 # Canonical injection sites.  Proxies pass these strings; specs match on
 # them verbatim.
@@ -56,6 +59,10 @@ SITE_VFS_GETXATTR = "vfs.getxattr"
 SITE_VFS_LISTDIR = "vfs.listdir"
 SITE_STORE_FLUSH = "store.flush"
 SITE_PACK_READ = "pack.read"
+SITE_TIER_DEMOTE = "tier.demote"
+SITE_TIER_PROMOTE = "tier.promote"
+SITE_TIER_REPAIR = "tier.repair"
+SITE_PACK_COMPACT = "pack.compact"
 
 # The site registry: every site a spec may target.  A spec naming an
 # unknown site would silently never fire — the harness would "pass"
@@ -75,6 +82,10 @@ KNOWN_SITES = {
     SITE_VFS_LISTDIR,
     SITE_STORE_FLUSH,
     SITE_PACK_READ,
+    SITE_TIER_DEMOTE,
+    SITE_TIER_PROMOTE,
+    SITE_TIER_REPAIR,
+    SITE_PACK_COMPACT,
 }
 
 
@@ -97,6 +108,7 @@ class FaultSpec:
     latency_s: float = 0.0
     tear_fraction: float = 0.5
     max_fires: Optional[int] = None
+    down_for: int = 1
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -114,6 +126,10 @@ class FaultSpec:
             raise ValueError("spec needs a rate or an at_count to ever fire")
         if not 0.0 <= self.tear_fraction < 1.0:
             raise ValueError(f"tear_fraction must be in [0, 1), got {self.tear_fraction}")
+        if self.down_for < 1:
+            raise ValueError(f"down_for must be >= 1, got {self.down_for}")
+        if self.kind == "tier-down" and self.at_count is None:
+            raise ValueError("tier-down windows are positional: set at_count")
 
 
 class FaultSchedule:
@@ -147,7 +163,12 @@ class FaultSchedule:
                     continue
                 if spec.max_fires is not None and self._spec_fires[index] >= spec.max_fires:
                     continue
-                if spec.at_count is not None:
+                if spec.kind == "tier-down":
+                    # A window: the site is down for `down_for` consecutive
+                    # operations starting at the at_count-th.  Retries inside
+                    # the window consume window slots, as a real outage would.
+                    hit = spec.at_count <= site_count < spec.at_count + spec.down_for
+                elif spec.at_count is not None:
                     hit = site_count == spec.at_count
                 else:
                     hit = self._uniform(index, site, key, occurrence) < spec.rate
@@ -176,6 +197,12 @@ class FaultSchedule:
             if spec.kind == "latency":
                 time.sleep(spec.latency_s)
             elif spec.kind == "transient-error":
+                transient = spec
+            elif spec.kind == "tier-down":
+                # The whole tier is unreachable: every operation in the
+                # window fails.  Retries re-enter apply(), advance the
+                # site counter, and consume window slots — exactly how a
+                # real outage burns a retry budget.
                 transient = spec
             else:
                 payload.append(spec)

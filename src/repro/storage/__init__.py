@@ -11,7 +11,10 @@ for uint8 frames.  This package provides:
   store (in-memory or directory-backed) with usage statistics,
 * :mod:`repro.storage.local` — the budgeted local cache tier,
 * :mod:`repro.storage.remote` — a bandwidth-tagged remote store that
-  counts bytes moved (Fig 14's network-traffic comparison).
+  counts bytes moved (Fig 14's network-traffic comparison),
+* :mod:`repro.storage.tiering` — the tier policy layer: k-replication
+  across local + remote, demotion under budget pressure, failover +
+  heal on loss, background repair.
 """
 
 from repro.storage.blobs import decode_array, encode_array
@@ -25,6 +28,7 @@ from repro.storage.objectstore import (
 from repro.storage.retry import RetryPolicy, call_with_retries
 from repro.storage.local import LocalStore
 from repro.storage.remote import RemoteStore
+from repro.storage.tiering import TieredStore, TierStats
 
 __all__ = [
     "CorruptObjectError",
@@ -34,6 +38,8 @@ __all__ = [
     "RetryPolicy",
     "StorageFullError",
     "StoreStats",
+    "TierStats",
+    "TieredStore",
     "TransientStorageError",
     "call_with_retries",
     "decode_array",

@@ -25,7 +25,7 @@ import os
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional
 
 if TYPE_CHECKING:
     from repro.faults.schedule import FaultSchedule
@@ -561,4 +561,56 @@ class ObjectStore:
         info["segments"] = len(self._packs.segment_ids())
         info["pending_bytes"] = self._packs.pending_bytes()
         info["packed_objects"] = len(self._pack_locs)
+        info.update(self._packs.segment_report())
         return info
+
+    # -- compaction ---------------------------------------------------------------
+    def compact_packs(
+        self,
+        min_dead_bytes: int = 1,
+        interrupt: Optional[Callable[[str], None]] = None,
+    ) -> Dict[str, int]:
+        """Compact every tombstoned pack segment; returns a summary.
+
+        Orchestrates :meth:`PackManager.compact_segment` over the sealed
+        segments carrying dead bytes or tombstones.  The store's key
+        index supplies ground truth: a record is live iff it is the
+        indexed location of its key, and a tombstone is carried forward
+        iff its key is *not* live (it may still guard stale records in
+        earlier segments; dropping it could resurrect them at scan).
+        Relocated keys are re-pointed atomically after each segment's
+        swap, so reads through the index never dangle.
+
+        Synchronization contract matches the rest of :class:`ObjectStore`
+        (callers serialize mutations); ``interrupt`` is the crash-test
+        hook threaded through to the pack layer.
+        """
+        summary = {
+            "segments_compacted": 0,
+            "bytes_reclaimed": 0,
+            "tombstones_carried": 0,
+            "keys_relocated": 0,
+        }
+        if self._packs is None:
+            return summary
+        self.flush()
+        for segment_id in self._packs.compactable_segments(min_dead_bytes):
+            live_offsets = {
+                location.record_offset: key
+                for key, location in self._pack_locs.items()
+                if location.segment == segment_id
+            }
+            result = self._packs.compact_segment(
+                segment_id,
+                live_offsets,
+                keep_tombstone=lambda key: key not in self._sizes,
+                interrupt=interrupt,
+            )
+            if result is None:
+                continue
+            self._pack_locs.update(result.relocated)
+            summary["segments_compacted"] += 1
+            summary["bytes_reclaimed"] += result.reclaimed_bytes
+            summary["tombstones_carried"] += result.carried_tombstones
+            summary["keys_relocated"] += len(result.relocated)
+        return summary

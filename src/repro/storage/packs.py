@@ -35,14 +35,16 @@ corrupt the payload in flight, caught by the caller's CRC).
 from __future__ import annotations
 
 import mmap
+import os
 import struct
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.analysis.locks import make_lock
 from repro.faults.schedule import (
+    SITE_PACK_COMPACT,
     SITE_PACK_READ,
     SITE_STORE_FLUSH,
     FaultSchedule,
@@ -52,8 +54,10 @@ from repro.storage.objectstore import TransientStorageError
 
 __all__ = [
     "MAGIC",
+    "SITE_PACK_COMPACT",
     "SITE_PACK_READ",
     "SITE_STORE_FLUSH",
+    "CompactionResult",
     "PackLocation",
     "PackManager",
     "PackStats",
@@ -73,6 +77,11 @@ TOMBSTONE_CRC = 0xFFFFFFFF
 
 SEGMENT_PREFIX = "seg-"
 SEGMENT_SUFFIX = ".pack"
+
+# Compaction staging suffix.  Deliberately outside the scan glob
+# (``seg-*.pack``): a half-written compacted copy is invisible to scan,
+# so a crash before the atomic swap leaves the store exactly as it was.
+COMPACT_SUFFIX = ".compact"
 
 # An fs-op callback receives one of these tags per physical operation.
 FS_CREATE = "create"
@@ -133,6 +142,9 @@ class PackStats:
     segments_created: int = 0
     segments_removed: int = 0
     pending_bytes_high_water: int = 0
+    compactions: int = 0
+    compaction_reclaimed_bytes: int = 0
+    tombstones_carried: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -144,6 +156,9 @@ class PackStats:
             "segments_created": self.segments_created,
             "segments_removed": self.segments_removed,
             "pending_bytes_high_water": self.pending_bytes_high_water,
+            "compactions": self.compactions,
+            "compaction_reclaimed_bytes": self.compaction_reclaimed_bytes,
+            "tombstones_carried": self.tombstones_carried,
         }
 
 
@@ -167,6 +182,18 @@ class _Segment:
     flushed: int = 0  # bytes durably appended so far
     live_records: int = 0
     dead_bytes: int = 0
+    tombstones: int = 0
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """What one :meth:`PackManager.compact_segment` call accomplished."""
+
+    segment: int
+    target: Optional[int]
+    relocated: Dict[str, PackLocation]
+    carried_tombstones: int
+    reclaimed_bytes: int
 
 
 @dataclass
@@ -278,6 +305,7 @@ class PackManager:
             segment = self._segments.get(location.segment)
             if segment is not None:
                 segment.live_records = max(0, segment.live_records - 1)
+                segment.tombstones += 1
         return location
 
     def flush(self) -> int:
@@ -466,7 +494,16 @@ class PackManager:
                 return
             segment.live_records = max(0, segment.live_records - 1)
             segment.dead_bytes += location.record_length
-            if segment.live_records == 0 and location.segment != self._active_id:
+            if (
+                segment.live_records == 0
+                and segment.tombstones == 0
+                and location.segment != self._active_id
+            ):
+                # A fully-dead segment with tombstones must NOT be
+                # unlinked here: its tombstones may guard deleted keys
+                # whose stale records still exist in earlier segments
+                # (removal would resurrect them at the next scan).
+                # Compaction retires those via carry-forward instead.
                 self._remove_segment_locked(location.segment)
 
     def note_dead(self, location: PackLocation) -> None:
@@ -481,6 +518,156 @@ class PackManager:
             self._fs_note(FS_DELETE)
             self.stats.segments_removed += 1
         self._segments.pop(segment_id, None)
+
+    # -- compaction ----------------------------------------------------------
+    def compactable_segments(self, min_dead_bytes: int = 1) -> List[int]:
+        """Sealed segments worth compacting (dead bytes or tombstones)."""
+        with self._lock:
+            pending_segments = {p.location.segment for p in self._pending}
+            return sorted(
+                s.segment_id
+                for s in self._segments.values()
+                if s.segment_id != self._active_id
+                and s.segment_id not in pending_segments
+                and s.flushed == s.size
+                and (s.dead_bytes >= min_dead_bytes or s.tombstones > 0)
+            )
+
+    def compact_segment(
+        self,
+        segment_id: int,
+        live_offsets: Mapping[int, str],
+        keep_tombstone: Callable[[str], bool],
+        interrupt: Optional[Callable[[str], None]] = None,
+    ) -> Optional[CompactionResult]:
+        """Rewrite one sealed segment without its dead records.
+
+        Crash-safe by construction — copy-live-records, fsync, atomic
+        swap, unlink — and restartable at any interruption point:
+
+        1. **copy** — live records (``live_offsets`` maps each live
+           record's offset to its key; the caller owns the key index)
+           plus carried tombstones (``keep_tombstone(key)`` says whether
+           a tombstone still guards stale records elsewhere) are written
+           to ``seg-T.pack.compact``, where ``T`` orders after every
+           existing segment.  The staging name is outside the scan glob,
+           so a crash here changes nothing: scan deletes the half-copy
+           and the source segment is untouched.
+        2. **fsync** — the staged bytes are forced down before the swap
+           can publish them.
+        3. **swap** — ``os.replace`` to ``seg-T.pack``.  A crash between
+           swap and unlink leaves *both* segments; scan's
+           last-occurrence-wins duplicate rule adopts the compacted
+           copies (T orders last) and accounts the source's records
+           dead, so the next compaction retires the source.
+        4. **unlink** — the source segment is removed.
+
+        Future appends are re-pointed past ``T`` so later writes and
+        tombstones keep ordering after the compacted copies.
+
+        ``interrupt`` (test hook) is called after each named step; tests
+        simulate crashes by raising from it.  Returns ``None`` when the
+        segment is not sealed on disk (active, staged records, or
+        already gone).
+        """
+        self.flush()
+        if self.fault_schedule is not None:
+            # Transient faults abort the pass cleanly before any I/O;
+            # the caller retries on its next background cycle.
+            self.fault_schedule.apply(SITE_PACK_COMPACT, f"seg-{segment_id}")
+        with self._lock:
+            if segment_id == self._active_id:
+                return None
+            if any(p.location.segment == segment_id for p in self._pending):
+                return None
+            source = self.segment_path(segment_id)
+            if not source.exists():
+                return None
+            raw = source.read_bytes()
+            self._fs_note(FS_READ)
+            _end, records, _torn = self._walk_segment(segment_id, raw)
+            out = bytearray()
+            relocated: Dict[str, PackLocation] = {}
+            carried = 0
+            target = max([self._active_id, *self._segments]) + 1
+            for record in records:
+                if record.tombstone:
+                    if keep_tombstone(record.key):
+                        out += encode_record(record.key, b"", TOMBSTONE_CRC)
+                        carried += 1
+                    continue
+                offset = record.location.record_offset
+                if live_offsets.get(offset) != record.key:
+                    continue  # dead duplicate: drop
+                payload = raw[
+                    record.location.payload_offset : record.location.payload_offset
+                    + record.location.payload_length
+                ]
+                new_offset = len(out)
+                out += encode_record(record.key, payload, record.checksum)
+                relocated[record.key] = PackLocation(
+                    segment=target,
+                    record_offset=new_offset,
+                    payload_offset=new_offset + _HEADER.size + len(record.key.encode()),
+                    payload_length=record.location.payload_length,
+                    record_length=record.location.record_length,
+                )
+            reclaimed = len(raw) - len(out)
+            if not out:
+                # Nothing survives: the unlink is the whole compaction.
+                self._remove_segment_locked(segment_id)
+                self.stats.compactions += 1
+                self.stats.compaction_reclaimed_bytes += reclaimed
+                if interrupt is not None:
+                    interrupt("unlink")
+                return CompactionResult(segment_id, None, {}, 0, reclaimed)
+            final = self.segment_path(target)
+            staging = final.with_name(final.name + COMPACT_SUFFIX)
+            with open(staging, "wb") as handle:
+                handle.write(bytes(out))
+                self._fs_note(FS_CREATE)
+                self._fs_note(FS_WRITE)
+                if interrupt is not None:
+                    interrupt("copy")
+                handle.flush()
+                os.fsync(handle.fileno())
+            if interrupt is not None:
+                interrupt("fsync")
+            os.replace(staging, final)
+            if interrupt is not None:
+                interrupt("swap")
+            self._segments[target] = _Segment(
+                target,
+                size=len(out),
+                flushed=len(out),
+                live_records=len(relocated),
+                tombstones=carried,
+            )
+            # Re-point appends past the compacted copy so future writes
+            # (and tombstones) keep ordering after it at scan time.
+            self._active_id = target + 1
+            self._remove_segment_locked(segment_id)
+            self.stats.compactions += 1
+            self.stats.compaction_reclaimed_bytes += reclaimed
+            self.stats.tombstones_carried += carried
+            if interrupt is not None:
+                interrupt("unlink")
+            return CompactionResult(segment_id, target, relocated, carried, reclaimed)
+
+    def segment_report(self) -> Dict[str, int]:
+        """Aggregate live/dead occupancy across segments (for health)."""
+        with self._lock:
+            live_records = sum(s.live_records for s in self._segments.values())
+            dead_bytes = sum(s.dead_bytes for s in self._segments.values())
+            total_bytes = sum(s.size for s in self._segments.values())
+            return {
+                "segments": len(self._segments),
+                "live_records": live_records,
+                "tombstones": sum(s.tombstones for s in self._segments.values()),
+                "total_bytes": total_bytes,
+                "dead_bytes": dead_bytes,
+                "live_bytes": max(0, total_bytes - dead_bytes),
+            }
 
     # -- scan ----------------------------------------------------------------
     def scan(self) -> Tuple[List[ScannedRecord], List[TornRecord]]:
@@ -501,6 +688,12 @@ class PackManager:
             self._segments.clear()
             self._pending.clear()
             self._pending_payload.clear()
+            # Abandoned compaction staging files (crash before the atomic
+            # swap) are garbage by construction: the source segment is
+            # still whole, so the half-copy carries no unique data.
+            for stale in self.directory.glob(f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}{COMPACT_SUFFIX}"):
+                stale.unlink(missing_ok=True)
+                self._fs_note(FS_DELETE)
             max_id = -1
             for path in sorted(self.directory.glob(f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}")):
                 stem = path.name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)]
@@ -526,6 +719,7 @@ class PackManager:
                     size=good_end,
                     flushed=good_end,
                     live_records=len(seg_records),
+                    tombstones=sum(1 for r in seg_records if r.tombstone),
                 )
                 self._segments[segment_id] = segment
                 if not seg_records and good_end == 0:

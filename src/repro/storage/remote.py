@@ -51,6 +51,7 @@ class RemoteStore(ObjectStore):
         self.retry = retry if retry is not None else RetryPolicy()
         self.fault_schedule = fault_schedule
         self.retries = 0
+        self.dead_letters = 0
         seed = getattr(fault_schedule, "seed", 0)
         self._retry_rng = random.Random(f"remote-retry|{seed}")
 
@@ -66,9 +67,16 @@ class RemoteStore(ObjectStore):
             self._inject("remote.get", key)
             return ObjectStore.get(self, key)
 
-        data = call_with_retries(
-            attempt, self.retry, _RETRYABLE, self._retry_rng, self._count_retry
-        )
+        try:
+            data = call_with_retries(
+                attempt, self.retry, _RETRYABLE, self._retry_rng, self._count_retry
+            )
+        except _RETRYABLE:
+            # Retry budget exhausted: the operation is dead-lettered so
+            # the engine's failure ledger can see storage-layer giving-up
+            # (previously invisible — callers only saw the exception).
+            self.dead_letters += 1
+            raise
         if data is not None:
             self.bytes_downloaded += len(data)
         return data
@@ -78,9 +86,13 @@ class RemoteStore(ObjectStore):
             self._inject("remote.put", key)
             return ObjectStore.put(self, key, data)
 
-        written = call_with_retries(
-            attempt, self.retry, _RETRYABLE, self._retry_rng, self._count_retry
-        )
+        try:
+            written = call_with_retries(
+                attempt, self.retry, _RETRYABLE, self._retry_rng, self._count_retry
+            )
+        except _RETRYABLE:
+            self.dead_letters += 1
+            raise
         self.bytes_uploaded += written
         return written
 

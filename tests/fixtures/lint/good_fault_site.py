@@ -13,3 +13,15 @@ def by_literal():
 
 def by_schedule(schedule):
     schedule.apply("store.put", "key")
+
+
+def tier_sites(schedule):
+    # The tiered-storage and compaction sites are registered too.
+    schedule.apply("tier.demote", "key")
+    schedule.apply("tier.promote", "key")
+    schedule.apply("tier.repair", "key")
+    schedule.apply("pack.compact", "seg-1")
+
+
+def tier_spec():
+    return FaultSpec(kind="tier-down", site="remote.put", at_count=1, down_for=4)

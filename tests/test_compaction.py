@@ -1,0 +1,303 @@
+"""Crash-safe pack compaction: the copy/fsync/swap/unlink protocol.
+
+Compaction rewrites a sealed tombstoned segment without its dead bytes:
+copy live records to a staging file outside the scan glob, fsync, swap
+atomically into place, unlink the source.  The protocol's claim is that
+a crash at *any* point — including a torn staging write cut at an
+arbitrary byte offset — never loses a live uncorrupted record and never
+resurrects a deleted key: whichever side of the swap survives, the next
+scan adopts a consistent state and the compaction is restartable.
+
+The hypothesis properties here drive random put/delete workloads over
+small segments so compaction has real work to do, then crash it at every
+stage (and every staging-file byte offset hypothesis cares to cut at)
+and reopen from disk.
+"""
+
+import itertools
+import os
+import zlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import SITE_PACK_COMPACT, FaultSchedule, FaultSpec
+from repro.storage.local import LocalStore
+from repro.storage.objectstore import TransientStorageError
+from repro.storage.packs import COMPACT_SUFFIX, PackManager
+
+SEED = int(os.environ.get("FAULT_SEED", "0"))
+
+STAGES = ("copy", "fsync", "swap", "unlink")
+
+# Each hypothesis example gets a fresh subdirectory of the (function
+# scoped, reused across examples) tmp_path.
+_case = itertools.count()
+
+
+def crc(data: bytes) -> int:
+    return zlib.crc32(data)
+
+
+def mkstore(root, segment_bytes=192):
+    # Tiny segments so a handful of records spans several sealed
+    # segments and compaction has real work to do.
+    return LocalStore(
+        10**8, root=root, pack_threshold=1 << 20, pack_segment_bytes=segment_bytes
+    )
+
+
+class SimulatedCrash(Exception):
+    """Raised from the interrupt hook to model dying mid-compaction."""
+
+
+def payload_for(key: str, version: int) -> bytes:
+    return f"{key}-v{version}:".encode() * (4 + version)
+
+
+def apply_ops(store, ops):
+    """Drive a put/delete workload; return (live dict, deleted set)."""
+    live = {}
+    for key, version in ops:
+        if version == 0:
+            store.delete(key)
+            live.pop(key, None)
+        else:
+            data = payload_for(key, version)
+            store.put(key, data)
+            live[key] = data
+    store.flush()
+    deleted = {key for key, _ in ops if key not in live}
+    return live, deleted
+
+
+KEYS = [f"k{i}" for i in range(6)]
+# version 0 = delete; otherwise a distinct payload per version so
+# overwrites are byte-distinguishable.
+OPS = st.lists(
+    st.tuples(st.sampled_from(KEYS), st.integers(min_value=0, max_value=3)),
+    min_size=1,
+    max_size=24,
+)
+
+PROPERTY_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+# -- property: scan is idempotent --------------------------------------------
+
+
+@given(ops=OPS)
+@PROPERTY_SETTINGS
+def test_pack_scan_is_idempotent(tmp_path, ops):
+    """scan() twice — and from a fresh manager — yields identical records."""
+    root = tmp_path / f"scan-{next(_case)}"
+    packs = PackManager(root, segment_bytes=128)
+    for key, version in ops:
+        if version == 0:
+            packs.append_tombstone(key)
+        else:
+            data = payload_for(key, version)
+            packs.append(key, data, crc(data))
+    packs.flush()
+
+    def snapshot(manager):
+        records, torn = manager.scan()
+        return [(r.key, r.checksum, r.tombstone, r.location) for r in records], torn
+
+    first, torn1 = snapshot(packs)
+    second, torn2 = snapshot(packs)
+    assert first == second
+    assert torn1 == torn2 == []
+    third, _ = snapshot(PackManager(root, segment_bytes=128))
+    assert third == first
+
+
+# -- property: crashed compaction never loses a live record ------------------
+
+
+@given(
+    ops=OPS,
+    stage=st.sampled_from(STAGES),
+    cut=st.integers(min_value=0, max_value=10**6),
+)
+@PROPERTY_SETTINGS
+def test_compaction_crash_never_loses_a_live_record(tmp_path, ops, stage, cut):
+    """Crash at any stage + torn staging at any byte offset: no data loss.
+
+    After the crash the staging file (when one exists) is truncated at
+    an arbitrary hypothesis-chosen offset — the on-disk state a real
+    power cut leaves behind.  A fresh store over the directory must see
+    exactly the live key set with exact bytes, deleted keys must stay
+    deleted, and re-running compaction to completion must preserve both.
+    """
+    root = tmp_path / f"crash-{next(_case)}"
+    store = mkstore(root)
+    live, deleted = apply_ops(store, ops)
+
+    def boom(reached):
+        if reached == stage:
+            raise SimulatedCrash(reached)
+
+    try:
+        store.compact_packs(interrupt=boom)
+    except SimulatedCrash:
+        pass
+    store.close()
+
+    # Tear the half-written staging file at an arbitrary byte offset.
+    for staging in root.rglob(f"*{COMPACT_SUFFIX}"):
+        size = staging.stat().st_size
+        os.truncate(staging, cut % (size + 1))
+
+    fresh = mkstore(root)
+    assert fresh.quarantined == []
+    for key, data in live.items():
+        assert fresh.get(key) == data, (key, stage)
+    for key in deleted:
+        assert key not in fresh
+        assert fresh.get(key) is None
+    # Abandoned staging files are garbage-collected by the scan.
+    assert list(root.rglob(f"*{COMPACT_SUFFIX}")) == []
+
+    # The compaction is restartable: run it to completion and restart.
+    fresh.compact_packs()
+    fresh.close()
+    final = mkstore(root)
+    for key, data in live.items():
+        assert final.get(key) == data, (key, stage)
+    for key in deleted:
+        assert key not in final
+
+
+# -- deterministic stage-by-stage coverage -----------------------------------
+
+
+@pytest.mark.parametrize("stage", STAGES)
+def test_compaction_crash_at_each_stage_recovers(tmp_path, stage):
+    """A fixed workload crashed at each named protocol step."""
+    root = tmp_path / "cache"
+    store = mkstore(root)
+    for i in range(12):
+        store.put(f"k{i}", payload_for(f"k{i}", 1))
+    for i in range(0, 12, 2):
+        store.put(f"k{i}", payload_for(f"k{i}", 2))  # dead first versions
+    for i in (1, 3, 5):
+        store.delete(f"k{i}")  # tombstones
+    store.flush()
+    expected = {
+        f"k{i}": payload_for(f"k{i}", 2 if i % 2 == 0 else 1)
+        for i in range(12)
+        if i not in (1, 3, 5)
+    }
+
+    hits = []
+
+    def boom(reached):
+        hits.append(reached)
+        if reached == stage:
+            raise SimulatedCrash(reached)
+
+    with pytest.raises(SimulatedCrash):
+        store.compact_packs(interrupt=boom)
+    assert hits[-1] == stage
+    store.close()
+
+    fresh = mkstore(root)
+    assert {key: fresh.get(key) for key in expected} == expected
+    for i in (1, 3, 5):
+        assert f"k{i}" not in fresh
+    summary = fresh.compact_packs()
+    assert summary["segments_compacted"] >= 1
+    assert {key: fresh.get(key) for key in expected} == expected
+
+
+def test_compaction_reclaims_dead_bytes_and_relocates(tmp_path):
+    store = mkstore(tmp_path / "cache")
+    for i in range(10):
+        store.put(f"k{i}", payload_for(f"k{i}", 1))
+    for i in range(10):
+        store.put(f"k{i}", payload_for(f"k{i}", 3))  # every v1 now dead
+    store.delete("k9")
+    store.flush()
+    before = store.pack_info()
+    assert before["dead_bytes"] > 0
+    summary = store.compact_packs()
+    assert summary["segments_compacted"] >= 1
+    assert summary["bytes_reclaimed"] > 0
+    assert summary["keys_relocated"] >= 1
+    after = store.pack_info()
+    assert after["total_bytes"] < before["total_bytes"]
+    for i in range(9):
+        assert store.get(f"k{i}") == payload_for(f"k{i}", 3)
+    assert "k9" not in store
+
+
+def test_overwrite_after_compaction_wins_at_rescan(tmp_path):
+    """Appends are re-pointed past the compacted segment id, so a put
+    *after* compaction still orders last under scan's
+    last-occurrence-wins rule."""
+    root = tmp_path / "cache"
+    store = mkstore(root)
+    for i in range(8):
+        store.put(f"k{i}", payload_for(f"k{i}", 1))
+    store.delete("k0")
+    store.flush()
+    store.compact_packs()
+    store.put("k1", payload_for("k1", 3))
+    store.flush()
+    store.close()
+    fresh = mkstore(root)
+    assert fresh.get("k1") == payload_for("k1", 3)
+    assert "k0" not in fresh
+
+
+def test_fully_dead_segment_with_tombstones_does_not_resurrect(tmp_path):
+    """A segment holding only tombstones cannot simply be unlinked: its
+    markers guard deleted keys whose stale records live in *earlier*
+    segments.  Compaction must carry them forward."""
+    root = tmp_path / "cache"
+    store = mkstore(root, segment_bytes=64)  # ~1 record per segment
+    store.put("a", payload_for("a", 1))
+    store.put("b", payload_for("b", 1))
+    store.flush()
+    store.delete("a")
+    store.delete("b")
+    store.flush()
+    summary = store.compact_packs()
+    assert summary["tombstones_carried"] >= 1 or summary["segments_compacted"] >= 1
+    store.close()
+    fresh = mkstore(root)
+    assert "a" not in fresh
+    assert "b" not in fresh
+    assert fresh.get("a") is None
+
+
+def test_compaction_pass_respects_transient_fault_site(tmp_path):
+    """An injected ``pack.compact`` transient aborts the pass cleanly
+    before any I/O; the next cycle retries and succeeds."""
+    schedule = FaultSchedule(
+        seed=SEED,
+        specs=[FaultSpec(kind="transient-error", site=SITE_PACK_COMPACT, at_count=1)],
+    )
+    store = LocalStore(
+        10**8,
+        root=tmp_path / "cache",
+        pack_threshold=1 << 20,
+        pack_segment_bytes=192,
+        fault_schedule=schedule,
+    )
+    for i in range(8):
+        store.put(f"k{i}", payload_for(f"k{i}", 1))
+        store.put(f"k{i}", payload_for(f"k{i}", 2))
+    store.flush()
+    with pytest.raises(TransientStorageError):
+        store.compact_packs()
+    summary = store.compact_packs()  # at_count consumed: retry lands
+    assert summary["segments_compacted"] >= 1
+    for i in range(8):
+        assert store.get(f"k{i}") == payload_for(f"k{i}", 2)

@@ -74,6 +74,7 @@ def dataset():
 
 
 @pytest.mark.faults
+@pytest.mark.soak
 def test_crash_damage_recover_soak(dataset, tmp_path):
     cfg = make_config()
     plan = build_plan_window([cfg], dataset, 0, 2, seed=5)

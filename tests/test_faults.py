@@ -8,6 +8,7 @@ byte-identical to a fault-free run.
 """
 
 import os
+import shutil
 
 import numpy as np
 import pytest
@@ -18,11 +19,15 @@ from repro.core import (
     build_plan_window,
     load_task_config,
     prune_plan,
+    read_checkpoint,
+    recover,
+    write_checkpoint,
 )
 from repro.datasets import DatasetSpec, SyntheticDataset
 from repro.faults import (
     SITE_DECODE,
     SITE_ENGINE_JOB,
+    SITE_REMOTE_PUT,
     SITE_STORE_GET,
     SITE_STORE_PUT,
     FaultSchedule,
@@ -34,7 +39,7 @@ from repro.faults import (
     TransientStorageError,
     TransientVfsError,
 )
-from repro.storage import RetryPolicy, call_with_retries
+from repro.storage import RetryPolicy, TieredStore, call_with_retries
 from repro.storage.blobs import BlobError, decode_array
 from repro.storage.local import LocalStore
 from repro.storage.objectstore import CorruptObjectError, ObjectStore
@@ -139,6 +144,26 @@ def test_at_count_fires_exactly_once():
     schedule = FaultSchedule(seed=SEED, specs=[spec])
     fired = [bool(schedule.draw(SITE_STORE_PUT, f"k{i}")) for i in range(6)]
     assert fired == [False, False, True, False, False, False]
+
+
+def test_tier_down_spec_is_positional():
+    with pytest.raises(ValueError, match="positional"):
+        FaultSpec(kind="tier-down", site=SITE_REMOTE_PUT, rate=0.5)
+    with pytest.raises(ValueError, match="down_for"):
+        FaultSpec(kind="tier-down", site=SITE_REMOTE_PUT, at_count=1, down_for=0)
+
+
+def test_tier_down_window_fires_for_exactly_down_for_operations():
+    spec = FaultSpec(kind="tier-down", site=SITE_REMOTE_PUT, at_count=3, down_for=4)
+    schedule = FaultSchedule(seed=SEED, specs=[spec])
+    fired = [bool(schedule.draw(SITE_REMOTE_PUT, f"k{i}")) for i in range(10)]
+    assert fired == [False, False, True, True, True, True, False, False, False, False]
+    # apply() surfaces the window as a retryable outage.
+    other = FaultSchedule(seed=SEED, specs=[spec])
+    other.draw(SITE_REMOTE_PUT)
+    other.draw(SITE_REMOTE_PUT)
+    with pytest.raises(TransientStorageError):
+        other.apply(SITE_REMOTE_PUT, "k")
 
 
 def test_max_fires_caps_a_spec():
@@ -477,6 +502,127 @@ def test_epoch_under_faults_is_byte_identical_to_fault_free_run(dataset, plan):
     )
     assert transient_fires > 0
     assert stats.batches_served == len(plan.batches)
+
+
+class _CompactionCrash(Exception):
+    pass
+
+
+@pytest.mark.soak
+def test_tiered_epoch_survives_tier_outage_compaction_crash_and_tier_loss(
+    dataset, plan, tmp_path
+):
+    """The tiered capstone: the robustness claim end-to-end.
+
+    A full epoch runs through a k=2 tiered store while (a) the remote
+    tier is *down* for a window of operations mid-materialization, (b) a
+    pack compaction is crashed between swap and unlink, (c) 5% transient
+    faults hit every cache read, and (d) one worker crashes.  The epoch
+    must still be byte-identical to a fault-free run.  Then the entire
+    hot tier is destroyed: because repair restored k=2 before the loss,
+    the S5.5 restart recovers every object by copy — zero frames
+    re-decoded.  (Write-side transients are covered by the single-store
+    capstone above; here puts stay clean so replication accounting is
+    exact.)
+    """
+    schedule = FaultSchedule(
+        seed=SEED,
+        specs=[
+            FaultSpec(kind="transient-error", site=SITE_STORE_GET, rate=0.05),
+            FaultSpec(kind="crash", site=SITE_ENGINE_JOB, at_count=2, max_fires=1),
+            # Remote tier unreachable for put occurrences 2-9: with a
+            # 4-attempt retry budget, exactly puts #2 and #3 dead-letter.
+            FaultSpec(kind="tier-down", site=SITE_REMOTE_PUT, at_count=2, down_for=8),
+        ],
+    )
+    local = LocalStore(
+        10**8, root=tmp_path / "hot", pack_threshold=1 << 20, pack_segment_bytes=8192
+    )
+    remote = RemoteStore(
+        10**9, root=tmp_path / "warm", retry=FAST_RETRY, fault_schedule=schedule
+    )
+    tiered = TieredStore(local, remote, fault_schedule=schedule)
+    faulty = FaultyStore(tiered, schedule)
+    cache = CacheManager(faulty)
+    pruning = prune_plan(plan, plan.total_cached_bytes() * 1.01)
+    cache.register_plan(plan, pruning)
+    engine = PreprocessingEngine(
+        plan,
+        dataset,
+        pruning=pruning,
+        cache=cache,
+        num_workers=2,
+        fault_schedule=schedule,
+        retry_policy=FAST_RETRY,
+    )
+    with engine:
+        engine.drain()
+        # The outage window hit exactly two replications (see schedule).
+        assert tiered.tier_stats.replication_failures == 2
+        assert remote.dead_letters == 2
+        assert len(tiered.under_replicated()) == 2
+        # Background repair restores k=2 now that the tier is back.
+        assert tiered.repair_scan()["repaired"] == 2
+        assert tiered.under_replicated() == []
+
+        # Seed dead pack bytes, then crash compaction after the swap;
+        # the restarted pass must finish the job.
+        for i in range(6):
+            tiered.put(f"scratch-{i}", bytes([i]) * 3000)
+        for i in range(6):
+            tiered.delete(f"scratch-{i}")
+        tiered.flush()
+
+        def crash_after_swap(stage):
+            if stage == "swap":
+                raise _CompactionCrash(stage)
+
+        with pytest.raises(_CompactionCrash):
+            tiered.compact_packs(interrupt=crash_after_swap)
+        assert tiered.compact_packs()["segments_compacted"] >= 1
+
+        # Serve the epoch under the 5% read faults, against fault-free.
+        for vid in plan.graphs:
+            engine._materializer(vid).release_all()
+        reference = PreprocessingEngine(plan, dataset, num_workers=0)
+        for (task, epoch, iteration) in sorted(plan.batches):
+            batch, _ = engine.get_batch(task, epoch, iteration)
+            expected, _ = reference.get_batch(task, epoch, iteration)
+            assert np.array_equal(batch, expected), (task, epoch, iteration)
+
+        manifest_path = write_checkpoint(tmp_path, plan, pruning, seed=5)
+
+    assert engine.stats.worker_crashes == 1
+    assert engine.stats.batches_served == len(plan.batches)
+    fired = schedule.fire_counts()
+    assert fired["remote.put:tier-down"] == 8
+    # The storage failure ledger made it up into the engine stats.
+    storage = engine.stats.traffic_report()["storage"]
+    assert storage["remote_dead_letters"] == 2
+    assert storage["repairs"] == 2
+    tiered.close()
+
+    # -- the entire hot tier dies; recovery is by copy, not recompute ----
+    shutil.rmtree(tmp_path / "hot")
+    fresh = TieredStore(
+        LocalStore(10**8, root=tmp_path / "hot", pack_threshold=1 << 20),
+        RemoteStore(10**9, root=tmp_path / "warm", retry=FAST_RETRY),
+    )
+    report = recover(read_checkpoint(manifest_path), fresh)
+    assert report.missing_count == 0  # k=2 survived the tier loss
+    assert fresh.tier_stats.replica_losses == 0
+
+    fresh_cache = CacheManager(fresh)
+    fresh_cache.register_plan(plan, pruning)
+    engine2 = PreprocessingEngine(
+        plan, dataset, pruning=pruning, cache=fresh_cache, num_workers=0
+    )
+    reference = PreprocessingEngine(plan, dataset, num_workers=0)
+    for (task, epoch, iteration) in sorted(plan.batches):
+        batch, _ = engine2.get_batch(task, epoch, iteration)
+        expected, _ = reference.get_batch(task, epoch, iteration)
+        assert np.array_equal(batch, expected), (task, epoch, iteration)
+    assert engine2.stats.frames_decoded == 0  # recomputed == 0
 
 
 def test_fused_engine_under_faults_matches_unfused_fault_free_run(dataset, plan):
