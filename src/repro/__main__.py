@@ -30,6 +30,16 @@ def main(argv=None) -> int:
         help="print the service status report (per-tier bytes, segment "
              "live/dead ratios, replication health) as JSON after the run",
     )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="serve batches over the async data plane (unix-domain socket, "
+             "binary wire protocol) to --trainers concurrent clients "
+             "instead of reading through the POSIX facade",
+    )
+    parser.add_argument(
+        "--trainers", type=int, default=4,
+        help="concurrent trainer connections in --serve mode",
+    )
     args = parser.parse_args(argv)
 
     from repro import SandClient, load_task_config, __version__
@@ -71,6 +81,12 @@ def main(argv=None) -> int:
         k_epochs=max(1, args.epochs), num_workers=1, seed=args.seed,
         **service_kwargs,
     )
+    if args.serve:
+        try:
+            return _serve_demo(service, args)
+        finally:
+            service.shutdown()
+
     try:
         ctrl = client.begin_task("demo")
         iters = service.iterations_per_epoch("demo")
@@ -99,6 +115,61 @@ def main(argv=None) -> int:
             print(json.dumps(service.status(), indent=2, default=str))
     finally:
         service.shutdown()
+    print("OK")
+    return 0
+
+
+def _serve_demo(service, args) -> int:
+    """--serve: async data plane over a unix socket, N trainer threads."""
+    import json
+    import tempfile
+    import threading
+    from pathlib import Path
+
+    from repro.core.dataplane import BatchSocketClient
+
+    iters = service.iterations_per_epoch("demo")
+    trainers = max(1, args.trainers)
+    with tempfile.TemporaryDirectory() as tmp:
+        unix_path = str(Path(tmp) / "sand.sock")
+        server = service.serve_async(unix_path=unix_path)
+        server.start_background()
+        print(f"  async data plane listening on {unix_path} "
+              f"({trainers} trainers)")
+        errors = []
+
+        def trainer(rank: int) -> None:
+            try:
+                with BatchSocketClient(unix_path) as cli:
+                    for epoch in range(args.epochs):
+                        for iteration in range(rank, iters, trainers):
+                            batch, md = cli.get_batch_with_retry(
+                                "demo", epoch, iteration
+                            )
+                            assert batch.nbytes > 0 and md["task"] == "demo"
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(f"trainer {rank}: {exc}")
+
+        threads = [
+            threading.Thread(target=trainer, args=(rank,), daemon=True)
+            for rank in range(trainers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Shut down first: disconnect handling releases any lease still
+        # pending its final ACK, so the report below shows a drained pool.
+        server.shutdown()
+        report = service.dataplane_report()
+        report["server"] = server.report()
+        for line in errors:
+            print(f"  ERROR {line}", file=sys.stderr)
+        print(f"  served {args.epochs * iters} batches to {trainers} "
+              f"concurrent trainers over the wire protocol")
+        print(json.dumps(report, indent=2, default=str))
+    if errors:
+        return 1
     print("OK")
     return 0
 

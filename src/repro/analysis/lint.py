@@ -119,6 +119,9 @@ def default_policy() -> Policy:
             "unseeded-rng": PathRule(include=DETERMINISTIC_MODULES),
             "wall-clock": PathRule(include=DETERMINISTIC_MODULES),
             "raw-lock": PathRule(exclude=(BLESSED_LOCK_MODULE,)),
+            "no-unpooled-send": PathRule(
+                include=("repro/core/dataplane", "repro/core/wire")
+            ),
         }
     )
 

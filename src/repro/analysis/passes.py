@@ -19,6 +19,10 @@ Each pass guards one invariant the test suite can only spot-check:
 ``unregistered-fault-site``  fault-site string literals not registered in
                           ``repro.faults.schedule`` (the schedule can only
                           replay sites it knows about)
+``no-unpooled-send``      payload copies or pickling on the zero-copy
+                          delivery path (``bytes(...)``, ``.tobytes()``,
+                          ``pickle``/``marshal`` inside the wire/dataplane
+                          modules defeat pooled memoryview sends)
 ========================  ====================================================
 """
 
@@ -497,3 +501,57 @@ class FaultSitePass(LintPass):
                         f"fault site {site!r} is not registered in "
                         "repro.faults.schedule (KNOWN_SITES / register_site)",
                     )
+
+
+# -- zero-copy delivery ------------------------------------------------------
+
+# Serialization entry points that always materialize an owned copy of
+# the payload.  Pickle is additionally an isolation hazard: the data
+# plane promises trainers a language-agnostic, pickle-free wire format.
+_COPYING_SERIALIZERS = {
+    "pickle.dumps",
+    "pickle.dump",
+    "pickle.loads",
+    "pickle.load",
+    "marshal.dumps",
+    "marshal.dump",
+    "marshal.loads",
+    "marshal.load",
+}
+
+
+@register_pass
+class UnpooledSendPass(LintPass):
+    pass_id = "no-unpooled-send"
+    description = "payload copies or pickling on the zero-copy delivery path"
+
+    def run(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        aliases = _collect_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _canonical(node.func, aliases)
+            if target == "bytes" and (node.args or node.keywords):
+                yield self.finding(
+                    path,
+                    node,
+                    "bytes(...) copies the payload into an owned buffer; "
+                    "send a memoryview of the pooled buffer instead",
+                )
+            elif target in _COPYING_SERIALIZERS:
+                yield self.finding(
+                    path,
+                    node,
+                    f"{target}() on the delivery path: the wire format is "
+                    "pickle-free by contract (raw descriptor + buffer)",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "tobytes"
+            ):
+                yield self.finding(
+                    path,
+                    node,
+                    ".tobytes() materializes a copy of the array; use "
+                    'memoryview(array).cast("B") for zero-copy sends',
+                )

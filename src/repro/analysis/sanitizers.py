@@ -115,6 +115,23 @@ class BufferSanitizer:
             self._violations.extend(fresh)
             return fresh
 
+    def release_region(self, array: np.ndarray) -> int:
+        """Drop (without verifying) sentinels overlapping ``array``.
+
+        Called when a pooled delivery buffer returns to its pool: the
+        batch slots guarded inside it are about to be legitimately
+        rewritten by the next lease, so their write-after-share
+        sentinels must not outlive the share.  Returns the number of
+        sentinels dropped.
+        """
+        with self._mutex:
+            dropped = 0
+            for key, (guarded, _label, _crc) in list(self._sentinels.items()):
+                if np.may_share_memory(guarded, array):
+                    del self._sentinels[key]
+                    dropped += 1
+            return dropped
+
     # -- leaks ----------------------------------------------------------------
     def note_leak(self, message: str) -> None:
         with self._mutex:

@@ -75,6 +75,13 @@ class TrafficLedger:
     # re-running its augmentation chain, and the augment passes elided.
     reused_slots: int = 0
     augment_passes_skipped: int = 0
+    # Trainer-boundary delivery: bytes copied handing a finished batch
+    # to a consumer (VFS blob encoding, socket sends).  The in-process
+    # lease path charges nothing — the trainer reads the pooled buffer
+    # the fused epilogue wrote.  Rolled into ``bytes_copied`` so the
+    # ledger is end-to-end truthful.
+    delivery_passes: int = 0
+    delivery_bytes_copied: int = 0
 
     def charge(self, nbytes: int, allocated: bool = True) -> None:
         """One full-clip pass producing ``nbytes`` of output."""
@@ -95,6 +102,18 @@ class TrafficLedger:
         self.reused_slots += 1
         self.augment_passes_skipped += passes_skipped
 
+    def note_delivery(self, nbytes: int) -> None:
+        """One trainer-boundary delivery copy of ``nbytes``.
+
+        Charged where a finished batch's bytes are duplicated for a
+        consumer (blob encoding for the VFS, a socket write for remote
+        trainers); the in-process lease path delivers the assembly
+        buffer itself and charges nothing.
+        """
+        self.delivery_passes += 1
+        self.delivery_bytes_copied += nbytes
+        self.bytes_copied += nbytes
+
     def add(self, other: "TrafficLedger") -> None:
         self.clip_passes += other.clip_passes
         self.bytes_allocated += other.bytes_allocated
@@ -103,6 +122,8 @@ class TrafficLedger:
         self.identity_skips += other.identity_skips
         self.reused_slots += other.reused_slots
         self.augment_passes_skipped += other.augment_passes_skipped
+        self.delivery_passes += other.delivery_passes
+        self.delivery_bytes_copied += other.delivery_bytes_copied
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -113,6 +134,8 @@ class TrafficLedger:
             "identity_skips": self.identity_skips,
             "reused_slots": self.reused_slots,
             "augment_passes_skipped": self.augment_passes_skipped,
+            "delivery_passes": self.delivery_passes,
+            "delivery_bytes_copied": self.delivery_bytes_copied,
         }
 
 

@@ -4,21 +4,32 @@
     custom functions to be executed in separate processes."
 
 :class:`RpcAugmentService` spawns a worker subprocess (``python -m
-repro.augment.rpc``) and ships it op invocations over a length-prefixed
-pickle protocol on stdin/stdout.  :class:`RemoteOp` is an
-:class:`~repro.augment.ops.AugmentOp` whose :meth:`apply` delegates to the
-service, so external-library transforms plug into pipelines without
-loading their dependencies into the SAND service process.
+repro.augment.rpc``) and ships it op invocations over the SAND wire
+protocol (:mod:`repro.core.wire`) on stdin/stdout: CRC-guarded frame
+headers, an explicit version handshake, and a hard payload ceiling.
+:class:`RemoteOp` is an :class:`~repro.augment.ops.AugmentOp` whose
+:meth:`apply` delegates to the service, so external-library transforms
+plug into pipelines without loading their dependencies into the SAND
+service process.
 
 The worker imports ops by dotted path (``package.module:ClassName``), so
 a custom op only needs to be importable in the *worker's* environment.
+
+Protocol: on startup the worker emits a ``HELLO`` frame carrying
+``{"rpc_version": RPC_VERSION}``; the client validates it before the
+first call, so version skew fails loudly at :meth:`start` instead of as
+a garbled pickle mid-run.  Requests travel as ``RPC_REQUEST`` frames and
+replies as ``RPC_RESPONSE`` frames, both with pickled bodies (clips
+cross a trusted process boundary we spawned ourselves).  The previous
+ad-hoc ``"<I"`` length prefix silently wrapped at 4 GiB and surfaced as
+an opaque ``struct.error``; oversized payloads now raise
+:class:`RpcError` naming the limit on the *sending* side.
 """
 
 from __future__ import annotations
 
 import importlib
 import pickle
-import struct
 import subprocess
 import sys
 from typing import Any, BinaryIO, Dict, Optional, Tuple
@@ -27,30 +38,50 @@ import numpy as np
 
 from repro.analysis.locks import make_lock
 from repro.augment.ops import AugmentOp, Params
+from repro.core import wire
+from repro.core.wire import FrameType, FrameTooLargeError, WireEOFError, WireError
 
-_LEN_FMT = "<I"
-_LEN_SIZE = struct.calcsize(_LEN_FMT)
+RPC_VERSION = 2
+
+# Augment clips are orders of magnitude smaller than batches; cap RPC
+# frames well below the data-plane ceiling so a runaway payload fails
+# fast on the sender.
+DEFAULT_RPC_MAX_PAYLOAD = 256 * 1024 * 1024
 
 
 class RpcError(RuntimeError):
     """Raised when the worker fails or returns an error response."""
 
 
-def _write_msg(stream: BinaryIO, obj: Any) -> None:
+def _write_msg(
+    stream: BinaryIO,
+    ftype: FrameType,
+    obj: Any,
+    max_payload: int = DEFAULT_RPC_MAX_PAYLOAD,
+) -> None:
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    stream.write(struct.pack(_LEN_FMT, len(payload)))
-    stream.write(payload)
-    stream.flush()
+    try:
+        wire.write_frame(stream, ftype, payload, max_payload=max_payload)
+    except FrameTooLargeError as exc:
+        raise RpcError(
+            f"RPC payload is {len(payload)} bytes, over the {max_payload}-byte "
+            f"limit; split the clip or raise max_payload"
+        ) from exc
 
 
-def _read_msg(stream: BinaryIO) -> Any:
-    header = stream.read(_LEN_SIZE)
-    if len(header) < _LEN_SIZE:
-        raise RpcError("worker closed the connection")
-    (length,) = struct.unpack(_LEN_FMT, header)
-    payload = stream.read(length)
-    if len(payload) < length:
-        raise RpcError("truncated message from worker")
+def _read_msg(
+    stream: BinaryIO,
+    expected: FrameType,
+    max_payload: int = DEFAULT_RPC_MAX_PAYLOAD,
+) -> Any:
+    try:
+        ftype, payload = wire.read_frame(stream, max_payload=max_payload)
+    except WireEOFError as exc:
+        raise RpcError("worker closed the connection") from exc
+    except WireError as exc:
+        raise RpcError(f"bad RPC frame: {exc}") from exc
+    if ftype is not expected:
+        raise RpcError(f"expected {expected.name} frame, got {ftype.name}")
     return pickle.loads(payload)
 
 
@@ -67,14 +98,16 @@ def _load_op(dotted_path: str, config: Dict[str, Any]) -> AugmentOp:
 
 def worker_main(stdin: BinaryIO, stdout: BinaryIO) -> None:
     """The worker loop: apply requests until EOF or a ``shutdown``."""
+    stdout.write(wire.json_frame(FrameType.HELLO, {"rpc_version": RPC_VERSION}))
+    stdout.flush()
     op_cache: Dict[Tuple[str, bytes], AugmentOp] = {}
     while True:
         try:
-            request = _read_msg(stdin)
+            request = _read_msg(stdin, FrameType.RPC_REQUEST)
         except RpcError:
             return
         if request.get("method") == "shutdown":
-            _write_msg(stdout, {"ok": True})
+            _write_msg(stdout, FrameType.RPC_RESPONSE, {"ok": True})
             return
         try:
             if request.get("method") != "apply":
@@ -83,27 +116,61 @@ def worker_main(stdin: BinaryIO, stdout: BinaryIO) -> None:
             if key not in op_cache:
                 op_cache[key] = _load_op(request["op_path"], request["config"])
             result = op_cache[key].apply(request["clip"], request["params"])
-            _write_msg(stdout, {"ok": True, "clip": result})
+            _write_msg(stdout, FrameType.RPC_RESPONSE, {"ok": True, "clip": result})
+        except RpcError as exc:
+            _write_msg(stdout, FrameType.RPC_RESPONSE, {"ok": False, "error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - serialized back to client
-            _write_msg(stdout, {"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+            _write_msg(
+                stdout,
+                FrameType.RPC_RESPONSE,
+                {"ok": False, "error": f"{type(exc).__name__}: {exc}"},
+            )
 
 
 class RpcAugmentService:
     """Client side: owns the worker subprocess and serializes calls."""
 
-    def __init__(self, python: Optional[str] = None):
+    def __init__(
+        self,
+        python: Optional[str] = None,
+        max_payload: int = DEFAULT_RPC_MAX_PAYLOAD,
+    ):
         self._python = python or sys.executable
+        self._max_payload = max_payload
         self._proc: Optional[subprocess.Popen] = None
         self._lock = make_lock("augment-rpc")
 
     def start(self) -> None:
         if self._proc is not None:
             return
-        self._proc = subprocess.Popen(
+        proc = subprocess.Popen(
             [self._python, "-m", "repro.augment.rpc"],
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
         )
+        try:
+            ftype, payload = wire.read_frame(
+                proc.stdout, max_payload=self._max_payload
+            )
+            if ftype is not FrameType.HELLO:
+                raise RpcError(f"expected HELLO from worker, got {ftype.name}")
+            hello = wire.parse_json(payload)
+        except WireError as exc:
+            proc.kill()
+            proc.wait(timeout=5)
+            raise RpcError(f"worker handshake failed: {exc}") from exc
+        except RpcError:
+            proc.kill()
+            proc.wait(timeout=5)
+            raise
+        if hello.get("rpc_version") != RPC_VERSION:
+            proc.kill()
+            proc.wait(timeout=5)
+            raise RpcError(
+                f"worker speaks RPC version {hello.get('rpc_version')}, "
+                f"this build speaks {RPC_VERSION}"
+            )
+        self._proc = proc
 
     @property
     def running(self) -> bool:
@@ -122,14 +189,18 @@ class RpcAugmentService:
         with self._lock:
             if self._proc.poll() is not None:
                 raise RpcError("worker process has exited")
-            _write_msg(self._proc.stdin, {
+            _write_msg(self._proc.stdin, FrameType.RPC_REQUEST, {
                 "method": "apply",
                 "op_path": op_path,
                 "config": config,
                 "clip": clip,
                 "params": params,
-            })
-            response = _read_msg(self._proc.stdout)
+            }, max_payload=self._max_payload)
+            response = _read_msg(
+                self._proc.stdout,
+                FrameType.RPC_RESPONSE,
+                max_payload=self._max_payload,
+            )
         if not response.get("ok"):
             raise RpcError(response.get("error", "unknown worker error"))
         return response["clip"]
@@ -141,8 +212,8 @@ class RpcAugmentService:
             proc, self._proc = self._proc, None
         if proc.poll() is None:
             try:
-                _write_msg(proc.stdin, {"method": "shutdown"})
-                _read_msg(proc.stdout)
+                _write_msg(proc.stdin, FrameType.RPC_REQUEST, {"method": "shutdown"})
+                _read_msg(proc.stdout, FrameType.RPC_RESPONSE)
             except (RpcError, OSError, ValueError):
                 pass
             proc.stdin.close()

@@ -20,7 +20,9 @@ The pieces, in dependency order:
 * :mod:`repro.core.service` / :mod:`repro.core.posix` — the SAND service,
   its filesystem provider, and the Table-2 POSIX facade,
 * :mod:`repro.core.recovery` — checkpoint/scan/replan fault tolerance
-  (S5.5).
+  (S5.5),
+* :mod:`repro.core.wire` / :mod:`repro.core.dataplane` — the binary wire
+  protocol and the async zero-copy batch-serving data plane.
 """
 
 from repro.core.config import (
@@ -75,6 +77,15 @@ from repro.core.clairvoyant import (
     oracle_from_accesses,
     oracle_from_plan,
 )
+from repro.core.dataplane import (
+    AsyncBatchServer,
+    BatchLease,
+    BatchServerError,
+    BatchSocketClient,
+    BufferPool,
+    LeasedBatch,
+    LocalClient,
+)
 from repro.core.engine import EngineStats, PreprocessingEngine
 from repro.core.service import SandService
 from repro.core.posix import SandClient, mount_sand
@@ -88,9 +99,14 @@ from repro.core.recovery import (
 
 __all__ = [
     "AbstractViewGraph",
+    "AsyncBatchServer",
     "AugFrameView",
     "BatchAssembly",
+    "BatchLease",
+    "BatchServerError",
+    "BatchSocketClient",
     "BatchView",
+    "BufferPool",
     "CacheManager",
     "ConfigError",
     "EngineStats",
@@ -99,6 +115,8 @@ __all__ = [
     "FrameView",
     "MaterializationPlan",
     "MaterializationScheduler",
+    "LeasedBatch",
+    "LocalClient",
     "MaterializeStats",
     "NextUseOracle",
     "ObjectNode",

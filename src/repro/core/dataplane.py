@@ -1,0 +1,787 @@
+"""The async zero-copy data plane: pooled delivery buffers + event loop.
+
+SAND's delivery path used to end with an owned ``np.ndarray`` per batch:
+assembly allocated it, the trainer kept it, and serving it anywhere else
+meant at least one full copy at the trainer boundary.  This module makes
+delivery a first-class, accounted stage (the QuickVideo-style overlap of
+decode → prefetch → delivery):
+
+* :class:`BufferPool` — reference-counted delivery buffers.  Assembly's
+  fused epilogue writes the final batch bytes straight into a pooled
+  buffer (:class:`BatchLease`); the lease travels through the
+  prefetcher's ready queue, across the socket, or into the trainer's
+  hands, and the buffer returns to the pool when the last holder
+  releases it (client ACK, disconnect, or an explicit ``release``).
+  ``detach`` removes a buffer from the pool permanently — the
+  backward-compatible ``get_batch`` path hands the trainer an owned
+  array that way, with zero extra copies and zero reuse hazards.
+* :class:`AsyncBatchServer` — an asyncio front end serving ``get_batch``
+  to many concurrent trainer connections over a Unix-domain or TCP
+  socket, speaking :mod:`repro.core.wire`.  Batch bytes go out as a
+  ``memoryview`` of the leased buffer via ``loop.sock_sendall`` — no
+  intermediate ``bytes`` materialization, no pickling.  The server holds
+  each connection's lease until the client ACKs (or sends its next
+  request, or disconnects), so a buffer is never recycled while its
+  bytes are still in flight.
+* :class:`LocalClient` / :class:`BatchSocketClient` — the in-process
+  trainer handle (borrows the leased buffer directly: ~0 bytes copied
+  per batch) and the synchronous remote client (receives into one
+  buffer, decodes the array as a zero-copy ``np.frombuffer`` view).
+
+Backpressure rules: the pool never blocks ``acquire`` (assembly pace is
+bounded upstream by the prefetcher's depth and the engine's
+memory-pressure probe, which both count leased bytes), the server
+pipelines at most one outstanding batch per connection, and queued
+leases count toward engine memory accounting exactly as owned arrays
+did.
+
+The latency/wait counters here are observability only (never inputs to
+a scheduling decision), hence the wall-clock lint pragmas.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+import repro.core.wire as wire
+from repro.analysis.locks import make_lock
+from repro.analysis.sanitizers import buffer_sanitizer
+from repro.faults.errors import TransientDecodeError
+from repro.storage.objectstore import TransientStorageError
+
+Address = Union[str, Tuple[str, int]]
+
+# Failures a client can retry: a fresh attempt re-runs the engine's own
+# bounded retry loop against a transient fault.  Anything else is a hard
+# bug and must surface as such.
+_RETRYABLE = (TransientStorageError, TransientDecodeError)
+
+
+class DataPlaneError(RuntimeError):
+    """Misuse of the data plane (lease lifecycle, bad requests)."""
+
+
+class BatchServerError(DataPlaneError):
+    """A wire-level ERR frame, surfaced client-side.
+
+    ``retryable`` mirrors the server's classification: transient
+    storage/decode faults that a fresh ``get_batch`` may outlive.
+    """
+
+    def __init__(self, message: str, retryable: bool = False):
+        super().__init__(message)
+        self.retryable = retryable
+
+
+# -- buffer pool -------------------------------------------------------------
+
+
+class BatchLease:
+    """One delivery buffer checked out of a :class:`BufferPool`.
+
+    Reference-counted: every additional holder calls :meth:`retain`,
+    every holder calls :meth:`release`, and the buffer re-enters the
+    pool's free list when the count hits zero.  :meth:`detach`
+    permanently removes the buffer from the pool (the owned-array
+    compatibility path); after a detach, releases are no-ops.
+    """
+
+    __slots__ = ("_pool", "array", "_refs", "_detached")
+
+    def __init__(self, pool: "BufferPool", array: np.ndarray):
+        self._pool = pool
+        self.array = array
+        self._refs = 1
+        self._detached = False
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    def retain(self) -> "BatchLease":
+        with self._pool._lock:
+            if self._refs <= 0:
+                raise DataPlaneError("retain() after the lease was fully released")
+            self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference (idempotent past zero)."""
+        pool = self._pool
+        with pool._lock:
+            if self._refs <= 0:
+                return
+            self._refs -= 1
+            last = self._refs == 0 and not self._detached
+        if last:
+            pool._reclaim(self.array)
+
+    def detach(self) -> np.ndarray:
+        """Take the buffer out of the pool for good and return it."""
+        pool = self._pool
+        with pool._lock:
+            if self._detached:
+                return self.array
+            if self._refs <= 0:
+                raise DataPlaneError("detach() after the lease was fully released")
+            self._detached = True
+            pool._outstanding -= 1
+            pool._detached_count += 1
+        return self.array
+
+    def __enter__(self) -> "BatchLease":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class BufferPool:
+    """Shape/dtype-keyed free lists of delivery buffers.
+
+    ``acquire`` never blocks and never zeroes: the caller overwrites
+    every byte (assembly writes the full batch).  Reuse is bounded per
+    shape so a burst of odd shapes cannot pin memory forever.  All
+    ledger accounting stays *logical* (the engine charges
+    ``bytes_allocated`` per batch exactly as before pooling), so
+    prefetch-on and prefetch-off runs report identical traffic ledgers;
+    physical allocation vs. reuse lives in :meth:`report` instead.
+    """
+
+    def __init__(self, name: str = "delivery", max_free_per_shape: int = 8):
+        self.name = name
+        self.max_free_per_shape = int(max_free_per_shape)
+        self._lock = make_lock(f"dataplane.pool.{name}")
+        self._free: Dict[Tuple[Tuple[int, ...], str], List[np.ndarray]] = {}
+        self._outstanding = 0
+        self._issued = 0
+        self._allocations = 0
+        self._reuses = 0
+        self._returned = 0
+        self._detached_count = 0
+        self._adopted = 0
+        self._wait_ns = 0
+
+    def acquire(self, shape: Tuple[int, ...], dtype: Any) -> BatchLease:
+        """Lease a buffer of ``shape``/``dtype`` (recycled or fresh)."""
+        started = time.perf_counter_ns()  # sandlint: ignore[wall-clock]
+        key = (tuple(int(d) for d in shape), np.dtype(dtype).str)
+        with self._lock:
+            stack = self._free.get(key)
+            array = stack.pop() if stack else None
+            self._issued += 1
+            self._outstanding += 1
+            if array is None:
+                self._allocations += 1
+            else:
+                self._reuses += 1
+        if array is None:
+            array = np.empty(key[0], dtype=np.dtype(dtype))
+        elapsed = time.perf_counter_ns() - started  # sandlint: ignore[wall-clock]
+        with self._lock:
+            self._wait_ns += elapsed
+        return BatchLease(self, array)
+
+    def adopt(self, array: np.ndarray) -> BatchLease:
+        """Wrap a foreign array in a lease (it joins the pool on release)."""
+        with self._lock:
+            self._issued += 1
+            self._outstanding += 1
+            self._adopted += 1
+        return BatchLease(self, np.ascontiguousarray(array))
+
+    def _reclaim(self, array: np.ndarray) -> None:
+        sanitizer = buffer_sanitizer()
+        if sanitizer is not None:
+            # The buffer is about to be legitimately rewritten by its
+            # next lease; drop any write-after-share sentinels guarding
+            # batch slots inside it so reuse is not a false positive.
+            sanitizer.release_region(array)
+        key = (array.shape, array.dtype.str)
+        with self._lock:
+            self._outstanding -= 1
+            self._returned += 1
+            stack = self._free.setdefault(key, [])
+            if len(stack) < self.max_free_per_shape:
+                stack.append(array)
+
+    @property
+    def leases_outstanding(self) -> int:
+        with self._lock:
+            return self._outstanding
+
+    def report(self) -> Dict[str, int]:
+        with self._lock:
+            free = sum(len(stack) for stack in self._free.values())
+            return {
+                "leases_issued": self._issued,
+                "leases_outstanding": self._outstanding,
+                "lease_wait_ns": self._wait_ns,
+                "buffers_allocated": self._allocations,
+                "buffers_reused": self._reuses,
+                "buffers_returned": self._returned,
+                "buffers_detached": self._detached_count,
+                "buffers_adopted": self._adopted,
+                "free_buffers": free,
+            }
+
+    def note_leaks(self) -> None:
+        """Report still-outstanding leases to the leak sanitizer."""
+        sanitizer = buffer_sanitizer()
+        if sanitizer is None:
+            return
+        with self._lock:
+            outstanding = self._outstanding
+        if outstanding:
+            sanitizer.note_leak(
+                f"buffer-pool leak: {outstanding} delivery lease(s) from "
+                f"pool {self.name!r} never released or detached"
+            )
+
+
+# -- in-process client -------------------------------------------------------
+
+
+class LeasedBatch:
+    """What :class:`LocalClient` hands the trainer: array + metadata +
+    the lease keeping the pooled buffer alive.  Release when consumed
+    (context-manager form releases automatically)."""
+
+    __slots__ = ("lease", "metadata")
+
+    def __init__(self, lease: BatchLease, metadata: Dict[str, Any]):
+        self.lease = lease
+        self.metadata = metadata
+
+    @property
+    def array(self) -> np.ndarray:
+        return self.lease.array
+
+    @property
+    def nbytes(self) -> int:
+        return self.lease.nbytes
+
+    def release(self) -> None:
+        self.lease.release()
+
+    def __enter__(self) -> "LeasedBatch":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class LocalClient:
+    """The zero-copy in-process trainer handle.
+
+    Wraps any source exposing ``get_batch_lease`` (engine or service);
+    the trainer reads the batch directly out of the pooled delivery
+    buffer — bytes copied at the trainer boundary: 0.
+    """
+
+    def __init__(self, source: Any):
+        if not hasattr(source, "get_batch_lease"):
+            raise TypeError(
+                f"{type(source).__name__} does not expose get_batch_lease; "
+                "LocalClient needs a lease-aware batch source"
+            )
+        self._source = source
+
+    def get_batch(self, task: str, epoch: int, iteration: int) -> LeasedBatch:
+        lease, metadata = self._source.get_batch_lease(task, epoch, iteration)
+        return LeasedBatch(lease, metadata)
+
+
+# -- async server ------------------------------------------------------------
+
+
+class AsyncBatchServer:
+    """Event-loop front end serving ``get_batch`` over the wire protocol.
+
+    One asyncio task per connection; blocking engine work runs on a
+    bounded executor so many trainers progress concurrently while the
+    loop itself never blocks.  Per connection the protocol is::
+
+        client HELLO  -> server HELLO          (version handshake)
+        client GET_BATCH {task,epoch,iteration}
+        server BATCH (header+meta, memoryview of leased buffer)
+               | ERR {error,message,retryable}
+        client ACK                             (server releases the lease)
+        ...    PING/PONG, STATS any time
+
+    A new GET_BATCH implicitly ACKs the previous batch; disconnect
+    releases whatever is pending.  ``source`` is any object with
+    ``get_batch_lease`` (engine or service); ``note_send`` on the
+    source, when present, receives per-send byte counts for the traffic
+    ledger.
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        unix_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_payload: int = wire.DEFAULT_MAX_PAYLOAD,
+        executor_workers: int = 8,
+    ):
+        if not hasattr(source, "get_batch_lease"):
+            raise TypeError(
+                f"{type(source).__name__} does not expose get_batch_lease"
+            )
+        self._source = source
+        self._unix_path = unix_path
+        self._host = host
+        self._port = int(port)
+        self._max_payload = int(max_payload)
+        self._executor_workers = int(executor_workers)
+        self._sock: Optional[socket.socket] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._accept_task: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
+        self._bg_loop: Optional[asyncio.AbstractEventLoop] = None
+        self._bg_thread: Optional[threading.Thread] = None
+        self.address: Optional[Address] = None
+        self._stats_lock = make_lock("dataplane.server-stats")
+        self._connections = 0
+        self._sends = 0
+        self._bytes_sent = 0
+        self._errs_sent = 0
+        self._acks = 0
+
+    # -- lifecycle (in-loop) -------------------------------------------------
+    async def start(self) -> Address:
+        """Bind, listen, and start accepting on the running loop."""
+        if self._sock is not None:
+            assert self.address is not None
+            return self.address
+        loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._executor_workers,
+            thread_name_prefix="sand-dataplane",
+        )
+        if self._unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(self._unix_path)
+            self.address = self._unix_path
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((self._host, self._port))
+            self.address = sock.getsockname()
+        sock.listen(128)
+        sock.setblocking(False)
+        self._sock = sock
+        self._accept_task = loop.create_task(self._accept_loop())
+        return self.address
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel connections, release everything."""
+        accept, self._accept_task = self._accept_task, None
+        if accept is not None:
+            accept.cancel()
+            try:
+                await accept
+            except asyncio.CancelledError:
+                pass
+        tasks = list(self._conn_tasks)
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            sock.close()
+        if self._unix_path is not None:
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    # -- lifecycle (background thread, for sync callers) ----------------------
+    def start_background(self) -> Address:
+        """Run the server's event loop on a daemon thread; returns the
+        bound address once listening (the sync-test / CLI entry point)."""
+        if self._bg_thread is not None:
+            assert self.address is not None
+            return self.address
+        ready = threading.Event()
+        startup_error: List[BaseException] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._bg_loop = loop
+            try:
+                try:
+                    loop.run_until_complete(self.start())
+                except BaseException as exc:  # surfaced to the caller
+                    startup_error.append(exc)
+                    return
+                finally:
+                    ready.set()
+                loop.run_forever()
+            finally:
+                try:
+                    loop.run_until_complete(self.stop())
+                finally:
+                    loop.close()
+                    self._bg_loop = None
+
+        thread = threading.Thread(target=_run, name="sand-dataplane-loop", daemon=True)
+        self._bg_thread = thread
+        thread.start()
+        ready.wait(timeout=30)
+        if startup_error:
+            self._bg_thread = None
+            thread.join(timeout=5)
+            raise startup_error[0]
+        assert self.address is not None
+        return self.address
+
+    def shutdown(self) -> None:
+        """Stop a background server started with :meth:`start_background`."""
+        loop = self._bg_loop
+        thread, self._bg_thread = self._bg_thread, None
+        if loop is None or thread is None:
+            return
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+
+    def __enter__(self) -> "AsyncBatchServer":
+        self.start_background()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- stats ----------------------------------------------------------------
+    def report(self) -> Dict[str, int]:
+        with self._stats_lock:
+            return {
+                "connections": self._connections,
+                "sends": self._sends,
+                "bytes_sent": self._bytes_sent,
+                "errs_sent": self._errs_sent,
+                "acks": self._acks,
+            }
+
+    # -- serving ---------------------------------------------------------------
+    async def _accept_loop(self) -> None:
+        assert self._sock is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            conn, _addr = await loop.sock_accept(self._sock)
+            conn.setblocking(False)
+            task = loop.create_task(self._serve_connection(conn))
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+
+    async def _serve_connection(self, conn: socket.socket) -> None:
+        loop = asyncio.get_running_loop()
+        pending: Optional[BatchLease] = None
+        with self._stats_lock:
+            self._connections += 1
+        try:
+            ftype, payload = await self._read_frame(loop, conn)
+            if ftype != wire.FrameType.HELLO:
+                await loop.sock_sendall(
+                    conn,
+                    self._err_frame(
+                        wire.WireError(f"expected HELLO, got {ftype.name}")
+                    ),
+                )
+                return
+            await loop.sock_sendall(
+                conn,
+                wire.json_frame(
+                    wire.FrameType.HELLO,
+                    {"server": "sand-dataplane", "protocol": wire.PROTOCOL_VERSION},
+                ),
+            )
+            while True:
+                try:
+                    ftype, payload = await self._read_frame(loop, conn)
+                except wire.WireEOFError:
+                    break
+                if ftype == wire.FrameType.ACK:
+                    if pending is not None:
+                        pending.release()
+                        pending = None
+                        with self._stats_lock:
+                            self._acks += 1
+                    continue
+                if ftype == wire.FrameType.PING:
+                    await loop.sock_sendall(
+                        conn, wire.control_frame(wire.FrameType.PONG, payload)
+                    )
+                    continue
+                if ftype == wire.FrameType.STATS:
+                    await loop.sock_sendall(
+                        conn,
+                        wire.json_frame(wire.FrameType.STATS, self._stats_payload()),
+                    )
+                    continue
+                if ftype == wire.FrameType.GET_BATCH:
+                    # A new request implicitly ACKs the previous batch.
+                    if pending is not None:
+                        pending.release()
+                        pending = None
+                    try:
+                        request = wire.parse_json(payload)
+                        lease, metadata = await self._get_lease(loop, request)
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception as exc:
+                        with self._stats_lock:
+                            self._errs_sent += 1
+                        await loop.sock_sendall(conn, self._err_frame(exc))
+                        continue
+                    pending = lease
+                    # Counted before the write so a snapshot taken by a
+                    # client that already received the batch can never
+                    # run ahead of these counters.
+                    with self._stats_lock:
+                        self._sends += 1
+                        self._bytes_sent += lease.nbytes
+                    self._note_send(request.get("task"), lease.nbytes)
+                    for part in wire.batch_frame_parts(metadata, lease.array):
+                        await loop.sock_sendall(conn, part)
+                    continue
+                with self._stats_lock:
+                    self._errs_sent += 1
+                await loop.sock_sendall(
+                    conn,
+                    self._err_frame(
+                        wire.WireError(f"unexpected frame type {ftype.name}")
+                    ),
+                )
+        except asyncio.CancelledError:
+            raise
+        except (wire.WireError, ConnectionError, OSError):
+            # Corrupt framing or a vanished peer: drop the connection;
+            # the finally block returns any in-flight lease to the pool.
+            pass
+        finally:
+            if pending is not None:
+                pending.release()
+            conn.close()
+
+    async def _get_lease(
+        self, loop: asyncio.AbstractEventLoop, request: Dict[str, Any]
+    ) -> Tuple[BatchLease, Dict[str, Any]]:
+        try:
+            task = request["task"]
+            epoch = int(request["epoch"])
+            iteration = int(request["iteration"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataPlaneError(f"malformed GET_BATCH request: {exc}") from exc
+        assert self._executor is not None
+        future = loop.run_in_executor(
+            self._executor, self._source.get_batch_lease, task, epoch, iteration
+        )
+        try:
+            return await future
+        except asyncio.CancelledError:
+            # The engine call cannot be interrupted; make sure a lease
+            # that lands after cancellation still returns to the pool.
+            future.add_done_callback(_release_orphan)
+            raise
+
+    async def _read_frame(
+        self, loop: asyncio.AbstractEventLoop, conn: socket.socket
+    ) -> Tuple[wire.FrameType, bytearray]:
+        header = await self._recv_exact(loop, conn, wire.HEADER_SIZE)
+        ftype, length = wire.unpack_header(header, max_payload=self._max_payload)
+        payload = (
+            await self._recv_exact(loop, conn, length) if length else bytearray()
+        )
+        return ftype, payload
+
+    @staticmethod
+    async def _recv_exact(
+        loop: asyncio.AbstractEventLoop, conn: socket.socket, n: int
+    ) -> bytearray:
+        buf = bytearray(n)
+        view = memoryview(buf)
+        got = 0
+        while got < n:
+            received = await loop.sock_recv_into(conn, view[got:])
+            if received == 0:
+                raise wire.WireEOFError(
+                    "peer closed the connection"
+                    if got == 0
+                    else f"peer closed the connection mid-frame ({got}/{n} bytes)"
+                )
+            got += received
+        return buf
+
+    def _err_frame(self, exc: BaseException) -> bytes:
+        return wire.json_frame(
+            wire.FrameType.ERR,
+            {
+                "error": type(exc).__name__,
+                "message": str(exc),
+                "retryable": isinstance(exc, _RETRYABLE),
+            },
+        )
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"server": self.report()}
+        reporter = getattr(self._source, "dataplane_report", None)
+        if reporter is not None:
+            payload["source"] = reporter()
+        return payload
+
+    def _note_send(self, task: Optional[str], nbytes: int) -> None:
+        noter: Optional[Callable[..., None]] = getattr(
+            self._source, "note_send", None
+        )
+        if noter is not None:
+            noter(nbytes, task=task)
+
+
+def _release_orphan(future: "Future") -> None:
+    if future.cancelled() or future.exception() is not None:
+        return
+    lease, _metadata = future.result()
+    lease.release()
+
+
+# -- synchronous remote client -----------------------------------------------
+
+
+class BatchSocketClient:
+    """Blocking trainer-side client for :class:`AsyncBatchServer`.
+
+    ``address`` is a Unix socket path (str) or a ``(host, port)`` pair.
+    The constructor performs the HELLO handshake; :meth:`get_batch`
+    receives the whole BATCH frame into one buffer and returns the array
+    as a zero-copy view of it, then ACKs so the server can recycle its
+    delivery buffer.
+    """
+
+    def __init__(
+        self,
+        address: Address,
+        timeout: float = 60.0,
+        max_payload: int = wire.DEFAULT_MAX_PAYLOAD,
+    ):
+        self._max_payload = int(max_payload)
+        if isinstance(address, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(address)
+        else:
+            host, port = address
+            sock = socket.create_connection((host, int(port)), timeout=timeout)
+            sock.settimeout(timeout)
+        self._sock = sock
+        self._send(
+            wire.json_frame(
+                wire.FrameType.HELLO,
+                {"client": "sand-trainer", "protocol": wire.PROTOCOL_VERSION},
+            )
+        )
+        ftype, payload = self._read_frame()
+        if ftype != wire.FrameType.HELLO:
+            self.close()
+            raise wire.WireError(f"expected HELLO from server, got {ftype.name}")
+        self.server_info = wire.parse_json(payload)
+
+    # -- requests --------------------------------------------------------------
+    def get_batch(
+        self, task: str, epoch: int, iteration: int
+    ) -> Tuple[np.ndarray, Dict[str, Any]]:
+        self._send(
+            wire.json_frame(
+                wire.FrameType.GET_BATCH,
+                {"task": task, "epoch": int(epoch), "iteration": int(iteration)},
+            )
+        )
+        ftype, payload = self._read_frame()
+        if ftype == wire.FrameType.ERR:
+            info = wire.parse_json(payload)
+            raise BatchServerError(
+                f"{info.get('error', 'Error')}: {info.get('message', '')}",
+                retryable=bool(info.get("retryable")),
+            )
+        if ftype != wire.FrameType.BATCH:
+            raise wire.WireError(f"expected BATCH or ERR, got {ftype.name}")
+        metadata, array = wire.decode_batch_payload(payload)
+        # The server holds the delivery lease until this ACK lands.
+        self._send(wire.control_frame(wire.FrameType.ACK))
+        return array, metadata
+
+    def get_batch_with_retry(
+        self, task: str, epoch: int, iteration: int, retries: int = 3
+    ) -> Tuple[np.ndarray, Dict[str, Any]]:
+        """``get_batch`` retrying server-declared-transient failures."""
+        attempt = 0
+        while True:
+            try:
+                return self.get_batch(task, epoch, iteration)
+            except BatchServerError as exc:
+                if not exc.retryable or attempt >= retries:
+                    raise
+                attempt += 1
+
+    def ping(self) -> bool:
+        self._send(wire.control_frame(wire.FrameType.PING, b"ping"))
+        ftype, payload = self._read_frame()
+        return ftype == wire.FrameType.PONG
+
+    def stats(self) -> Dict[str, Any]:
+        self._send(wire.control_frame(wire.FrameType.STATS))
+        ftype, payload = self._read_frame()
+        if ftype != wire.FrameType.STATS:
+            raise wire.WireError(f"expected STATS, got {ftype.name}")
+        return wire.parse_json(payload)
+
+    # -- plumbing --------------------------------------------------------------
+    def _send(self, frame: bytes) -> None:
+        self._sock.sendall(frame)
+
+    def _read_frame(self) -> Tuple[wire.FrameType, bytearray]:
+        header = self._recv_exact(wire.HEADER_SIZE)
+        ftype, length = wire.unpack_header(header, max_payload=self._max_payload)
+        payload = self._recv_exact(length) if length else bytearray()
+        return ftype, payload
+
+    def _recv_exact(self, n: int) -> bytearray:
+        buf = bytearray(n)
+        view = memoryview(buf)
+        got = 0
+        while got < n:
+            received = self._sock.recv_into(view[got:])
+            if received == 0:
+                raise wire.WireEOFError(
+                    "server closed the connection"
+                    if got == 0
+                    else f"server closed the connection mid-frame ({got}/{n} bytes)"
+                )
+            got += received
+        return buf
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    def __enter__(self) -> "BatchSocketClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

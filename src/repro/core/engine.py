@@ -34,6 +34,7 @@ from repro.codec.incremental import AnchorCache
 from repro.core.cache import CacheManager
 from repro.core.clairvoyant import oracle_from_plan
 from repro.core.concrete_graph import BatchAssembly, MaterializationPlan
+from repro.core.dataplane import BatchLease, BufferPool
 from repro.core.materializer import VideoMaterializer
 from repro.core.prefetch import BatchPrefetcher, PrefetchStats
 from repro.core.pruning import PruningOutcome
@@ -101,6 +102,10 @@ class EngineStats:
     # store's storage_failure_report() on aggregation.  Empty for plain
     # single-tier stores, so the block is always present but may be {}.
     storage: Dict = field(default_factory=dict)
+    # Delivery-path counters: pooled-buffer lease health, socket sends,
+    # and bytes copied per delivered batch (~0 on the in-process lease
+    # path).  Always present so dashboards never branch.
+    dataplane: Dict = field(default_factory=dict)
     # Runtime-sanitizer findings (lock-order inversions, write-after-share,
     # raw-frame leaks).  None when sanitizers are off; populated on stop()
     # and by sanitizer_report().
@@ -116,6 +121,7 @@ class EngineStats:
         report["prefetch"] = self.prefetch.as_dict()
         report["anchor_cache"] = dict(self.anchor_cache)
         report["storage"] = dict(self.storage)
+        report["dataplane"] = dict(self.dataplane)
         return report
 
 
@@ -143,6 +149,7 @@ class PreprocessingEngine:
         prefetch_workers: int = 1,
         reuse_threshold: float = 0.0,
         clairvoyant_cache: bool = True,
+        delivery_pool: Optional[BufferPool] = None,
     ):
         if num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {num_workers}")
@@ -162,6 +169,19 @@ class PreprocessingEngine:
         # and writes); materializer ledgers are added on aggregation.
         self._engine_traffic = TrafficLedger()
         self.stats = EngineStats()
+        # Delivery buffers: batches are assembled straight into pooled,
+        # reference-counted leases (shared across engines when a service
+        # passes one pool in).  Logical ledger charges are unchanged by
+        # pooling; physical reuse shows up in the pool's report only.
+        self._owns_pool = delivery_pool is None
+        self.delivery_pool = (
+            delivery_pool if delivery_pool is not None else BufferPool()
+        )
+        self._delivery_lock = make_lock("engine.delivery")
+        self._delivery_sends = 0
+        self._delivery_send_bytes = 0
+        self._slot_writes_direct = 0
+        self._slot_writes_copied = 0
         # Fault handling: the schedule injects (crash-at-job-N, decoder
         # faults via the wrapper below); the retry policy bounds how hard
         # jobs and demand reads fight transient failures before giving up.
@@ -269,6 +289,13 @@ class PreprocessingEngine:
                 self._threads.append(thread)
         self._started = False
         if sanitizers_enabled():
+            # Lease-leak check: once no speculative batch is queued, an
+            # engine-owned pool should have nothing outstanding — every
+            # served batch was either detached (owned array) or released
+            # by its consumer.  A shared (service-owned) pool is checked
+            # by the service instead, after every engine has stopped.
+            if self._owns_pool and self.prefetch_queue_depth() == 0:
+                self.delivery_pool.note_leaks()
             self.stats.sanitizer = collect_report()
 
     def drain(self) -> None:
@@ -313,11 +340,38 @@ class PreprocessingEngine:
     ) -> Tuple[np.ndarray, Dict]:
         """Materialize and collate one training batch (demand path).
 
-        With prefetch enabled, a speculatively assembled batch is handed
-        off if ready (or about to be); otherwise the synchronous path
-        below runs unchanged, so a prefetch miss is byte-identical to
-        prefetch-off.
+        The returned array is the pooled delivery buffer, *detached*
+        from the pool: the caller owns it outright (the historical
+        contract), with zero extra copies and no reuse hazard.  Callers
+        that can release promptly should prefer :meth:`get_batch_lease`
+        (or :class:`~repro.core.dataplane.LocalClient`), which keeps the
+        buffer recyclable.
         """
+        payload, metadata = self._serve_payload(task, epoch, iteration)
+        batch = payload.detach() if isinstance(payload, BatchLease) else payload
+        return batch, metadata
+
+    def get_batch_lease(
+        self, task: str, epoch: int, iteration: int
+    ) -> Tuple[BatchLease, Dict]:
+        """``get_batch`` lending the pooled delivery buffer instead.
+
+        The caller must ``release()`` the lease when the batch is
+        consumed (the async server does so on client ACK/disconnect);
+        the buffer then re-enters the pool for the next assembly.
+        """
+        payload, metadata = self._serve_payload(task, epoch, iteration)
+        if not isinstance(payload, BatchLease):
+            # A foreign prefetch source handed us an owned array: wrap
+            # it so the lease contract holds either way.
+            payload = self.delivery_pool.adopt(np.asarray(payload))
+        return payload, metadata
+
+    def _serve_payload(
+        self, task: str, epoch: int, iteration: int
+    ) -> Tuple[object, Dict]:
+        """The shared demand path: prefetch hand-off or synchronous
+        assembly, returning the payload still leased."""
         key = (task, epoch, iteration)
         if key not in self.plan.batches:
             raise KeyError(f"no batch planned for {key}")
@@ -334,25 +388,25 @@ class PreprocessingEngine:
         if self._prefetcher is not None:
             ready = self._prefetcher.take(task, epoch, iteration)
             if ready is not None:
-                batch, metadata = ready
+                payload, metadata = ready
                 self.stats.batches_served += 1
                 self._aggregate_materializer_stats()
                 self._note_memory()
-                return batch, metadata
+                return payload, metadata
 
         self._work_gate.enter(WorkClass.DEMAND)
         try:
             metadata = self._batch_metadata(assembly)
-            batch = self._assemble(assembly)
+            lease = self._assemble(assembly)
         finally:
             self._work_gate.exit(WorkClass.DEMAND)
         self.stats.batches_served += 1
         self._aggregate_materializer_stats()
         self._note_memory()
-        return batch, metadata
+        return lease, metadata
 
-    def _assemble(self, assembly: BatchAssembly) -> np.ndarray:
-        """Materialize and collate one assembly (fused or stacked)."""
+    def _assemble(self, assembly: BatchAssembly) -> BatchLease:
+        """Materialize and collate one assembly into a pooled lease."""
         if self.fusion_enabled:
             return self._assemble_fused(assembly)
         samples: List[np.ndarray] = []
@@ -360,11 +414,17 @@ class PreprocessingEngine:
             materializer = self._materializer(video_id)
             self._count_demand(materializer, leaf_key)
             samples.append(self._get_with_retries(materializer, leaf_key))
-        batch = np.stack(samples, axis=0)
+        first = samples[0]
+        lease = self.delivery_pool.acquire(
+            (len(samples),) + first.shape, first.dtype
+        )
+        batch = lease.array
+        for slot, sample in enumerate(samples):
+            batch[slot] = sample
         self._engine_traffic.bytes_allocated += batch.nbytes
         self._engine_traffic.bytes_copied += batch.nbytes
         self._engine_traffic.clip_passes += len(samples)
-        return batch
+        return lease
 
     # -- prefetch source protocol ---------------------------------------------
     def prefetch_tasks(self) -> List[str]:
@@ -389,24 +449,53 @@ class PreprocessingEngine:
     def memory_pressure(self) -> bool:
         return self._memory_fraction() >= self.scheduler.memory_threshold
 
+    def prefetch_queue_depth(self) -> int:
+        """Finished speculative batches still queued (0 when prefetch is off)."""
+        return self._prefetcher.queue_depth() if self._prefetcher is not None else 0
+
     def assemble_speculative(
         self, task: str, epoch: int, iteration: int
-    ) -> Tuple[np.ndarray, Dict]:
+    ) -> Tuple[BatchLease, Dict]:
         """Assemble one batch off-thread, exactly as the demand path would.
 
         Materialization is deterministic and memoized, so speculative
         assembly produces the same bytes the synchronous path would —
         which is what makes the prefetch-on/off differential exact.
+        The ready queue holds the returned lease until the trainer takes
+        it (or a stale drop releases it back to the pool).
         """
         assembly = self.plan.batches[(task, epoch, iteration)]
         self._work_gate.enter(WorkClass.PREFETCH)
         try:
             metadata = self._batch_metadata(assembly)
-            batch = self._assemble(assembly)
+            lease = self._assemble(assembly)
         finally:
             self._work_gate.exit(WorkClass.PREFETCH)
         self._note_memory()
-        return batch, metadata
+        return lease, metadata
+
+    # -- delivery accounting ---------------------------------------------------
+    def note_send(self, nbytes: int, task: Optional[str] = None) -> None:
+        """Record one socket delivery of ``nbytes`` (wire path).
+
+        The socket write is the remote path's one unavoidable copy; it
+        is charged to the traffic ledger so ``bytes_copied`` stays
+        end-to-end truthful.
+        """
+        del task  # per-task attribution is the service's concern
+        with self._delivery_lock:
+            self._delivery_sends += 1
+            self._delivery_send_bytes += nbytes
+        self._engine_traffic.note_delivery(nbytes)
+
+    def note_delivery_copy(self, nbytes: int) -> None:
+        """Record one non-socket trainer-boundary copy (VFS blob encode)."""
+        self._engine_traffic.note_delivery(nbytes)
+
+    def dataplane_report(self) -> Dict:
+        """The delivery-path block of ``traffic_report()`` (fresh)."""
+        self._aggregate_materializer_stats()
+        return dict(self.stats.dataplane)
 
     def _count_demand(self, materializer: VideoMaterializer, key: str) -> None:
         if not materializer.in_memory(key) and (
@@ -414,31 +503,44 @@ class PreprocessingEngine:
         ):
             self.stats.demand_materializations += 1
 
-    def _assemble_fused(self, assembly: BatchAssembly) -> np.ndarray:
-        """Collate into one preallocated batch buffer (copy elision).
+    def _assemble_fused(self, assembly: BatchAssembly) -> BatchLease:
+        """Collate into one pooled delivery buffer (copy elision).
 
         The first sample materializes normally and fixes the batch's
         shape/dtype; every other sample is computed (or copied) straight
         into its slot via the materializer's ``get_into`` fast path —
-        with a fused normalize epilogue, that write *is* the final op.
+        with a fused normalize epilogue, that write *is* the final op,
+        landing directly in the buffer the trainer (or the socket) will
+        read.  Bytes copied at the trainer boundary: zero.
         """
+        lease: Optional[BatchLease] = None
         batch: Optional[np.ndarray] = None
+        direct = 0
+        copied = 0
         for slot, (video_id, leaf_key) in enumerate(assembly.samples):
             materializer = self._materializer(video_id)
             self._count_demand(materializer, leaf_key)
             if batch is None:
                 first = self._get_with_retries(materializer, leaf_key)
-                batch = np.empty(
-                    (len(assembly.samples),) + first.shape, dtype=first.dtype
+                lease = self.delivery_pool.acquire(
+                    (len(assembly.samples),) + first.shape, first.dtype
                 )
+                batch = lease.array
                 self._engine_traffic.bytes_allocated += batch.nbytes
                 batch[0] = first
                 self._engine_traffic.bytes_copied += first.nbytes
                 self._engine_traffic.clip_passes += 1
+                copied += 1
             else:
-                self._get_into_with_retries(materializer, leaf_key, batch[slot])
-        assert batch is not None  # plans never emit empty batches
-        return batch
+                if self._get_into_with_retries(materializer, leaf_key, batch[slot]):
+                    direct += 1
+                else:
+                    copied += 1
+        assert lease is not None  # plans never emit empty batches
+        with self._delivery_lock:
+            self._slot_writes_direct += direct
+            self._slot_writes_copied += copied
+        return lease
 
     def _jitter_rng(self) -> random.Random:
         """This thread's backoff-jitter RNG, seeded from run seed + thread name."""
@@ -472,17 +574,18 @@ class PreprocessingEngine:
 
     def _get_into_with_retries(
         self, materializer: VideoMaterializer, key: str, out: np.ndarray
-    ) -> None:
+    ) -> bool:
         """``_get_with_retries`` for the compute-into-slot path.
 
         Materialization is deterministic, so a retry after a transient
         failure mid-write simply overwrites the slot with the same bytes.
+        Returns ``get_into``'s verdict: True when the fused epilogue
+        wrote the slot directly, False when it fell back to get + copy.
         """
         attempt = 0
         while True:
             try:
-                materializer.get_into(key, out)
-                return
+                return materializer.get_into(key, out)
             except _RETRYABLE:
                 if attempt >= self.retry_policy.max_retries:
                     raise
@@ -668,6 +771,24 @@ class PreprocessingEngine:
                 }
         if self._prefetcher is not None:
             self.stats.prefetch = self._prefetcher.stats.snapshot()
+        served = self.stats.batches_served
+        with self._delivery_lock:
+            sends = self._delivery_sends
+            send_bytes = self._delivery_send_bytes
+            direct = self._slot_writes_direct
+            fallback = self._slot_writes_copied
+        delivered_bytes = self.stats.traffic.delivery_bytes_copied
+        self.stats.dataplane = {
+            "sends": sends,
+            "send_bytes": send_bytes,
+            "delivery_passes": self.stats.traffic.delivery_passes,
+            "bytes_copied_per_batch": (
+                round(delivered_bytes / served, 2) if served else 0.0
+            ),
+            "slot_writes_direct": direct,
+            "slot_writes_copied": fallback,
+            **self.delivery_pool.report(),
+        }
 
     def sanitizer_report(self) -> Optional[SanitizerReport]:
         """Snapshot sanitizer findings now (None when sanitizers are off)."""

@@ -137,15 +137,19 @@ class VideoMaterializer:
         with self._lock:
             return self._get_locked(key)
 
-    def get_into(self, key: str, out: np.ndarray) -> None:
+    def get_into(self, key: str, out: np.ndarray) -> bool:
         """Materialize ``key`` directly into ``out`` (copy elision).
 
         The fast path computes a single-use, uncached sample leaf
         straight into the caller's buffer (the batch slot) without
         memoizing it — with fusion's pointwise epilogue, the write into
-        ``out`` is the op's only output pass.  Anything shared, cached,
-        frontier-bound, or clip-op-bearing falls back to ``get`` + copy
-        so caching and reuse decisions are unchanged.
+        ``out`` is the op's only output pass, and with a pooled delivery
+        buffer as the destination, the trainer reads these exact bytes.
+        Anything shared, cached, frontier-bound, or clip-op-bearing
+        falls back to ``get`` + copy so caching and reuse decisions are
+        unchanged.  Returns True when the fast path wrote ``out``
+        directly, False on the fallback copy (the engine's dataplane
+        stats count both).
         """
         with self._lock:
             node = self.graph.nodes.get(key)
@@ -169,10 +173,11 @@ class VideoMaterializer:
                     sanitizer.guard(
                         out, f"copy-elision slot {self.graph.video_id}:{key}"
                     )
-                return
+                return True
             array = self._get_locked(key)
             np.copyto(out, array, casting="no")
             self.stats.traffic.charge(out.nbytes, allocated=False)
+            return False
 
     def materialize_frontier(self) -> int:
         """Compute and persist every frontier node; returns nodes stored."""

@@ -40,9 +40,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Set, Tuple
-
-import numpy as np
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.locks import make_lock
 
@@ -67,8 +65,15 @@ class PrefetchSource:
 
     def assemble_speculative(
         self, task: str, epoch: int, iteration: int
-    ) -> Tuple[np.ndarray, Dict[str, object]]:
-        """Assemble one batch off the demand path (byte-identical)."""
+    ) -> Tuple[Any, Dict[str, object]]:
+        """Assemble one batch off the demand path (byte-identical).
+
+        The payload is opaque to the prefetcher: any object with an
+        ``nbytes`` attribute (an ndarray, or the engine's pooled
+        :class:`~repro.core.dataplane.BatchLease`).  Payloads exposing
+        ``release()`` are released when a queued batch is dropped as
+        stale, so pooled buffers never leak through the queue.
+        """
         raise NotImplementedError
 
     def prefetch_allowed(self) -> bool:
@@ -114,10 +119,16 @@ class PrefetchStats:
 
 @dataclass
 class _ReadyBatch:
-    batch: np.ndarray
+    batch: Any  # ndarray or a pooled BatchLease (anything with .nbytes)
     metadata: Dict[str, object]
     nbytes: int
     assembly_ns: int
+
+    def release(self) -> None:
+        """Return a pooled payload to its pool (no-op for plain arrays)."""
+        releaser = getattr(self.batch, "release", None)
+        if callable(releaser):
+            releaser()
 
 
 @dataclass
@@ -218,7 +229,7 @@ class BatchPrefetcher:
     # -- trainer side --------------------------------------------------------
     def take(
         self, task: str, epoch: int, iteration: int
-    ) -> Optional[Tuple[np.ndarray, Dict[str, object]]]:
+    ) -> Optional[Tuple[Any, Dict[str, object]]]:
         """Hand over the batch if prefetched; ``None`` means assemble
         synchronously (the byte-identical fallback).
 
@@ -264,7 +275,11 @@ class BatchPrefetcher:
             state.waiting.discard(pos)
             entry = state.ready.pop(pos, None)
             if not finished or entry is None:
-                # Timed out, or the assembly faulted: fall back.
+                # Timed out, or the assembly faulted: fall back.  An
+                # entry popped on the timeout race goes back to the pool.
+                if entry is not None:
+                    self._queued_bytes -= entry.nbytes
+                    entry.release()
                 self.stats.misses += 1
                 return None
             self._queued_bytes -= entry.nbytes
@@ -280,6 +295,7 @@ class BatchPrefetcher:
         ]:
             entry = state.ready.pop(pos)
             self._queued_bytes -= entry.nbytes
+            entry.release()
             self.stats.dropped_stale += 1
 
     # -- worker side ---------------------------------------------------------
@@ -355,7 +371,11 @@ class BatchPrefetcher:
             self.stats.assembled += 1
             if pos < state.consumed and pos not in state.waiting:
                 # The trainer moved past this batch while it was being
-                # assembled; it can never be consumed.
+                # assembled; it can never be consumed.  Pooled payloads
+                # go straight back to the pool.
+                releaser = getattr(batch, "release", None)
+                if callable(releaser):
+                    releaser()
                 self.stats.dropped_stale += 1
                 return
             state.ready[pos] = _ReadyBatch(

@@ -44,6 +44,7 @@ from repro.core.abstract_graph import AbstractViewGraph, group_tasks_by_dataset
 from repro.core.cache import CacheManager
 from repro.core.concrete_graph import MaterializationPlan, build_plan_window
 from repro.core.config import TaskConfig
+from repro.core.dataplane import AsyncBatchServer, BatchLease, BufferPool
 from repro.core.engine import PreprocessingEngine
 from repro.core.pruning import PruningOutcome, prune_plan
 from repro.core.recovery import (
@@ -178,6 +179,11 @@ class SandService(FileSystemProvider):
 
         self._window_lock = make_rlock("service.window")
         self._active_tasks: Set[str] = set()
+        # One delivery pool for the service's lifetime: window rolls
+        # rebuild engines, but delivery buffers (shape-stable across
+        # windows) keep recycling, and the async server's leases stay
+        # valid across a roll.
+        self.delivery_pool = BufferPool(name="service-delivery")
 
     @staticmethod
     def _resolve_dataset(dataset, path: str):
@@ -267,6 +273,7 @@ class SandService(FileSystemProvider):
             prefetch_depth=self.prefetch_depth,
             reuse_threshold=self.reuse_threshold,
             clairvoyant_cache=self.clairvoyant_cache,
+            delivery_pool=self.delivery_pool,
         )
         engine.start()
         group.window_start = epoch_start
@@ -280,6 +287,15 @@ class SandService(FileSystemProvider):
             for group in self._groups.values():
                 if group.engine is not None:
                     group.engine.stop()
+            # Lease-leak check over the shared delivery pool: with every
+            # engine stopped and no speculative batch still queued,
+            # nothing should hold a lease (served batches were detached
+            # or released).  note_leaks no-ops when sanitizers are off.
+            if all(
+                group.engine is None or group.engine.prefetch_queue_depth() == 0
+                for group in self._groups.values()
+            ):
+                self.delivery_pool.note_leaks()
             # Flush write-behind storage and release pack mappings.
             self.cache.close()
 
@@ -317,6 +333,7 @@ class SandService(FileSystemProvider):
                     "dead_letters": len(stats.dead_letters),
                     "fallback_rematerializations": stats.fallback_rematerializations,
                     "storage_failures": dict(stats.storage),
+                    "dataplane": dict(stats.dataplane),
                 }
             return {
                 "tasks": sorted(self.tasks),
@@ -377,6 +394,55 @@ class SandService(FileSystemProvider):
 
     # BatchSource protocol alias (trainers consume any batch source).
     get_batch = batch
+
+    def get_batch_lease(
+        self, task: str, epoch: int, iteration: int
+    ) -> Tuple[BatchLease, Dict]:
+        """``batch`` lending the pooled delivery buffer (zero-copy path).
+
+        Used by :class:`~repro.core.dataplane.LocalClient` and
+        :class:`~repro.core.dataplane.AsyncBatchServer`; the caller
+        releases the lease once the batch is consumed.
+        """
+        engine = self.ensure_window(epoch, task=task)
+        return engine.get_batch_lease(task, epoch, iteration)
+
+    def note_send(self, nbytes: int, task: Optional[str] = None) -> None:
+        """Charge one socket delivery to the owning engine's ledger."""
+        group = (
+            self._group(task)
+            if task is not None and task in self._task_group
+            else self._single_group()
+        )
+        if group.engine is not None:
+            group.engine.note_send(nbytes, task=task)
+
+    def dataplane_report(self) -> Dict:
+        """Per-group delivery-path stats plus the shared pool's health."""
+        with self._window_lock:
+            report: Dict = {"pool": self.delivery_pool.report(), "engines": {}}
+            for path, group in self._groups.items():
+                if group.engine is not None:
+                    report["engines"][path] = group.engine.dataplane_report()
+            return report
+
+    def serve_async(
+        self,
+        unix_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **kwargs,
+    ) -> AsyncBatchServer:
+        """An :class:`AsyncBatchServer` bound to this service.
+
+        The caller owns the server lifecycle: ``await server.start()``
+        on a running loop, or ``server.start_background()`` /
+        ``server.shutdown()`` from synchronous code (``python -m repro
+        --serve`` does the latter).
+        """
+        return AsyncBatchServer(
+            self, unix_path=unix_path, host=host, port=port, **kwargs
+        )
 
     def iterations_per_epoch(self, task: str, epoch: int = 0) -> int:
         """Iterations of ``epoch`` (streaming corpora can grow per window)."""
@@ -473,6 +539,12 @@ class SandService(FileSystemProvider):
         try:
             if isinstance(view, BatchView):
                 batch, metadata = self.batch(view.task, view.epoch, view.iteration)
+                # The blob encode below duplicates the batch for the
+                # POSIX read path — a real trainer-boundary copy, charged
+                # so the ledger stays end-to-end truthful.
+                engine = self._group(view.task).engine
+                if engine is not None:
+                    engine.note_delivery_copy(batch.nbytes)
                 handle = FileHandle(encode_array(batch), path)
                 handle.metadata = metadata  # type: ignore[attr-defined]
                 return handle

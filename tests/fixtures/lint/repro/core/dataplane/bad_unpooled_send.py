@@ -1,0 +1,21 @@
+"""Positive fixture: payload copies on the zero-copy delivery path."""
+
+import pickle
+
+import numpy as np
+
+
+def send_copied(sock, array: np.ndarray) -> None:
+    sock.sendall(bytes(memoryview(array)))  # copies the whole batch
+
+
+def send_materialized(sock, array: np.ndarray) -> None:
+    sock.sendall(array.tobytes())  # same copy, different spelling
+
+
+def send_pickled(sock, batch) -> None:
+    sock.sendall(pickle.dumps(batch))  # wire format is pickle-free
+
+
+def recv_pickled(payload):
+    return pickle.loads(payload)

@@ -1,0 +1,26 @@
+"""Negative fixture: zero-copy sends the delivery path should use."""
+
+import json
+import struct
+
+import numpy as np
+
+
+def send_pooled(sock, header: bytes, array: np.ndarray) -> None:
+    sock.sendall(header)
+    sock.sendall(memoryview(array).cast("B"))  # view, not a copy
+
+
+def encode_meta(metadata) -> bytes:
+    # json/struct build small owned headers; only payload copies are banned.
+    meta = json.dumps(metadata, separators=(",", ":"), sort_keys=True)
+    return struct.pack("<I", len(meta)) + meta.encode("utf-8")
+
+
+def recv_into(sock, n: int) -> bytearray:
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        got += sock.recv_into(view[got:])
+    return buf

@@ -36,6 +36,7 @@ POSITIVE = [
     ("bad_impure_key.py", "impure-key", 3),
     ("bad_raw_lock.py", "raw-lock", 3),
     ("bad_fault_site.py", "unregistered-fault-site", 2),
+    ("repro/core/dataplane/bad_unpooled_send.py", "no-unpooled-send", 4),
 ]
 
 NEGATIVE = [
@@ -45,6 +46,7 @@ NEGATIVE = [
     "good_impure_key.py",
     "good_raw_lock.py",
     "good_fault_site.py",
+    "repro/core/dataplane/good_unpooled_send.py",
     "pragma_suppressed.py",
 ]
 
@@ -79,6 +81,14 @@ def test_determinism_passes_scope_to_deterministic_modules():
     inside = lint_source(UNSEEDED, "src/repro/codec/x.py")
     outside = lint_source(UNSEEDED, "src/repro/metrics/x.py")
     assert [f.pass_id for f in inside] == ["unseeded-rng"]
+    assert outside == []
+
+
+def test_no_unpooled_send_scopes_to_delivery_modules():
+    source = "import pickle\n\ndef f(obj):\n    return pickle.dumps(obj)\n"
+    inside = lint_source(source, "src/repro/core/wire.py")
+    outside = lint_source(source, "src/repro/augment/rpc.py")
+    assert [f.pass_id for f in inside] == ["no-unpooled-send"]
     assert outside == []
 
 

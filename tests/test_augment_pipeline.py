@@ -341,3 +341,56 @@ def test_remote_op_wraps_rpc(monkeypatch):
 def test_remote_op_requires_op_path():
     with pytest.raises(ValueError):
         RemoteOp({})
+
+
+# -- RPC framing (the repro.core.wire port) ----------------------------------
+
+
+def test_rpc_worker_hello_handshake_carries_version():
+    """The worker's first bytes are a HELLO frame naming its RPC version
+    — version skew fails at start(), not as a garbled pickle mid-run."""
+    import io
+
+    from repro.augment import rpc
+    from repro.core import wire
+
+    stdin = io.BytesIO()  # EOF immediately: worker greets, then exits
+    stdout = io.BytesIO()
+    rpc.worker_main(stdin, stdout)
+    stdout.seek(0)
+    ftype, payload = wire.read_frame(stdout)
+    assert ftype is wire.FrameType.HELLO
+    assert wire.parse_json(payload) == {"rpc_version": rpc.RPC_VERSION}
+
+
+def test_rpc_client_rejects_version_skew(monkeypatch):
+    from repro.augment import rpc
+
+    monkeypatch.setattr(rpc, "RPC_VERSION", rpc.RPC_VERSION + 1)
+    svc = RpcAugmentService()
+    with pytest.raises(RpcError, match="version"):
+        svc.start()
+    assert not svc.running  # the skewed worker was reaped
+
+
+def test_rpc_oversized_payload_is_a_clear_client_side_error():
+    """The old ``"<I"`` framing silently wrapped at 4 GiB; now the limit
+    is enforced before anything hits the pipe, with the limit named."""
+    with RpcAugmentService(max_payload=64 * 1024) as svc:
+        big = np.zeros((1024, 1024), dtype=np.float32)  # 4 MiB pickle
+        with pytest.raises(RpcError, match="over the 65536-byte limit"):
+            svc.apply("repro.augment.ops:Flip", {}, big, {"flipped": False})
+        # The worker never saw the frame: the service keeps working.
+        out = svc.apply("repro.augment.ops:Flip", {}, clip(), {"flipped": False})
+        assert out.shape == (4, 24, 32, 3)
+
+
+def test_rpc_corrupt_stream_is_a_clean_rpc_error():
+    import io
+
+    from repro.augment.rpc import _read_msg
+    from repro.core.wire import FrameType
+
+    garbage = io.BytesIO(b"not a sand frame, definitely" * 2)
+    with pytest.raises(RpcError, match="bad RPC frame"):
+        _read_msg(garbage, FrameType.RPC_RESPONSE)

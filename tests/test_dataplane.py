@@ -1,0 +1,537 @@
+"""The async zero-copy data plane: wire framing, buffer leases, the
+event-loop batch server, and the in-process trainer handle.
+
+The hard invariants:
+
+* every frame is CRC-guarded and version-checked — corruption, skew, and
+  oversized payloads fail loudly before any allocation;
+* batches served over a socket are byte-identical to ``engine.get_batch``
+  across seeds, fused and unfused, and under the capstone fault schedule
+  (clean ERR frame + retry, never a corrupt batch);
+* the pooled delivery path leaks no leases: after every drain the pool
+  reports zero outstanding.
+"""
+
+import io
+import struct
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AsyncBatchServer,
+    BatchServerError,
+    BatchSocketClient,
+    BufferPool,
+    LocalClient,
+    PreprocessingEngine,
+    build_plan_window,
+    load_task_config,
+)
+from repro.core import wire
+from repro.core.dataplane import LeasedBatch
+from repro.datasets import DatasetSpec, SyntheticDataset
+from repro.faults import (
+    SITE_ENGINE_JOB,
+    SITE_STORE_GET,
+    SITE_STORE_PUT,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.storage import RetryPolicy
+
+FAST_RETRY = RetryPolicy(max_retries=3, base_delay_s=0.0, max_delay_s=0.0)
+
+
+def make_config(tag="t", vpb=2, frames=4, stride=2):
+    return load_task_config({
+        "dataset": {
+            "tag": tag,
+            "video_dataset_path": "/d",
+            "sampling": {
+                "videos_per_batch": vpb,
+                "frames_per_video": frames,
+                "frame_stride": stride,
+            },
+            "augmentation": [
+                {
+                    "branch_type": "single",
+                    "inputs": ["frame"],
+                    "outputs": ["a0"],
+                    "config": [
+                        {"resize": {"shape": [18, 24]}},
+                        {"random_crop": {"size": [12, 12]}},
+                        {"flip": {"flip_prob": 0.5}},
+                    ],
+                }
+            ],
+        }
+    })
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticDataset(
+        DatasetSpec(num_videos=6, min_frames=30, max_frames=45,
+                    width=32, height=24, seed=3)
+    )
+
+
+# -- wire: headers -----------------------------------------------------------
+
+
+def test_header_roundtrip_every_frame_type():
+    for ftype in wire.FrameType:
+        header = wire.pack_header(ftype, 12345)
+        assert len(header) == wire.HEADER_SIZE
+        got_type, got_len = wire.unpack_header(header)
+        assert got_type is ftype
+        assert got_len == 12345
+
+
+def test_header_crc_catches_any_corrupted_byte():
+    header = bytearray(wire.pack_header(wire.FrameType.BATCH, 64))
+    for offset in range(wire.HEADER_BODY_SIZE):
+        corrupt = bytearray(header)
+        corrupt[offset] ^= 0xFF
+        with pytest.raises(wire.CorruptFrameError):
+            wire.unpack_header(corrupt)
+
+
+def test_header_rejects_wrong_size_and_unknown_type():
+    with pytest.raises(wire.CorruptFrameError):
+        wire.unpack_header(b"short")
+    body = struct.pack("<4sBBHQ", wire.MAGIC, wire.PROTOCOL_VERSION, 99, 0, 0)
+    import zlib
+    framed = body + struct.pack("<I", zlib.crc32(body))
+    with pytest.raises(wire.CorruptFrameError, match="unknown frame type"):
+        wire.unpack_header(framed)
+
+
+def test_header_rejects_version_skew():
+    import zlib
+    body = struct.pack("<4sBBHQ", wire.MAGIC, wire.PROTOCOL_VERSION + 1,
+                       int(wire.FrameType.PING), 0, 0)
+    framed = body + struct.pack("<I", zlib.crc32(body))
+    with pytest.raises(wire.ProtocolVersionError, match="version"):
+        wire.unpack_header(framed)
+
+
+def test_header_rejects_oversized_payload_announcement():
+    header = wire.pack_header(wire.FrameType.BATCH, 1 << 40)
+    with pytest.raises(wire.FrameTooLargeError, match="limit"):
+        wire.unpack_header(header)
+    # ...unless the caller raised the ceiling.
+    ftype, length = wire.unpack_header(header, max_payload=1 << 41)
+    assert length == 1 << 40
+
+
+# -- wire: batch payloads ----------------------------------------------------
+
+
+def test_batch_payload_roundtrip_is_byte_identical():
+    metadata = {"task": "t", "epoch": 1, "iteration": 2, "labels": [3, None]}
+    array = np.arange(2 * 3 * 4 * 5, dtype=np.float32).reshape(2, 3, 4, 5)
+    parts = wire.batch_frame_parts(metadata, array)
+    frame = bytearray()
+    for part in parts:
+        frame += part
+    ftype, length = wire.unpack_header(frame[: wire.HEADER_SIZE])
+    assert ftype is wire.FrameType.BATCH
+    assert length == len(frame) - wire.HEADER_SIZE
+    got_md, got = wire.decode_batch_payload(frame[wire.HEADER_SIZE:])
+    assert got_md == metadata
+    assert got.dtype == array.dtype and got.shape == array.shape
+    assert np.array_equal(got, array)
+
+
+def test_batch_decode_is_zero_copy_view():
+    payload = bytearray()
+    for part in wire.batch_frame_parts({}, np.zeros(8, dtype=np.uint8)):
+        payload += part
+    payload = payload[wire.HEADER_SIZE:]
+    _, array = wire.decode_batch_payload(payload)
+    payload[-1] = 77  # writing the buffer must show through the view
+    assert array[-1] == 77
+
+
+def test_batch_refuses_non_contiguous_arrays():
+    array = np.zeros((4, 4), dtype=np.uint8)[:, ::2]
+    with pytest.raises(wire.WireError, match="contiguous"):
+        wire.batch_frame_parts({}, array)
+
+
+def test_batch_decode_rejects_length_mismatch():
+    frame = bytearray()
+    for part in wire.batch_frame_parts({}, np.zeros(8, dtype=np.uint8)):
+        frame += part
+    with pytest.raises(wire.CorruptFrameError, match="length mismatch"):
+        wire.decode_batch_payload(frame[wire.HEADER_SIZE:-1])
+
+
+# -- wire: blocking streams --------------------------------------------------
+
+
+def test_stream_write_read_roundtrip():
+    buf = io.BytesIO()
+    wire.write_frame(buf, wire.FrameType.PING, b"hello")
+    wire.write_frame(buf, wire.FrameType.STATS, wire.encode_json({"a": 1}))
+    buf.seek(0)
+    assert wire.read_frame(buf) == (wire.FrameType.PING, bytearray(b"hello"))
+    ftype, payload = wire.read_frame(buf)
+    assert ftype is wire.FrameType.STATS
+    assert wire.parse_json(payload) == {"a": 1}
+
+
+def test_stream_write_guards_payload_ceiling_before_sending():
+    buf = io.BytesIO()
+    with pytest.raises(wire.FrameTooLargeError, match="refusing to send"):
+        wire.write_frame(buf, wire.FrameType.PING, b"x" * 32, max_payload=16)
+    assert buf.getvalue() == b""  # nothing hit the stream
+
+
+def test_stream_eof_mid_frame_is_loud():
+    buf = io.BytesIO(wire.control_frame(wire.FrameType.PING, b"full")[:-2])
+    with pytest.raises(wire.WireEOFError, match="mid-frame"):
+        wire.read_frame(buf)
+
+
+# -- buffer pool and leases --------------------------------------------------
+
+
+def test_pool_reuses_returned_buffers_by_shape_and_dtype():
+    pool = BufferPool(name="test")
+    lease = pool.acquire((2, 3), np.float32)
+    first = lease.array
+    lease.array[:] = 7.0
+    lease.release()
+    again = pool.acquire((2, 3), np.float32)
+    assert again.array is first  # recycled, not reallocated
+    other = pool.acquire((2, 4), np.float32)
+    assert other.array is not first
+    report = pool.report()
+    assert report["buffers_allocated"] == 2
+    assert report["buffers_reused"] == 1
+    again.release()
+    other.release()
+    assert pool.leases_outstanding == 0
+
+
+def test_lease_refcount_retain_release():
+    pool = BufferPool(name="test")
+    lease = pool.acquire((4,), np.uint8)
+    lease.retain()
+    lease.release()
+    assert pool.leases_outstanding == 1  # still held once
+    lease.release()
+    assert pool.leases_outstanding == 0
+    assert pool.report()["buffers_returned"] == 1
+
+
+def test_detach_hands_ownership_out_of_the_pool():
+    pool = BufferPool(name="test")
+    lease = pool.acquire((4,), np.uint8)
+    owned = lease.detach()
+    owned[:] = 9
+    lease.release()
+    fresh = pool.acquire((4,), np.uint8)
+    assert fresh.array is not owned  # detached buffer never recycled
+    report = pool.report()
+    assert report["buffers_detached"] == 1
+    assert report["buffers_returned"] == 0
+
+
+def test_pool_free_list_is_bounded():
+    pool = BufferPool(name="test", max_free_per_shape=2)
+    leases = [pool.acquire((8,), np.uint8) for _ in range(5)]
+    for lease in leases:
+        lease.release()
+    assert pool.report()["free_buffers"] == 2
+
+
+def test_leased_batch_context_manager_releases():
+    pool = BufferPool(name="test")
+    lease = pool.acquire((4,), np.uint8)
+    with LeasedBatch(lease, {"task": "t"}) as leased:
+        assert leased.nbytes == 4
+        assert leased.metadata["task"] == "t"
+    assert pool.leases_outstanding == 0
+
+
+# -- engine integration ------------------------------------------------------
+
+
+def test_get_batch_still_returns_an_owned_array(dataset):
+    plan = build_plan_window([make_config()], dataset, 0, 1, seed=5)
+    engine = PreprocessingEngine(plan, dataset, num_workers=0)
+    with engine:
+        keys = sorted(plan.batches)
+        batch0, _ = engine.get_batch(*keys[0])
+        frozen = batch0.copy()
+        batch1, _ = engine.get_batch(*keys[1])
+        batch1[:] = 0  # an owned array: must not alias batch0's bytes
+        assert np.array_equal(batch0, frozen)
+        assert engine.delivery_pool.leases_outstanding == 0
+
+
+def test_local_client_is_zero_copy_and_pool_recycles(dataset):
+    plan = build_plan_window([make_config()], dataset, 0, 1, seed=5)
+    engine = PreprocessingEngine(plan, dataset, num_workers=0)
+    trainer = LocalClient(engine)
+    with engine:
+        keys = sorted(plan.batches)
+        with trainer.get_batch(*keys[0]) as leased:
+            first_buffer = leased.array
+            assert leased.array.nbytes == leased.nbytes
+        # Released: the next same-shape batch reuses the same buffer.
+        with trainer.get_batch(*keys[1]) as leased:
+            assert leased.array is first_buffer
+        report = engine.dataplane_report()
+        assert report["buffers_reused"] >= 1
+        assert report["leases_outstanding"] == 0
+        # No trainer-boundary copies on the lease path.
+        assert report["bytes_copied_per_batch"] == 0.0
+        # The stats block surfaces the same counters.
+        assert engine.stats.traffic_report()["dataplane"] == report
+    assert engine.stats.traffic.delivery_bytes_copied == 0
+
+
+def test_local_client_matches_get_batch_bytes(dataset):
+    plan = build_plan_window([make_config()], dataset, 0, 1, seed=7)
+    reference = PreprocessingEngine(plan, dataset, num_workers=0)
+    engine = PreprocessingEngine(plan, dataset, num_workers=0)
+    trainer = LocalClient(engine)
+    for key in sorted(plan.batches):
+        expected, expected_md = reference.get_batch(*key)
+        with trainer.get_batch(*key) as leased:
+            assert np.array_equal(leased.array, expected), key
+            assert leased.metadata == expected_md, key
+
+
+def test_local_client_requires_a_lease_aware_source():
+    with pytest.raises(TypeError, match="get_batch_lease"):
+        LocalClient(object())
+
+
+# -- the async server over a unix socket -------------------------------------
+
+
+def serve(engine, tmp_path, name="dp.sock", **kwargs):
+    server = AsyncBatchServer(engine, unix_path=str(tmp_path / name), **kwargs)
+    server.start_background()
+    return server
+
+
+@pytest.mark.parametrize("fusion", [True, False], ids=["fused", "unfused"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_socket_batches_byte_identical_to_get_batch(dataset, tmp_path, seed, fusion):
+    plan = build_plan_window([make_config()], dataset, 0, 2, seed=seed)
+    reference = PreprocessingEngine(
+        plan, dataset, num_workers=0, fusion_enabled=fusion, seed=seed
+    )
+    engine = PreprocessingEngine(
+        plan, dataset, num_workers=0, fusion_enabled=fusion, seed=seed
+    )
+    with engine:
+        server = serve(engine, tmp_path)
+        try:
+            with BatchSocketClient(server.address) as client:
+                for key in sorted(plan.batches):
+                    expected, expected_md = reference.get_batch(*key)
+                    batch, metadata = client.get_batch(*key)
+                    assert batch.tobytes() == expected.tobytes(), key
+                    assert metadata == expected_md, key
+        finally:
+            server.shutdown()
+        assert engine.delivery_pool.leases_outstanding == 0
+
+
+def test_server_control_frames_ping_stats(dataset, tmp_path):
+    plan = build_plan_window([make_config()], dataset, 0, 1, seed=5)
+    engine = PreprocessingEngine(plan, dataset, num_workers=0)
+    with engine:
+        server = serve(engine, tmp_path)
+        try:
+            with BatchSocketClient(server.address) as client:
+                assert client.server_info["protocol"] == wire.PROTOCOL_VERSION
+                assert client.ping()
+                client.get_batch(*sorted(plan.batches)[0])
+                stats = client.stats()
+                assert stats["server"]["sends"] == 1
+                assert stats["source"]["sends"] == 1
+                assert stats["source"]["send_bytes"] > 0
+        finally:
+            server.shutdown()
+
+
+def test_unknown_task_gets_clean_nonretryable_err(dataset, tmp_path):
+    plan = build_plan_window([make_config()], dataset, 0, 1, seed=5)
+    engine = PreprocessingEngine(plan, dataset, num_workers=0)
+    with engine:
+        server = serve(engine, tmp_path)
+        try:
+            with BatchSocketClient(server.address) as client:
+                with pytest.raises(BatchServerError) as err:
+                    client.get_batch("no-such-task", 0, 0)
+                assert not err.value.retryable
+                # The connection survives the error: next request works.
+                batch, _ = client.get_batch(*sorted(plan.batches)[0])
+                assert batch.nbytes > 0
+        finally:
+            server.shutdown()
+        assert engine.delivery_pool.leases_outstanding == 0
+
+
+def test_disconnect_without_ack_returns_the_lease(dataset, tmp_path):
+    plan = build_plan_window([make_config()], dataset, 0, 1, seed=5)
+    engine = PreprocessingEngine(plan, dataset, num_workers=0)
+    with engine:
+        server = serve(engine, tmp_path)
+        try:
+            client = BatchSocketClient(server.address)
+            key = sorted(plan.batches)[0]
+            client._send(wire.json_frame(
+                wire.FrameType.GET_BATCH,
+                {"task": key[0], "epoch": key[1], "iteration": key[2]},
+            ))
+            ftype, _ = client._read_frame()
+            assert ftype is wire.FrameType.BATCH
+            client.close()  # vanish without ACKing
+            deadline = threading.Event()
+            for _ in range(200):
+                if engine.delivery_pool.leases_outstanding == 0:
+                    break
+                deadline.wait(0.05)
+            assert engine.delivery_pool.leases_outstanding == 0
+        finally:
+            server.shutdown()
+
+
+def test_server_rejects_lease_unaware_sources():
+    with pytest.raises(TypeError, match="get_batch_lease"):
+        AsyncBatchServer(object(), unix_path="/tmp/never-bound.sock")
+
+
+# -- concurrency and faults --------------------------------------------------
+
+
+def capstone_schedule():
+    return FaultSchedule(
+        seed=0,
+        specs=[
+            FaultSpec(kind="transient-error", site=SITE_STORE_GET, rate=0.05),
+            FaultSpec(kind="transient-error", site=SITE_STORE_PUT, rate=0.05),
+            FaultSpec(kind="crash", site=SITE_ENGINE_JOB, at_count=2, max_fires=1),
+        ],
+    )
+
+
+def run_trainers(address, keys, trainers):
+    """Partition ``keys`` across trainer threads; return results + errors."""
+    results = {}
+    errors = []
+    lock = threading.Lock()
+
+    def trainer(rank):
+        try:
+            with BatchSocketClient(address) as client:
+                for key in keys[rank::trainers]:
+                    batch, md = client.get_batch_with_retry(*key)
+                    with lock:
+                        results[key] = (batch.tobytes(), md)
+        except Exception as exc:  # noqa: BLE001 - surfaced by the assert
+            with lock:
+                errors.append(f"trainer {rank}: {type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=trainer, args=(rank,)) for rank in range(trainers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, errors
+
+
+def test_concurrent_trainers_under_capstone_faults(dataset, tmp_path):
+    """Many trainers over one socket server under the capstone schedule:
+    every batch is either byte-identical to the fault-free reference or a
+    clean retryable ERR frame that succeeds on retry — and once drained,
+    no delivery lease is leaked."""
+    from repro.core import CacheManager, prune_plan
+    from repro.faults import FaultyStore
+    from repro.storage.local import LocalStore
+
+    plan = build_plan_window([make_config()], dataset, 0, 2, seed=5)
+    reference = PreprocessingEngine(plan, dataset, num_workers=0, seed=5)
+    expected = {
+        key: reference.get_batch(*key) for key in sorted(plan.batches)
+    }
+
+    schedule = capstone_schedule()
+    store = FaultyStore(LocalStore(10**8), schedule)
+    cache = CacheManager(store)
+    pruning = prune_plan(plan, plan.total_cached_bytes() * 1.01)
+    cache.register_plan(plan, pruning)
+    engine = PreprocessingEngine(
+        plan, dataset, pruning=pruning, cache=cache, num_workers=2,
+        fault_schedule=schedule, retry_policy=FAST_RETRY, seed=5,
+    )
+    with engine:
+        engine.drain()
+        server = serve(engine, tmp_path)
+        try:
+            keys = sorted(plan.batches)
+            results, errors = run_trainers(server.address, keys, trainers=4)
+            assert errors == [], errors
+            for key in keys:
+                want, want_md = expected[key]
+                got, got_md = results[key]
+                assert got == want.tobytes(), key
+                assert got_md == want_md, key
+        finally:
+            server.shutdown()
+        assert engine.delivery_pool.leases_outstanding == 0
+    report = engine.dataplane_report()
+    assert report["sends"] == len(plan.batches)
+    assert report["leases_outstanding"] == 0
+
+
+def test_many_concurrent_trainers_fault_free(dataset, tmp_path):
+    plan = build_plan_window([make_config()], dataset, 0, 2, seed=6)
+    reference = PreprocessingEngine(plan, dataset, num_workers=0, seed=6)
+    expected = {
+        key: reference.get_batch(*key) for key in sorted(plan.batches)
+    }
+    engine = PreprocessingEngine(plan, dataset, num_workers=2, seed=6)
+    with engine:
+        server = serve(engine, tmp_path)
+        try:
+            keys = sorted(plan.batches)
+            results, errors = run_trainers(server.address, keys, trainers=8)
+            assert errors == [], errors
+            for key in keys:
+                assert results[key][0] == expected[key][0].tobytes(), key
+        finally:
+            server.shutdown()
+        assert engine.delivery_pool.leases_outstanding == 0
+
+
+def test_prefetcher_ready_queue_holds_leases(dataset):
+    """Prefetch + lease path compose: speculated batches ride pooled
+    buffers end to end and the pool drains when the window closes."""
+    plan = build_plan_window([make_config()], dataset, 0, 2, seed=5)
+    engine = PreprocessingEngine(
+        plan, dataset, num_workers=0, seed=5,
+        prefetch_depth=2, prefetch_workers=2,
+    )
+    trainer = LocalClient(engine)
+    with engine:
+        for key in sorted(plan.batches):
+            with trainer.get_batch(*key) as leased:
+                assert leased.nbytes > 0
+    assert engine.delivery_pool.leases_outstanding == 0
+    report = engine.stats.traffic_report()["dataplane"]
+    assert report["leases_issued"] >= len(plan.batches)

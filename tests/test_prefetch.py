@@ -289,7 +289,7 @@ def run_engine_window(dataset, plan, *, fusion, prefetch_depth, seed):
 @pytest.mark.parametrize("seed", [0, 1, 2])
 def test_prefetch_on_is_byte_identical_to_off(dataset, seed, fusion):
     plan = build_plan_window([make_config()], dataset, 0, 2, seed=seed)
-    _, reference = run_engine_window(
+    ref_engine, reference = run_engine_window(
         dataset, plan, fusion=fusion, prefetch_depth=0, seed=seed
     )
     engine, pipelined = run_engine_window(
@@ -302,6 +302,11 @@ def test_prefetch_on_is_byte_identical_to_off(dataset, seed, fusion):
         assert metadata == expected_md, key
     stats = engine.stats.prefetch
     assert stats.hits + stats.misses == len(plan.batches)
+    # The traffic ledger is *logical*: speculation moves work earlier but
+    # must not change what is charged (each batch assembled exactly once,
+    # delivery-boundary copies identical — here zero, leases all around).
+    assert engine.stats.traffic.as_dict() == ref_engine.stats.traffic.as_dict()
+    assert engine.stats.traffic.delivery_bytes_copied == 0
 
 
 def test_prefetcher_actually_serves_hits(dataset):
