@@ -4,16 +4,22 @@ Two halves, one goal — enforce the invariants the differential test
 suite can only spot-check:
 
 * **sandlint** (static): an AST lint engine with a pass registry and
-  per-path policy, shipping passes for determinism (unseeded RNGs,
-  wall-clock reads), zero-copy aliasing (writes through decoder /
-  anchor-cache results), graph-key purity, lock discipline, and fault
-  site registration.  Run it as ``python -m repro.analysis src/``;
-  suppress a deliberate exception inline with
-  ``# sandlint: ignore[<pass-id>]``.
+  per-path policy.  Per-node passes (``passes``) guard determinism
+  (unseeded RNGs, wall-clock reads), zero-copy aliasing (writes through
+  decoder / anchor-cache results), graph-key purity, lock discipline,
+  fault-site registration, and the pickle-free delivery path;
+  flow-sensitive passes (``flowpasses``, built on the ``cfg`` +
+  ``dataflow`` framework) guard lease/handle lifecycle (released on
+  every path), blocking calls reachable in async bodies, locks held
+  across ``await``, and wire-dispatch exhaustiveness.  Run it as
+  ``python -m repro.analysis src/``; suppress a deliberate exception
+  inline with ``# sandlint: ignore[<pass-id>]``.  Catalog:
+  ``docs/ANALYSIS.md``.
 * **Runtime sanitizers** (opt-in via ``SAND_SANITIZERS=1``; on in CI):
   an instrumented lock wrapper that fails on lock-order inversion, CRC
-  sentinels detecting write-after-share on copy-elision buffers, and
-  raw-frame leak checks — all reported through ``EngineStats``.
+  sentinels detecting write-after-share on copy-elision buffers,
+  raw-frame leak checks, and an event-loop stall watchdog
+  (``EventLoopStallMonitor``) — all reported through ``EngineStats``.
 
 This ``__init__`` exports only the stdlib-light runtime surface (locks,
 sanitizers); the lint engine is imported lazily so the blessed lock
@@ -36,6 +42,7 @@ from repro.analysis.locks import (
 )
 from repro.analysis.sanitizers import (
     BufferSanitizer,
+    EventLoopStallMonitor,
     SanitizerReport,
     buffer_sanitizer,
     collect_report,
@@ -70,6 +77,7 @@ def __getattr__(name: str) -> Any:
 __all__ = [
     "AbstractLock",
     "BufferSanitizer",
+    "EventLoopStallMonitor",
     "LOCK_MONITOR",
     "LockOrderError",
     "LockOrderMonitor",

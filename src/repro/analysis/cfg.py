@@ -1,0 +1,509 @@
+"""Function-level control-flow graphs over :mod:`ast`.
+
+sandlint's original passes are per-node: they can say "this call is
+banned here" but not "this resource is released on *every* path" or
+"this lock is held *across* that await".  Those are flow properties, and
+this module supplies the substrate: a :class:`ControlFlowGraph` of
+:class:`BasicBlock`\\ s per function, built from the AST with explicit
+edges for branches, loops, ``try``/``except``/``finally`` routing, and
+abrupt exits (``return`` / ``raise`` / ``break`` / ``continue``).
+
+Block contents are a flat list of *events* in execution order:
+
+* simple statements appear as themselves (``ast.Assign``, ``ast.Expr``,
+  ``ast.Return``, ...);
+* a conditional's test appears as :class:`Branch` in the block that ends
+  with it (its successors are the true/false targets);
+* a loop iterator appears as :class:`ForIter` in the loop-header block;
+* ``with`` bodies are inlined between :class:`WithEnter` /
+  :class:`WithExit` markers so dataflow passes see context-manager
+  acquire/release as ordinary events.
+
+Exception modeling is the usual lint compromise: explicit ``raise``
+statements and the *entry* of a ``try`` body get edges to that try's
+handlers (arbitrary calls are not assumed to throw), every abrupt exit
+is routed through the enclosing ``finally`` regions innermost-first, and
+a shared ``finally`` region fans out to every target that routed through
+it.  That over-approximates paths (a ``return`` route can appear to fall
+through to the statement after the ``try``) — sound for may-analyses,
+documented for must-analyses.
+
+The graph always has one synthetic entry block and one synthetic exit
+block; every ``return``, uncaught ``raise``, and normal fall-through
+reaches the exit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+__all__ = [
+    "BasicBlock",
+    "Branch",
+    "ControlFlowGraph",
+    "ForIter",
+    "WithEnter",
+    "WithExit",
+    "build_cfg",
+    "iter_functions",
+    "terminates_abruptly",
+]
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A conditional test ending a block (``if`` / ``while`` guard)."""
+
+    test: ast.expr
+    origin: ast.stmt
+
+
+@dataclass(frozen=True)
+class ForIter:
+    """A ``for`` loop header: one draw from ``iter`` binding ``target``."""
+
+    iter: ast.expr
+    target: ast.expr
+    origin: ast.stmt
+
+
+@dataclass(frozen=True)
+class WithEnter:
+    """Entry of one ``with`` item (context manager acquired)."""
+
+    item: ast.withitem
+    origin: ast.stmt
+
+
+@dataclass(frozen=True)
+class WithExit:
+    """Exit of one ``with`` item (context manager released)."""
+
+    item: ast.withitem
+    origin: ast.stmt
+
+
+Event = Union[ast.stmt, Branch, ForIter, WithEnter, WithExit]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of events with explicit successor edges."""
+
+    index: int
+    events: List[Event] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def add_successor(self, succ: "BasicBlock") -> None:
+        if succ.index not in self.successors:
+            self.successors.append(succ.index)
+        if self.index not in succ.predecessors:
+            succ.predecessors.append(self.index)
+
+
+class ControlFlowGraph:
+    """The CFG of one function: blocks, entry/exit, reachability."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.blocks: List[BasicBlock] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.func, ast.AsyncFunctionDef)
+
+    def reachable(self) -> Set[int]:
+        """Block indices reachable from the entry block."""
+        seen = {self.entry.index}
+        frontier = [self.entry.index]
+        while frontier:
+            index = frontier.pop()
+            for succ in self.blocks[index].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return seen
+
+    def reverse_postorder(self) -> List[int]:
+        """Reachable block indices in reverse postorder (forward-friendly)."""
+        order: List[int] = []
+        seen: Set[int] = set()
+
+        def visit(index: int) -> None:
+            # Iterative DFS so pathological nesting cannot blow the stack.
+            stack: List[Tuple[int, int]] = [(index, 0)]
+            seen.add(index)
+            while stack:
+                node, cursor = stack[-1]
+                succs = self.blocks[node].successors
+                if cursor < len(succs):
+                    stack[-1] = (node, cursor + 1)
+                    succ = succs[cursor]
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, 0))
+                else:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry.index)
+        order.reverse()
+        return order
+
+    def events_in_order(self) -> Iterator[Event]:
+        """Every event of every reachable block (analysis convenience)."""
+        reachable = self.reachable()
+        for block in self.blocks:
+            if block.index in reachable:
+                yield from block.events
+
+
+# -- construction -------------------------------------------------------------
+
+
+@dataclass
+class _LoopFrame:
+    break_target: BasicBlock
+    continue_target: BasicBlock
+    finally_depth: int
+
+
+@dataclass
+class _TryFrame:
+    handler_entries: List[BasicBlock]
+    finally_entry: Optional[BasicBlock]
+    # Targets registered for the finally region's fan-out, resolved when
+    # the region is built (block indices, deduplicated in order).
+    finally_targets: List[BasicBlock] = field(default_factory=list)
+
+    def add_finally_target(self, target: BasicBlock) -> None:
+        if self.finally_entry is None:
+            return
+        if all(t.index != target.index for t in self.finally_targets):
+            self.finally_targets.append(target)
+
+
+class _Builder:
+    """One pass over a function body producing its CFG."""
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.cfg = ControlFlowGraph(func)
+        self.current: Optional[BasicBlock] = self.cfg.entry
+        self.loops: List[_LoopFrame] = []
+        self.tries: List[_TryFrame] = []
+
+    # -- plumbing -------------------------------------------------------------
+    def _emit(self, event: Event) -> None:
+        if self.current is None:
+            # Dead code after an abrupt exit still gets a block so the
+            # events exist (unreachable: no predecessor edges).
+            self.current = self.cfg.new_block()
+        self.current.events.append(event)
+
+    def _jump(self, target: BasicBlock) -> None:
+        """End the current block with an edge to ``target``."""
+        if self.current is not None:
+            self.current.add_successor(target)
+        self.current = None
+
+    def _route_through_finallys(self, depth: int, target: BasicBlock) -> None:
+        """Edge from the current block to ``target`` via every ``finally``
+        region strictly above ``depth`` on the try stack, innermost first."""
+        chain = [
+            frame
+            for frame in self.tries[depth:]
+            if frame.finally_entry is not None
+        ]
+        if not chain:
+            self._jump(target)
+            return
+        chain.reverse()  # innermost first
+        first = chain[0].finally_entry
+        assert first is not None
+        self._jump(first)
+        for inner, outer in zip(chain, chain[1:]):
+            assert outer.finally_entry is not None
+            inner.add_finally_target(outer.finally_entry)
+        chain[-1].add_finally_target(target)
+
+    def _raise_targets(self) -> List[BasicBlock]:
+        """Where an explicit ``raise`` can land: the innermost enclosing
+        handlers, if any (the finally routing is applied separately)."""
+        for frame in reversed(self.tries):
+            if frame.handler_entries:
+                return frame.handler_entries
+        return []
+
+    # -- statement dispatch ---------------------------------------------------
+    def build(self) -> ControlFlowGraph:
+        func = self.cfg.func
+        self.visit_body(func.body)
+        if self.current is not None:
+            self._jump(self.cfg.exit)
+        return self.cfg
+
+    def visit_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit_stmt(stmt)
+
+    def visit_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.If):
+            self._visit_if(node)
+        elif isinstance(node, (ast.While,)):
+            self._visit_while(node)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._visit_for(node)
+        elif isinstance(node, ast.Try):
+            self._visit_try(node)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+        elif isinstance(node, ast.Return):
+            self._emit(node)
+            self._route_through_finallys(0, self.cfg.exit)
+        elif isinstance(node, ast.Raise):
+            self._emit(node)
+            handlers = self._raise_targets()
+            if handlers:
+                for handler in handlers:
+                    if self.current is not None:
+                        self.current.add_successor(handler)
+                self.current = None
+            else:
+                self._route_through_finallys(0, self.cfg.exit)
+        elif isinstance(node, ast.Break):
+            self._emit(node)
+            if self.loops:
+                frame = self.loops[-1]
+                self._route_through_finallys(
+                    frame.finally_depth, frame.break_target
+                )
+            else:  # malformed code; treat as function exit
+                self._route_through_finallys(0, self.cfg.exit)
+        elif isinstance(node, ast.Continue):
+            self._emit(node)
+            if self.loops:
+                frame = self.loops[-1]
+                self._route_through_finallys(
+                    frame.finally_depth, frame.continue_target
+                )
+            else:
+                self._route_through_finallys(0, self.cfg.exit)
+        elif isinstance(node, ast.Match):
+            self._visit_match(node)
+        else:
+            # Simple statements — including nested function/class
+            # definitions, which are opaque events here (each nested
+            # function gets its own CFG via iter_functions).
+            self._emit(node)
+
+    # -- compound statements --------------------------------------------------
+    def _visit_if(self, node: ast.If) -> None:
+        self._emit(Branch(node.test, node))
+        test_block = self.current
+        assert test_block is not None
+        after = self.cfg.new_block()
+        then_entry = self.cfg.new_block()
+        test_block.add_successor(then_entry)
+        self.current = then_entry
+        self.visit_body(node.body)
+        if self.current is not None:
+            self._jump(after)
+        if node.orelse:
+            else_entry = self.cfg.new_block()
+            test_block.add_successor(else_entry)
+            self.current = else_entry
+            self.visit_body(node.orelse)
+            if self.current is not None:
+                self._jump(after)
+        else:
+            test_block.add_successor(after)
+        self.current = after
+
+    def _visit_while(self, node: ast.While) -> None:
+        header = self.cfg.new_block()
+        after = self.cfg.new_block()
+        self._jump(header)
+        header.events.append(Branch(node.test, node))
+        body_entry = self.cfg.new_block()
+        header.add_successor(body_entry)
+        self.loops.append(_LoopFrame(after, header, len(self.tries)))
+        self.current = body_entry
+        self.visit_body(node.body)
+        if self.current is not None:
+            self._jump(header)
+        self.loops.pop()
+        if node.orelse:
+            else_entry = self.cfg.new_block()
+            header.add_successor(else_entry)
+            self.current = else_entry
+            self.visit_body(node.orelse)
+            if self.current is not None:
+                self._jump(after)
+        else:
+            header.add_successor(after)
+        self.current = after
+
+    def _visit_for(self, node: Union[ast.For, ast.AsyncFor]) -> None:
+        header = self.cfg.new_block()
+        after = self.cfg.new_block()
+        self._jump(header)
+        header.events.append(ForIter(node.iter, node.target, node))
+        body_entry = self.cfg.new_block()
+        header.add_successor(body_entry)
+        self.loops.append(_LoopFrame(after, header, len(self.tries)))
+        self.current = body_entry
+        self.visit_body(node.body)
+        if self.current is not None:
+            self._jump(header)
+        self.loops.pop()
+        if node.orelse:
+            else_entry = self.cfg.new_block()
+            header.add_successor(else_entry)
+            self.current = else_entry
+            self.visit_body(node.orelse)
+            if self.current is not None:
+                self._jump(after)
+        else:
+            header.add_successor(after)
+        self.current = after
+
+    def _visit_with(self, node: Union[ast.With, ast.AsyncWith]) -> None:
+        for item in node.items:
+            self._emit(WithEnter(item, node))
+        self.visit_body(node.body)
+        for item in reversed(node.items):
+            self._emit(WithExit(item, node))
+
+    def _visit_try(self, node: ast.Try) -> None:
+        after = self.cfg.new_block()
+        finally_entry = self.cfg.new_block() if node.finalbody else None
+        handler_entries = [self.cfg.new_block() for _ in node.handlers]
+        frame = _TryFrame(handler_entries, finally_entry)
+
+        body_entry = self.cfg.new_block()
+        self._jump(body_entry)
+        # An exception may fire before the first body statement runs.
+        for handler_entry in handler_entries:
+            body_entry.add_successor(handler_entry)
+        self.tries.append(frame)
+        self.current = body_entry
+        self.visit_body(node.body)
+        body_end = self.current
+        self.tries.pop()
+
+        # Normal completion: body -> orelse -> finally -> after.
+        if body_end is not None:
+            self.current = body_end
+            if node.orelse:
+                orelse_entry = self.cfg.new_block()
+                self._jump(orelse_entry)
+                self.current = orelse_entry
+                self.visit_body(node.orelse)
+            if self.current is not None:
+                if finally_entry is not None:
+                    self._jump(finally_entry)
+                    frame.add_finally_target(after)
+                else:
+                    self._jump(after)
+
+        # Handlers run with the try's own handlers out of scope (an
+        # exception raised inside a handler propagates outward), but the
+        # finally still applies.
+        for handler, handler_entry in zip(node.handlers, handler_entries):
+            if finally_entry is not None:
+                self.tries.append(_TryFrame([], finally_entry, frame.finally_targets))
+            self.current = handler_entry
+            self.visit_body(handler.body)
+            if finally_entry is not None:
+                self.tries.pop()
+            if self.current is not None:
+                if finally_entry is not None:
+                    self._jump(finally_entry)
+                    frame.add_finally_target(after)
+                else:
+                    self._jump(after)
+
+        # The finally region is built once; it fans out to every target
+        # that routed through it (the after-block, the exit, loop
+        # headers).  An uncaught exception also flows body -> finally ->
+        # exit when there are no handlers to absorb it.
+        if finally_entry is not None:
+            if not handler_entries:
+                body_entry.add_successor(finally_entry)
+                frame.add_finally_target(self.cfg.exit)
+            self.current = finally_entry
+            self.visit_body(node.finalbody)
+            finally_end = self.current
+            if finally_end is not None:
+                if not frame.finally_targets:
+                    frame.add_finally_target(after)
+                for target in frame.finally_targets:
+                    finally_end.add_successor(target)
+                self.current = None
+        self.current = after
+
+    def _visit_match(self, node: ast.Match) -> None:
+        # Each case is a branch off the subject block; the subject
+        # expression itself is kept as a Branch event so dataflow sees
+        # its uses.
+        self._emit(Branch(node.subject, node))
+        subject_block = self.current
+        assert subject_block is not None
+        after = self.cfg.new_block()
+        saw_wildcard = False
+        for case in node.cases:
+            case_entry = self.cfg.new_block()
+            subject_block.add_successor(case_entry)
+            self.current = case_entry
+            self.visit_body(case.body)
+            if self.current is not None:
+                self._jump(after)
+            if isinstance(case.pattern, ast.MatchAs) and case.pattern.pattern is None:
+                saw_wildcard = True
+        if not saw_wildcard:
+            subject_block.add_successor(after)
+        self.current = after
+
+
+def build_cfg(func: FunctionNode) -> ControlFlowGraph:
+    """The control-flow graph of one ``def`` / ``async def``."""
+    return _Builder(func).build()
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    """Every function in ``tree`` (nested ones included), outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def terminates_abruptly(body: Sequence[ast.stmt]) -> bool:
+    """Does ``body`` always leave its region (return/raise/break/continue)?
+
+    A shallow structural check used by dispatch-shape analysis: the last
+    statement decides, recursing into ``if``/``else`` pairs.
+    """
+    if not body:
+        return False
+    last = body[-1]
+    if isinstance(last, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+        return True
+    if isinstance(last, ast.If) and last.orelse:
+        return terminates_abruptly(last.body) and terminates_abruptly(last.orelse)
+    if isinstance(last, ast.Try):
+        branches = [last.body if not last.orelse else last.orelse]
+        branches.extend(handler.body for handler in last.handlers)
+        return all(terminates_abruptly(branch) for branch in branches)
+    return False

@@ -4,16 +4,56 @@ Exit status is the contract CI relies on: 0 when every applicable pass
 is clean, 1 when any finding survives pragma suppression, 2 on usage or
 parse errors.  Findings print one per line as ``path:line:col: [pass]
 message`` so editors and CI annotations can jump straight to them.
+
+``--format`` selects how findings are emitted:
+
+* ``text`` (default) — the ``path:line:col`` lines above;
+* ``json`` — one machine-readable document (``{"findings": [...],
+  "files_checked": N}``) for tooling;
+* ``github`` — GitHub Actions ``::error file=...`` workflow commands, so
+  CI findings surface inline on the PR diff.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-from repro.analysis.findings import render
+from repro.analysis.findings import Finding, render
 from repro.analysis.lint import default_passes, default_policy, lint_paths
+
+
+def render_json(findings: Sequence[Finding], checked: int) -> str:
+    return json.dumps(
+        {
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "pass": f.pass_id,
+                    "message": f.message,
+                }
+                for f in findings
+            ],
+            "files_checked": checked,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_github(findings: Sequence[Finding]) -> str:
+    # Workflow-command syntax: properties are comma-separated, the
+    # message follows `::`; newlines/percents in messages would need
+    # escaping but findings are single-line by construction.
+    return "\n".join(
+        f"::error file={f.path},line={f.line},col={f.col + 1},"
+        f"title=sandlint[{f.pass_id}]::{f.message}"
+        for f in findings
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,6 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PASS",
         help="run only the named pass (repeatable)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        dest="format",
+        help="finding output format (default: text)",
     )
     return parser
 
@@ -63,8 +110,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except (OSError, SyntaxError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.format == "json":
+        print(render_json(findings, checked))
+        return 1 if findings else 0
     if findings:
-        print(render(findings))
+        if args.format == "github":
+            print(render_github(findings))
+        else:
+            print(render(findings))
         print(
             f"sandlint: {len(findings)} finding(s) in {checked} file(s)",
             file=sys.stderr,

@@ -1,0 +1,171 @@
+"""A small lattice toolkit and fixpoint solver over :mod:`.cfg` graphs.
+
+Flow-sensitive lint passes phrase their invariant as a dataflow problem:
+pick a lattice (the per-program-point fact), write a transfer function
+(how one basic block changes the fact), and :func:`solve_forward` /
+:func:`solve_backward` iterate to the least fixpoint.  The lattices here
+are deliberately tiny — powerset-union for *may* facts ("this lease may
+still be open"), keyed maps of those for per-name tracking — because
+lint facts are small and the graphs are function-sized.
+
+Transfer functions receive the whole :class:`~repro.analysis.cfg.BasicBlock`
+and the incoming fact, and return the outgoing fact; they must be
+monotone (never remove information the join added) or the worklist will
+not terminate.  Facts must be immutable values (frozensets, tuples,
+mappings thereof) so sharing them between blocks is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Generic, Mapping, Tuple, TypeVar
+
+from repro.analysis.cfg import BasicBlock, ControlFlowGraph
+
+T = TypeVar("T")
+K = TypeVar("K")
+
+__all__ = [
+    "Lattice",
+    "MapLattice",
+    "SetUnionLattice",
+    "Transfer",
+    "solve_backward",
+    "solve_forward",
+]
+
+
+class Lattice(Generic[T]):
+    """A join-semilattice: ``bottom`` plus a commutative ``join``."""
+
+    def bottom(self) -> T:
+        raise NotImplementedError
+
+    def join(self, left: T, right: T) -> T:
+        raise NotImplementedError
+
+
+class SetUnionLattice(Lattice[FrozenSet[K]]):
+    """Powerset lattice under union: the workhorse for *may* analyses."""
+
+    def bottom(self) -> FrozenSet[K]:
+        return frozenset()
+
+    def join(self, left: FrozenSet[K], right: FrozenSet[K]) -> FrozenSet[K]:
+        if not left:
+            return right
+        if not right:
+            return left
+        return left | right
+
+
+class MapLattice(Generic[K, T], Lattice[Mapping[K, T]]):
+    """Pointwise lift of an inner lattice to key -> fact maps.
+
+    Missing keys mean the inner bottom, so maps stay sparse.  Facts are
+    plain (immutable-by-convention) dicts; :meth:`join` allocates only
+    when the two sides differ.
+    """
+
+    def __init__(self, inner: Lattice[T]) -> None:
+        self.inner = inner
+
+    def bottom(self) -> Mapping[K, T]:
+        return {}
+
+    def join(self, left: Mapping[K, T], right: Mapping[K, T]) -> Mapping[K, T]:
+        if not left:
+            return right
+        if not right:
+            return left
+        merged: Dict[K, T] = dict(left)
+        for key, fact in right.items():
+            have = merged.get(key)
+            merged[key] = fact if have is None else self.inner.join(have, fact)
+        return merged
+
+
+Transfer = Callable[[BasicBlock, T], T]
+
+
+def solve_forward(
+    cfg: ControlFlowGraph,
+    lattice: Lattice[T],
+    transfer: Transfer[T],
+    entry_fact: T,
+) -> Dict[int, Tuple[T, T]]:
+    """Forward fixpoint: ``{block index: (fact_in, fact_out)}``.
+
+    ``fact_in`` of a block is the join over its predecessors'
+    ``fact_out`` (the entry block additionally joins ``entry_fact``);
+    unreachable blocks keep bottom.
+    """
+    order = cfg.reverse_postorder()
+    position = {index: rank for rank, index in enumerate(order)}
+    fact_in: Dict[int, T] = {index: lattice.bottom() for index in order}
+    fact_out: Dict[int, T] = {index: lattice.bottom() for index in order}
+    fact_in[cfg.entry.index] = entry_fact
+    worklist = list(order)
+    pending = set(worklist)
+    while worklist:
+        index = worklist.pop(0)
+        pending.discard(index)
+        block = cfg.blocks[index]
+        incoming = fact_in[index] if index == cfg.entry.index else lattice.bottom()
+        for pred in block.predecessors:
+            if pred in fact_out:
+                incoming = lattice.join(incoming, fact_out[pred])
+        fact_in[index] = incoming
+        outgoing = transfer(block, incoming)
+        if outgoing != fact_out[index]:
+            fact_out[index] = outgoing
+            for succ in block.successors:
+                if succ in position and succ not in pending:
+                    pending.add(succ)
+                    worklist.append(succ)
+    return {
+        index: (fact_in[index], fact_out[index])
+        for index in order
+    }
+
+
+def solve_backward(
+    cfg: ControlFlowGraph,
+    lattice: Lattice[T],
+    transfer: Transfer[T],
+    exit_fact: T,
+) -> Dict[int, Tuple[T, T]]:
+    """Backward fixpoint: ``{block index: (fact_out, fact_in)}``.
+
+    Facts flow exit -> entry: a block's ``fact_out`` is the join over
+    its successors' ``fact_in`` (the exit block additionally joins
+    ``exit_fact``), and ``transfer`` maps ``fact_out`` to ``fact_in``
+    (i.e. it walks the block's events last-to-first).
+    """
+    order = cfg.reverse_postorder()
+    order_back = list(reversed(order))
+    position = {index: rank for rank, index in enumerate(order_back)}
+    fact_out: Dict[int, T] = {index: lattice.bottom() for index in order}
+    fact_in: Dict[int, T] = {index: lattice.bottom() for index in order}
+    fact_out[cfg.exit.index] = exit_fact
+    worklist = list(order_back)
+    pending = set(worklist)
+    while worklist:
+        index = worklist.pop(0)
+        pending.discard(index)
+        block = cfg.blocks[index]
+        outgoing = fact_out[index] if index == cfg.exit.index else lattice.bottom()
+        for succ in block.successors:
+            if succ in fact_in:
+                outgoing = lattice.join(outgoing, fact_in[succ])
+        fact_out[index] = outgoing
+        incoming = transfer(block, outgoing)
+        if incoming != fact_in[index]:
+            fact_in[index] = incoming
+            for pred in block.predecessors:
+                if pred in position and pred not in pending:
+                    pending.add(pred)
+                    worklist.append(pred)
+    return {
+        index: (fact_out[index], fact_in[index])
+        for index in order
+    }

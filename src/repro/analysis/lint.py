@@ -122,6 +122,11 @@ def default_policy() -> Policy:
             "no-unpooled-send": PathRule(
                 include=("repro/core/dataplane", "repro/core/wire")
             ),
+            # The event loop lives in the data plane and the service
+            # façade; elsewhere blocking calls are just calls.
+            "blocking-in-async": PathRule(
+                include=("repro/core/dataplane", "repro/core/service")
+            ),
         }
     )
 
@@ -130,6 +135,7 @@ def default_passes() -> List[LintPass]:
     """Instantiate every registered pass (importing the shipped set)."""
     # Imported here so registering the shipped passes never races the
     # registry's population order with custom callers.
+    from repro.analysis import flowpasses as _flowpasses  # noqa: F401
     from repro.analysis import passes as _passes  # noqa: F401
 
     return [cls() for cls in PASS_REGISTRY.values()]

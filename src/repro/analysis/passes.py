@@ -24,6 +24,12 @@ Each pass guards one invariant the test suite can only spot-check:
                           ``pickle``/``marshal`` inside the wire/dataplane
                           modules defeat pooled memoryview sends)
 ========================  ====================================================
+
+These are the *per-node* passes (single-statement judgements).  The
+flow-sensitive passes — must-release, blocking-in-async,
+lock-across-await, wire-exhaustiveness — live in
+``repro.analysis.flowpasses`` on top of the ``cfg``/``dataflow``
+framework.  The full catalog is ``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations

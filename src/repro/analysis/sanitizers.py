@@ -17,15 +17,24 @@ pays nothing.  Three detectors:
   byte accounting matches the memo's actual contents; drift is reported
   as a leak.
 
-:func:`collect_report` rolls all three into a :class:`SanitizerReport`,
+* **Event-loop stalls** — :class:`EventLoopStallMonitor` schedules a
+  heartbeat on an asyncio loop and measures how late it lands; a
+  callback that blocks the loop (sync file I/O, ``time.sleep``, a
+  threading-lock wait) delays every heartbeat behind it.  This is the
+  dynamic twin of the static ``blocking-in-async`` lint pass: the pass
+  catches the call sites it can name, the monitor catches whatever
+  actually blocked in production.
+
+:func:`collect_report` rolls everything into a :class:`SanitizerReport`,
 surfaced through ``EngineStats.sanitizer`` when the engine stops.
 """
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,6 +47,7 @@ from repro.analysis.locks import (
 
 __all__ = [
     "BufferSanitizer",
+    "EventLoopStallMonitor",
     "SanitizerReport",
     "buffer_sanitizer",
     "collect_report",
@@ -58,12 +68,14 @@ class SanitizerReport:
     lock_order_violations: List[str] = field(default_factory=list)
     write_after_share: List[str] = field(default_factory=list)
     raw_frame_leaks: List[str] = field(default_factory=list)
+    event_loop_stalls: List[str] = field(default_factory=list)
 
     def clean(self) -> bool:
         return not (
             self.lock_order_violations
             or self.write_after_share
             or self.raw_frame_leaks
+            or self.event_loop_stalls
         )
 
     def as_dict(self) -> Dict[str, List[str]]:
@@ -71,6 +83,7 @@ class SanitizerReport:
             "lock_order_violations": list(self.lock_order_violations),
             "write_after_share": list(self.write_after_share),
             "raw_frame_leaks": list(self.raw_frame_leaks),
+            "event_loop_stalls": list(self.event_loop_stalls),
         }
 
 
@@ -154,6 +167,92 @@ class BufferSanitizer:
 _BUFFER_SANITIZER = BufferSanitizer()
 
 
+class _StallLedger:
+    """Process-global, bounded record of observed event-loop stalls."""
+
+    MAX_STALLS = 256
+
+    def __init__(self) -> None:
+        self._mutex = make_lock("stall-ledger")
+        self._stalls: List[str] = []
+
+    def note(self, message: str) -> None:
+        with self._mutex:
+            if len(self._stalls) < self.MAX_STALLS:
+                self._stalls.append(message)
+
+    def report(self) -> List[str]:
+        with self._mutex:
+            return list(self._stalls)
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._stalls.clear()
+
+
+_STALL_LEDGER = _StallLedger()
+
+
+class EventLoopStallMonitor:
+    """Callback-duration watchdog for one asyncio event loop.
+
+    A heartbeat is scheduled every ``interval`` seconds with
+    ``loop.call_later``; the loop can only run it once every callback
+    ahead of it has finished, so a heartbeat arriving more than
+    ``threshold`` seconds late means *some* callback (or sync call
+    inside a coroutine) held the loop for at least that long.  Each
+    stall is recorded into the process-global ledger that
+    :func:`collect_report` snapshots.
+
+    The default threshold is deliberately generous (scheduler jitter on
+    a loaded CI box is real); tests injecting stalls pass their own.
+    """
+
+    def __init__(
+        self,
+        loop: Any,
+        threshold: float = 0.25,
+        interval: float = 0.02,
+        label: str = "event-loop",
+    ) -> None:
+        self._loop = loop
+        self._threshold = threshold
+        self._interval = interval
+        self._label = label
+        self._handle: Optional[Any] = None
+        self._expected = 0.0
+        self._running = False
+        self.stalls_seen = 0
+
+    def start(self) -> None:
+        """Begin heartbeating (call from the loop's own thread)."""
+        self._running = True
+        self._schedule()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _schedule(self) -> None:
+        self._expected = time.perf_counter() + self._interval
+        self._handle = self._loop.call_later(self._interval, self._beat)
+
+    def _beat(self) -> None:
+        late = time.perf_counter() - self._expected
+        if late >= self._threshold:
+            self.stalls_seen += 1
+            _STALL_LEDGER.note(
+                f"event-loop stall: {self._label} blocked "
+                f"~{late * 1000.0:.0f}ms (threshold "
+                f"{self._threshold * 1000.0:.0f}ms); some callback held "
+                "the loop instead of offloading"
+            )
+        if self._running:
+            self._schedule()
+
+
 def buffer_sanitizer() -> Optional[BufferSanitizer]:
     """The process-global buffer sanitizer, or None when disabled."""
     if not sanitizers_enabled():
@@ -168,6 +267,7 @@ def collect_report() -> SanitizerReport:
         lock_order_violations=LOCK_MONITOR.report(),
         write_after_share=write_after_share,
         raw_frame_leaks=leaks,
+        event_loop_stalls=_STALL_LEDGER.report(),
     )
 
 
@@ -175,3 +275,4 @@ def reset_sanitizers() -> None:
     """Clear all sanitizer state (tests; between independent runs)."""
     LOCK_MONITOR.reset()
     _BUFFER_SANITIZER.reset()
+    _STALL_LEDGER.reset()

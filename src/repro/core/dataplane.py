@@ -46,14 +46,14 @@ import os
 import socket
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
 import repro.core.wire as wire
-from repro.analysis.locks import make_lock
-from repro.analysis.sanitizers import buffer_sanitizer
+from repro.analysis.locks import make_lock, sanitizers_enabled
+from repro.analysis.sanitizers import EventLoopStallMonitor, buffer_sanitizer
 from repro.faults.errors import TransientDecodeError
 from repro.storage.objectstore import TransientStorageError
 
@@ -346,9 +346,10 @@ class AsyncBatchServer:
         self._sock: Optional[socket.socket] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._accept_task: Optional[asyncio.Task] = None
-        self._conn_tasks: set = set()
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
         self._bg_loop: Optional[asyncio.AbstractEventLoop] = None
         self._bg_thread: Optional[threading.Thread] = None
+        self._stall_monitor: Optional[EventLoopStallMonitor] = None
         self.address: Optional[Address] = None
         self._stats_lock = make_lock("dataplane.server-stats")
         self._connections = 0
@@ -380,11 +381,19 @@ class AsyncBatchServer:
         sock.listen(128)
         sock.setblocking(False)
         self._sock = sock
+        if sanitizers_enabled():
+            self._stall_monitor = EventLoopStallMonitor(
+                loop, label="AsyncBatchServer loop"
+            )
+            self._stall_monitor.start()
         self._accept_task = loop.create_task(self._accept_loop())
         return self.address
 
     async def stop(self) -> None:
         """Stop accepting, cancel connections, release everything."""
+        monitor, self._stall_monitor = self._stall_monitor, None
+        if monitor is not None:
+            monitor.stop()
         accept, self._accept_task = self._accept_task, None
         if accept is not None:
             accept.cancel()
@@ -400,14 +409,17 @@ class AsyncBatchServer:
         sock, self._sock = self._sock, None
         if sock is not None:
             sock.close()
+        # Shutdown path: every connection task is already cancelled, so
+        # the loop is serving no one while these two teardown calls
+        # block it.
         if self._unix_path is not None:
             try:
-                os.unlink(self._unix_path)
+                os.unlink(self._unix_path)  # sandlint: ignore[blocking-in-async]
             except OSError:
                 pass
         executor, self._executor = self._executor, None
         if executor is not None:
-            executor.shutdown(wait=True)
+            executor.shutdown(wait=True)  # sandlint: ignore[blocking-in-async]
 
     # -- lifecycle (background thread, for sync callers) ----------------------
     def start_background(self) -> Address:
@@ -588,8 +600,14 @@ class AsyncBatchServer:
         except (KeyError, TypeError, ValueError) as exc:
             raise DataPlaneError(f"malformed GET_BATCH request: {exc}") from exc
         assert self._executor is not None
-        future = loop.run_in_executor(
-            self._executor, self._source.get_batch_lease, task, epoch, iteration
+        future: "asyncio.Future[Tuple[BatchLease, Dict[str, Any]]]" = (
+            loop.run_in_executor(
+                self._executor,
+                self._source.get_batch_lease,
+                task,
+                epoch,
+                iteration,
+            )
         )
         try:
             return await future
@@ -652,7 +670,9 @@ class AsyncBatchServer:
             noter(nbytes, task=task)
 
 
-def _release_orphan(future: "Future") -> None:
+def _release_orphan(
+    future: "asyncio.Future[Tuple[BatchLease, Dict[str, Any]]]",
+) -> None:
     if future.cancelled() or future.exception() is not None:
         return
     lease, _metadata = future.result()
@@ -698,7 +718,7 @@ class BatchSocketClient:
         if ftype != wire.FrameType.HELLO:
             self.close()
             raise wire.WireError(f"expected HELLO from server, got {ftype.name}")
-        self.server_info = wire.parse_json(payload)
+        self.server_info: Dict[str, Any] = wire.parse_json(payload)
 
     # -- requests --------------------------------------------------------------
     def get_batch(
@@ -747,7 +767,8 @@ class BatchSocketClient:
         ftype, payload = self._read_frame()
         if ftype != wire.FrameType.STATS:
             raise wire.WireError(f"expected STATS, got {ftype.name}")
-        return wire.parse_json(payload)
+        stats: Dict[str, Any] = wire.parse_json(payload)
+        return stats
 
     # -- plumbing --------------------------------------------------------------
     def _send(self, frame: bytes) -> None:

@@ -1,0 +1,16 @@
+"""Positive fixture: blessed locks held across await expressions."""
+
+from repro.analysis.locks import make_lock
+
+_STATS_LOCK = make_lock("stats")
+
+
+async def flush_with_lock_held(sink):
+    with _STATS_LOCK:
+        await sink.flush()  # finding: every other task contends here
+
+
+async def explicit_acquire_spans_await(state_lock, payload):
+    state_lock.acquire()
+    await payload.send()  # finding: lock held across the await
+    state_lock.release()

@@ -1,0 +1,31 @@
+"""Positive fixture: resources acquired but not released on every path."""
+
+
+def leak_on_early_return(pool, shape, ok):
+    lease = pool.acquire(shape)  # finding: open on the early-return path
+    if not ok:
+        return None
+    lease.release()
+    return True
+
+
+def leak_file(path):
+    handle = open(path)  # finding: never closed at all
+    data = handle.read()
+    return data
+
+
+def leak_in_handler(pool, shape):
+    lease = pool.acquire(shape)  # finding: handler returns without releasing
+    try:
+        lease.fill(0)
+    except ValueError:
+        return False
+    lease.release()
+    return True
+
+
+def leak_lock_branch(gate, ready):
+    gate.acquire()  # finding: only released when ready
+    if ready:
+        gate.release()

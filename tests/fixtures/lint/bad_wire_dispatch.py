@@ -1,0 +1,31 @@
+"""Positive fixture: FrameType dispatches that drop protocol variants."""
+
+from repro.core import wire
+
+
+def partial_chain(frame, out):
+    ftype = frame.frame_type
+    if ftype == wire.FrameType.PING:
+        out.append("ping")
+    elif ftype == wire.FrameType.ACK:  # finding: no else, 8 variants dropped
+        out.append("ack")
+
+
+def partial_match(frame):
+    match frame.frame_type:  # finding: no `case _:` default
+        case wire.FrameType.PING:
+            return "ping"
+        case wire.FrameType.ACK:
+            return "ack"
+
+
+def partial_pump(frames):
+    out = []
+    for frame in frames:
+        if frame.kind == wire.FrameType.BATCH:
+            out.append("batch")
+            continue
+        if frame.kind == wire.FrameType.ERR:  # finding: silent fall-through
+            out.append("err")
+            continue
+    return out

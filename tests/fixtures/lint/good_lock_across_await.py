@@ -1,0 +1,19 @@
+"""Negative fixture: locks and awaits that never overlap."""
+
+
+async def release_before_await(stats_lock, sink, value):
+    stats_lock.acquire()
+    counter = value + 1
+    stats_lock.release()
+    await sink.flush()
+    return counter
+
+
+async def asyncio_lock_is_designed_for_this(aio_lock, sink):
+    async with aio_lock:
+        await sink.flush()
+
+
+async def lock_without_await(stats_lock, values):
+    with stats_lock:
+        return sum(values)

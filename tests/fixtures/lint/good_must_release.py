@@ -1,0 +1,42 @@
+"""Negative fixture: every acquisition is released, managed, or handed off."""
+
+
+def release_in_finally(pool, shape):
+    lease = pool.acquire(shape)
+    try:
+        return lease.array.sum()
+    finally:
+        lease.release()
+
+
+def with_managed(pool, shape):
+    lease = pool.acquire(shape)
+    with lease:
+        return lease.array.mean()
+
+
+def transfer_to_caller(pool, shape):
+    lease = pool.acquire(shape)
+    return lease
+
+
+def handoff_to_registry(pool, registry, shape):
+    lease = pool.acquire(shape)
+    registry.append(lease)
+    return None
+
+
+def released_on_both_branches(pool, shape, fast):
+    lease = pool.acquire(shape)
+    if fast:
+        lease.release()
+    else:
+        lease.detach()
+
+
+def closed_file(path):
+    handle = open(path)
+    try:
+        return handle.read()
+    finally:
+        handle.close()

@@ -1,0 +1,39 @@
+"""Negative fixture: FrameType dispatches with explicit defaults."""
+
+from repro.core import wire
+
+
+def trailing_default_raises(frame):
+    ftype = frame.frame_type
+    if ftype == wire.FrameType.PING:
+        return "ping"
+    if ftype == wire.FrameType.ACK:
+        return "ack"
+    raise ValueError(f"unhandled frame type {ftype}")
+
+
+def chain_with_else(frame):
+    ftype = frame.frame_type
+    if ftype == wire.FrameType.PING:
+        out = "ping"
+    elif ftype == wire.FrameType.ACK:
+        out = "ack"
+    else:
+        raise ValueError(ftype)
+    return out
+
+
+def match_with_wildcard(frame):
+    match frame.frame_type:
+        case wire.FrameType.PING:
+            return "ping"
+        case wire.FrameType.ACK:
+            return "ack"
+        case _:
+            raise ValueError("unhandled")
+
+
+def single_guard_is_not_a_dispatch(frame):
+    if frame.frame_type == wire.FrameType.ERR:
+        raise ValueError("server error")
+    return frame.payload

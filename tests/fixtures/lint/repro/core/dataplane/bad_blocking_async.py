@@ -1,0 +1,20 @@
+"""Positive fixture: blocking calls on the event-loop thread."""
+
+import os
+import time
+
+
+async def serve_once(sock, stats_gate, path, fd):
+    time.sleep(0.05)  # finding: blocks every task on the loop
+    stats_gate.acquire()  # finding: threading-lock acquire on the loop
+    try:
+        header = sock.recv(20)  # finding: blocking socket read
+    finally:
+        stats_gate.release()
+    handle = open(path, "rb")  # finding: direct file I/O on the loop
+    try:
+        body = handle.read()
+    finally:
+        handle.close()
+    os.fsync(fd)  # finding: blocking disk flush
+    return header, body

@@ -1,0 +1,24 @@
+"""Negative fixture: async code that defers blocking work correctly."""
+
+import asyncio
+import time
+
+
+async def serve(loop, sock, engine, request):
+    await asyncio.sleep(0.01)
+    header = await loop.sock_recv(sock, 20)
+    batch = await loop.run_in_executor(None, engine.get_batch, request)
+    return header, batch
+
+
+def sync_helper(path):
+    # Plain sync code: blocking file I/O is fine off the loop.
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+async def dead_code_is_not_flagged(flag):
+    if flag:
+        return "early"
+    return "late"
+    time.sleep(1)  # unreachable: the CFG prunes it

@@ -1,0 +1,361 @@
+"""CFG construction and dataflow fixpoints on branching/loop/try-finally
+shapes, plus the lattice toolkit they ride on."""
+
+import ast
+
+from repro.analysis.cfg import (
+    Branch,
+    ForIter,
+    WithEnter,
+    WithExit,
+    build_cfg,
+    iter_functions,
+    terminates_abruptly,
+)
+from repro.analysis.dataflow import (
+    MapLattice,
+    SetUnionLattice,
+    solve_backward,
+    solve_forward,
+)
+
+
+def cfg_of(source: str):
+    tree = ast.parse(source)
+    func = next(iter_functions(tree))
+    return build_cfg(func)
+
+
+def block_with(cfg, predicate):
+    """The unique block holding an event matching ``predicate``."""
+    hits = [
+        block
+        for block in cfg.blocks
+        if any(predicate(event) for event in block.events)
+    ]
+    assert len(hits) == 1, [b.index for b in hits]
+    return hits[0]
+
+
+def is_assign_to(name):
+    return lambda e: (
+        isinstance(e, ast.Assign)
+        and isinstance(e.targets[0], ast.Name)
+        and e.targets[0].id == name
+    )
+
+
+def is_call_of(attr):
+    return lambda e: (
+        isinstance(e, ast.Expr)
+        and isinstance(e.value, ast.Call)
+        and isinstance(e.value.func, ast.Attribute)
+        and e.value.func.attr == attr
+    )
+
+
+# -- transfer functions used by the solver tests -----------------------------
+
+
+def assigned_names(block, fact):
+    out = set(fact)
+    for event in block.events:
+        if isinstance(event, ast.Assign):
+            for target in event.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+    return frozenset(out)
+
+
+def _names_in(expr):
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+def liveness(block, fact):
+    live = set(fact)
+    for event in reversed(block.events):
+        if isinstance(event, ast.Assign):
+            for target in event.targets:
+                if isinstance(target, ast.Name):
+                    live.discard(target.id)
+            live |= _names_in(event.value)
+        elif isinstance(event, ast.Return) and event.value is not None:
+            live |= _names_in(event.value)
+        elif isinstance(event, Branch):
+            live |= _names_in(event.test)
+    return frozenset(live)
+
+
+# -- CFG shape ---------------------------------------------------------------
+
+
+def test_branch_blocks_join_at_exit():
+    cfg = cfg_of(
+        "def f(c):\n"
+        "    if c:\n"
+        "        x = 1\n"
+        "    else:\n"
+        "        y = 2\n"
+        "    z = 3\n"
+    )
+    then_block = block_with(cfg, is_assign_to("x"))
+    else_block = block_with(cfg, is_assign_to("y"))
+    join_block = block_with(cfg, is_assign_to("z"))
+    assert then_block.successors == [join_block.index]
+    assert else_block.successors == [join_block.index]
+    assert set(join_block.predecessors) == {then_block.index, else_block.index}
+    assert cfg.exit.index in join_block.successors
+
+
+def test_loop_has_back_edge_and_exit_edge():
+    cfg = cfg_of(
+        "def f(n):\n"
+        "    i = 0\n"
+        "    while i < n:\n"
+        "        i = i + 1\n"
+        "    done = True\n"
+    )
+    header = block_with(cfg, lambda e: isinstance(e, Branch))
+    body = [b for b in cfg.blocks if any(is_assign_to("i")(e) for e in b.events)]
+    back_sources = [b for b in body if header.index in b.successors]
+    assert back_sources, "loop body must jump back to the header"
+    after = block_with(cfg, is_assign_to("done"))
+    assert after.index in header.successors
+
+
+def test_break_and_continue_targets():
+    cfg = cfg_of(
+        "def f(items):\n"
+        "    total = 0\n"
+        "    for item in items:\n"
+        "        if item < 0:\n"
+        "            break\n"
+        "        if item == 0:\n"
+        "            continue\n"
+        "        total = total + item\n"
+        "    return total\n"
+    )
+    header = block_with(cfg, lambda e: isinstance(e, ForIter))
+    break_block = block_with(cfg, lambda e: isinstance(e, ast.Break))
+    continue_block = block_with(cfg, lambda e: isinstance(e, ast.Continue))
+    return_block = block_with(cfg, lambda e: isinstance(e, ast.Return))
+    assert continue_block.successors == [header.index]
+    assert break_block.successors == [return_block.index]
+
+
+def test_return_routes_through_finally():
+    cfg = cfg_of(
+        "def f(res):\n"
+        "    try:\n"
+        "        return res.get()\n"
+        "    finally:\n"
+        "        res.close()\n"
+    )
+    return_block = block_with(cfg, lambda e: isinstance(e, ast.Return))
+    finally_block = block_with(cfg, is_call_of("close"))
+    assert return_block.successors == [finally_block.index]
+    assert cfg.exit.index in finally_block.successors
+
+
+def test_nested_finallys_route_innermost_first():
+    cfg = cfg_of(
+        "def f(r1, r2):\n"
+        "    try:\n"
+        "        try:\n"
+        "            return r1.get()\n"
+        "        finally:\n"
+        "            r1.release()\n"
+        "    finally:\n"
+        "        r2.close()\n"
+    )
+    return_block = block_with(cfg, lambda e: isinstance(e, ast.Return))
+    inner = block_with(cfg, is_call_of("release"))
+    outer = block_with(cfg, is_call_of("close"))
+    assert return_block.successors == [inner.index]
+    assert outer.index in inner.successors
+    assert cfg.exit.index in outer.successors
+
+
+def test_try_body_entry_has_handler_edge():
+    cfg = cfg_of(
+        "def f(x):\n"
+        "    try:\n"
+        "        y = x.get()\n"
+        "    except ValueError:\n"
+        "        y = None\n"
+        "    return y\n"
+    )
+    assigners = [
+        b for b in cfg.blocks if any(is_assign_to("y")(e) for e in b.events)
+    ]
+    assert len(assigners) == 2  # the try body and the handler
+    # Exactly one of them (the try body) has an edge into the other
+    # (the handler): an exception may fire before the body runs.
+    edges = [
+        (src, dst)
+        for src in assigners
+        for dst in assigners
+        if dst.index in src.predecessors or dst.index in src.successors
+    ]
+    body_to_handler = [
+        (src, dst) for src, dst in edges if dst.index in src.successors
+    ]
+    assert len(body_to_handler) == 1
+
+
+def test_with_bodies_are_bracketed_by_markers():
+    cfg = cfg_of(
+        "def f(lock):\n"
+        "    with lock:\n"
+        "        x = 1\n"
+    )
+    events = list(cfg.events_in_order())
+    kinds = [type(e).__name__ for e in events]
+    assert kinds.index("WithEnter") < kinds.index("Assign") < kinds.index("WithExit")
+    enters = [e for e in events if isinstance(e, WithEnter)]
+    exits = [e for e in events if isinstance(e, WithExit)]
+    assert len(enters) == len(exits) == 1
+
+
+def test_code_after_return_is_unreachable():
+    cfg = cfg_of(
+        "def f():\n"
+        "    return 1\n"
+        "    x = 2\n"
+    )
+    dead = block_with(cfg, is_assign_to("x"))
+    assert dead.index not in cfg.reachable()
+    assert dead.index not in cfg.reverse_postorder()
+
+
+def test_terminates_abruptly_shapes():
+    def body_of(src):
+        return ast.parse(src).body[0].body
+
+    assert terminates_abruptly(body_of("def f():\n    return 1\n"))
+    assert terminates_abruptly(
+        body_of("def f(c):\n    if c:\n        return 1\n    else:\n        raise c\n")
+    )
+    assert not terminates_abruptly(
+        body_of("def f(c):\n    if c:\n        return 1\n")
+    )
+    assert not terminates_abruptly(body_of("def f():\n    x = 1\n"))
+
+
+# -- forward solver ----------------------------------------------------------
+
+
+def test_forward_joins_branch_facts():
+    cfg = cfg_of(
+        "def f(c):\n"
+        "    if c:\n"
+        "        x = 1\n"
+        "    else:\n"
+        "        y = 2\n"
+        "    z = 3\n"
+    )
+    lattice = SetUnionLattice()
+    facts = solve_forward(cfg, lattice, assigned_names, frozenset())
+    exit_in = facts[cfg.exit.index][0]
+    assert exit_in == frozenset({"x", "y", "z"})
+    # Inside the then-branch only x is known.
+    then_block = block_with(cfg, is_assign_to("x"))
+    assert facts[then_block.index][1] == frozenset({"x"})
+
+
+def test_forward_reaches_fixpoint_on_loops():
+    cfg = cfg_of(
+        "def f(n):\n"
+        "    i = 0\n"
+        "    while i < n:\n"
+        "        i = i + 1\n"
+        "        j = i\n"
+        "    k = 9\n"
+    )
+    lattice = SetUnionLattice()
+    facts = solve_forward(cfg, lattice, assigned_names, frozenset())
+    exit_in = facts[cfg.exit.index][0]
+    assert exit_in == frozenset({"i", "j", "k"})
+    header = block_with(cfg, lambda e: isinstance(e, Branch))
+    # The back edge feeds j into the header's in-fact.
+    assert "j" in facts[header.index][0]
+
+
+def test_forward_sees_both_try_and_handler_paths():
+    cfg = cfg_of(
+        "def f(x):\n"
+        "    try:\n"
+        "        a = x.get()\n"
+        "    except ValueError:\n"
+        "        b = 1\n"
+        "    c = 2\n"
+    )
+    lattice = SetUnionLattice()
+    facts = solve_forward(cfg, lattice, assigned_names, frozenset())
+    assert facts[cfg.exit.index][0] == frozenset({"a", "b", "c"})
+
+
+def test_forward_skips_unreachable_blocks():
+    cfg = cfg_of(
+        "def f():\n"
+        "    return 1\n"
+        "    x = 2\n"
+    )
+    lattice = SetUnionLattice()
+    facts = solve_forward(cfg, lattice, assigned_names, frozenset())
+    dead = block_with(cfg, is_assign_to("x"))
+    assert dead.index not in facts
+
+
+# -- backward solver ---------------------------------------------------------
+
+
+def test_backward_liveness_on_straight_line():
+    cfg = cfg_of(
+        "def f(a, b):\n"
+        "    x = a + 1\n"
+        "    return x + b\n"
+    )
+    lattice = SetUnionLattice()
+    facts = solve_backward(cfg, lattice, liveness, frozenset())
+    entry_live = facts[cfg.entry.index][1]
+    assert entry_live == frozenset({"a", "b"})
+
+
+def test_backward_liveness_joins_branches():
+    cfg = cfg_of(
+        "def f(c, a, b):\n"
+        "    if c:\n"
+        "        x = a\n"
+        "    else:\n"
+        "        x = b\n"
+        "    return x\n"
+    )
+    lattice = SetUnionLattice()
+    facts = solve_backward(cfg, lattice, liveness, frozenset())
+    entry_live = facts[cfg.entry.index][1]
+    assert entry_live == frozenset({"c", "a", "b"})
+    then_block = block_with(cfg, lambda e: is_assign_to("x")(e) and "a" in _names_in(e.value))
+    # After `x = a` runs, only x is live (b's path was not taken).
+    assert facts[then_block.index][0] == frozenset({"x"})
+
+
+# -- lattices ----------------------------------------------------------------
+
+
+def test_set_union_lattice():
+    lattice = SetUnionLattice()
+    assert lattice.bottom() == frozenset()
+    assert lattice.join(frozenset({1}), frozenset({2})) == frozenset({1, 2})
+    assert lattice.join(frozenset(), frozenset({3})) == frozenset({3})
+
+
+def test_map_lattice_joins_pointwise():
+    lattice = MapLattice(SetUnionLattice())
+    assert lattice.bottom() == {}
+    left = {"a": frozenset({1})}
+    right = {"a": frozenset({2}), "b": frozenset({3})}
+    merged = lattice.join(left, right)
+    assert merged == {"a": frozenset({1, 2}), "b": frozenset({3})}
+    # Missing keys mean bottom, not absence-of-information errors.
+    assert lattice.join({}, right) == right

@@ -1,6 +1,7 @@
 """sandlint: each pass against its positive/negative fixtures, pragma
 suppression, policy scoping, the CLI contract, and the repo-clean gate."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -37,6 +38,10 @@ POSITIVE = [
     ("bad_raw_lock.py", "raw-lock", 3),
     ("bad_fault_site.py", "unregistered-fault-site", 2),
     ("repro/core/dataplane/bad_unpooled_send.py", "no-unpooled-send", 4),
+    ("bad_must_release.py", "must-release", 4),
+    ("repro/core/dataplane/bad_blocking_async.py", "blocking-in-async", 5),
+    ("bad_lock_across_await.py", "lock-across-await", 2),
+    ("bad_wire_dispatch.py", "wire-exhaustiveness", 3),
 ]
 
 NEGATIVE = [
@@ -48,6 +53,10 @@ NEGATIVE = [
     "good_fault_site.py",
     "repro/core/dataplane/good_unpooled_send.py",
     "pragma_suppressed.py",
+    "good_must_release.py",
+    "repro/core/dataplane/good_blocking_async.py",
+    "good_lock_across_await.py",
+    "good_wire_dispatch.py",
 ]
 
 
@@ -89,6 +98,14 @@ def test_no_unpooled_send_scopes_to_delivery_modules():
     inside = lint_source(source, "src/repro/core/wire.py")
     outside = lint_source(source, "src/repro/augment/rpc.py")
     assert [f.pass_id for f in inside] == ["no-unpooled-send"]
+    assert outside == []
+
+
+def test_blocking_in_async_scopes_to_loop_modules():
+    source = "import time\n\nasync def f():\n    time.sleep(1)\n"
+    inside = lint_source(source, "src/repro/core/dataplane.py")
+    outside = lint_source(source, "src/repro/metrics/x.py")
+    assert [f.pass_id for f in inside] == ["blocking-in-async"]
     assert outside == []
 
 
@@ -140,7 +157,7 @@ def test_render_is_stable_and_clickable():
 
 def test_every_registered_pass_has_id_and_description():
     passes = default_passes()
-    assert len(passes) >= 6
+    assert len(passes) >= 10
     assert len({p.pass_id for p in passes}) == len(passes)
     assert all(p.description for p in passes)
 
@@ -183,5 +200,49 @@ def test_cli_usage_errors(capsys):
 def test_cli_list_passes(capsys):
     assert main(["--list-passes"]) == 0
     out = capsys.readouterr().out
-    for pass_id in ("unseeded-rng", "raw-lock", "unregistered-fault-site"):
+    for pass_id in (
+        "unseeded-rng",
+        "raw-lock",
+        "unregistered-fault-site",
+        "must-release",
+        "blocking-in-async",
+        "lock-across-await",
+        "wire-exhaustiveness",
+    ):
         assert pass_id in out
+
+
+# -- output formats ----------------------------------------------------------
+
+
+def test_cli_json_format_on_findings(capsys):
+    code = main(["--format", "json", str(FIXTURES / "bad_raw_lock.py")])
+    out = capsys.readouterr().out
+    assert code == 1
+    doc = json.loads(out)
+    assert doc["files_checked"] == 1
+    assert len(doc["findings"]) == 3
+    first = doc["findings"][0]
+    assert set(first) == {"path", "line", "col", "pass", "message"}
+    assert first["pass"] == "raw-lock"
+    assert first["line"] > 0
+
+
+def test_cli_json_format_clean(capsys):
+    code = main(["--format", "json", str(FIXTURES / "good_raw_lock.py")])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["findings"] == []
+    assert doc["files_checked"] == 1
+
+
+def test_cli_github_format_emits_error_annotations(capsys):
+    code = main(["--format", "github", str(FIXTURES / "bad_must_release.py")])
+    out = capsys.readouterr().out
+    assert code == 1
+    lines = out.strip().splitlines()
+    assert len(lines) == 4
+    for line in lines:
+        assert line.startswith("::error file=")
+        assert "title=sandlint[must-release]" in line
+        assert ",line=" in line and ",col=" in line

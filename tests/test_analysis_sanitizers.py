@@ -269,3 +269,70 @@ def test_engine_report_is_none_when_disabled(dataset, monkeypatch):
     engine.stop()
     assert engine.stats.sanitizer is None
     assert engine.sanitizer_report() is None
+
+
+# -- event-loop stall monitor -------------------------------------------------
+
+
+def test_stall_monitor_flags_injected_blocking_call(sanitized):
+    import asyncio
+    import time
+
+    from repro.analysis.sanitizers import EventLoopStallMonitor
+
+    async def main():
+        loop = asyncio.get_running_loop()
+        monitor = EventLoopStallMonitor(
+            loop, threshold=0.03, interval=0.01, label="test loop"
+        )
+        monitor.start()
+        await asyncio.sleep(0.03)  # heartbeats land on time while idle
+        time.sleep(0.1)  # the injected blocking call
+        await asyncio.sleep(0.05)  # let the delayed heartbeat fire
+        monitor.stop()
+        return monitor.stalls_seen
+
+    assert asyncio.run(main()) >= 1
+    report = collect_report()
+    assert report.event_loop_stalls, report.as_dict()
+    assert "stall" in report.event_loop_stalls[0]
+    assert not report.clean()
+
+
+def test_stall_monitor_quiet_on_well_behaved_loop(sanitized):
+    import asyncio
+
+    from repro.analysis.sanitizers import EventLoopStallMonitor
+
+    async def main():
+        loop = asyncio.get_running_loop()
+        monitor = EventLoopStallMonitor(loop, threshold=0.2, interval=0.01)
+        monitor.start()
+        for _ in range(5):
+            await asyncio.sleep(0.01)  # yields: heartbeats run on time
+        monitor.stop()
+
+    asyncio.run(main())
+    assert collect_report().event_loop_stalls == []
+
+
+def test_sanitized_dataplane_epoch_reports_no_stalls(sanitized, dataset, tmp_path):
+    from repro.core.dataplane import AsyncBatchServer, BatchSocketClient
+
+    plan = build_plan_window([make_config()], dataset, 0, 2, seed=7)
+    engine = PreprocessingEngine(plan, dataset, num_workers=0)
+    with engine:
+        server = AsyncBatchServer(engine, unix_path=str(tmp_path / "san.sock"))
+        server.start_background()
+        try:
+            with BatchSocketClient(server.address) as client:
+                for key in sorted(plan.batches):
+                    client.get_batch(*key)
+        finally:
+            server.shutdown()
+    report = engine.stats.sanitizer
+    assert report is not None
+    # Engine work runs on the executor, so the serving loop never
+    # blocks long enough to trip the watchdog.
+    assert report.event_loop_stalls == [], report.as_dict()
+    assert report.clean(), report.as_dict()

@@ -535,3 +535,141 @@ def test_prefetcher_ready_queue_holds_leases(dataset):
     assert engine.delivery_pool.leases_outstanding == 0
     report = engine.stats.traffic_report()["dataplane"]
     assert report["leases_issued"] >= len(plan.batches)
+
+
+# -- get_batch_with_retry failure paths --------------------------------------
+
+
+class _FlakySource:
+    """A lease-aware source that fails ``fail_times`` before serving."""
+
+    def __init__(self, fail_times, exc_factory):
+        self.pool = BufferPool(name="flaky-source")
+        self.fail_times = fail_times
+        self.exc_factory = exc_factory
+        self.calls = 0
+
+    def get_batch_lease(self, task, epoch, iteration):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise self.exc_factory()
+        lease = self.pool.acquire((2, 3), np.uint8)
+        lease.array[:] = 7
+        return lease, {"task": task, "epoch": epoch, "iteration": iteration}
+
+
+def test_retry_outlives_transient_server_errs(tmp_path):
+    from repro.faults.errors import TransientDecodeError
+
+    source = _FlakySource(2, lambda: TransientDecodeError("decode hiccup"))
+    server = AsyncBatchServer(source, unix_path=str(tmp_path / "flaky.sock"))
+    server.start_background()
+    try:
+        with BatchSocketClient(server.address) as client:
+            batch, metadata = client.get_batch_with_retry("t", 0, 0, retries=3)
+            assert batch.tobytes() == bytes([7] * 6)
+            assert metadata["task"] == "t"
+        assert source.calls == 3  # two ERR frames, then the batch
+    finally:
+        server.shutdown()
+    assert source.pool.leases_outstanding == 0
+
+
+def test_retry_exhaustion_surfaces_retryable_err(tmp_path):
+    from repro.faults.errors import TransientDecodeError
+
+    source = _FlakySource(10_000, lambda: TransientDecodeError("always down"))
+    server = AsyncBatchServer(source, unix_path=str(tmp_path / "down.sock"))
+    server.start_background()
+    try:
+        with BatchSocketClient(server.address) as client:
+            with pytest.raises(BatchServerError) as err:
+                client.get_batch_with_retry("t", 0, 0, retries=2)
+            assert err.value.retryable
+        assert source.calls == 3  # initial try + 2 retries, no more
+    finally:
+        server.shutdown()
+    assert source.pool.leases_outstanding == 0
+
+
+def test_nonretryable_err_is_not_retried(tmp_path):
+    source = _FlakySource(10_000, lambda: ValueError("hard bug"))
+    server = AsyncBatchServer(source, unix_path=str(tmp_path / "bug.sock"))
+    server.start_background()
+    try:
+        with BatchSocketClient(server.address) as client:
+            with pytest.raises(BatchServerError) as err:
+                client.get_batch_with_retry("t", 0, 0, retries=3)
+            assert not err.value.retryable
+            assert "hard bug" in str(err.value)
+        assert source.calls == 1
+    finally:
+        server.shutdown()
+    assert source.pool.leases_outstanding == 0
+
+
+def _scripted_server(script_after_get_batch):
+    """A fake batch server: real handshake, scripted GET_BATCH reply.
+
+    Returns ``(address, thread)``; the server handles exactly one
+    connection, writes the scripted bytes in response to GET_BATCH, and
+    closes the connection.
+    """
+    import socket as socket_mod
+
+    srv = socket_mod.socket(socket_mod.AF_INET, socket_mod.SOCK_STREAM)
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(1)
+    address = srv.getsockname()
+
+    def run():
+        conn, _ = srv.accept()
+        stream = conn.makefile("rwb")
+        try:
+            ftype, _payload = wire.read_frame(stream)
+            assert ftype == wire.FrameType.HELLO
+            wire.write_frame(
+                stream,
+                wire.FrameType.HELLO,
+                wire.encode_json({"protocol": wire.PROTOCOL_VERSION}),
+            )
+            ftype, _payload = wire.read_frame(stream)
+            assert ftype == wire.FrameType.GET_BATCH
+            stream.write(script_after_get_batch)
+            stream.flush()
+        finally:
+            stream.close()
+            conn.close()
+            srv.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return address, thread
+
+
+def test_mid_stream_disconnect_is_a_clean_eof_error():
+    # A valid BATCH header promising 100 payload bytes, then only 10
+    # bytes before the server vanishes.
+    script = wire.pack_header(wire.FrameType.BATCH, 100) + b"x" * 10
+    address, thread = _scripted_server(script)
+    client = BatchSocketClient(address, timeout=10.0)
+    try:
+        with pytest.raises(wire.WireEOFError) as err:
+            client.get_batch_with_retry("t", 0, 0)
+        assert "mid-frame" in str(err.value)
+    finally:
+        client.close()
+        thread.join(timeout=5)
+
+
+def test_corrupted_header_is_a_clean_corrupt_frame_error():
+    corrupted = bytearray(wire.pack_header(wire.FrameType.BATCH, 64))
+    corrupted[5] ^= 0xFF  # flip a header byte: CRC must catch it
+    address, thread = _scripted_server(bytes(corrupted) + b"\0" * 64)
+    client = BatchSocketClient(address, timeout=10.0)
+    try:
+        with pytest.raises(wire.CorruptFrameError):
+            client.get_batch_with_retry("t", 0, 0)
+    finally:
+        client.close()
+        thread.join(timeout=5)

@@ -42,6 +42,10 @@ STRICT_ARGS = [
     "repro.core.prefetch",
     "-m",
     "repro.storage.packs",
+    "-m",
+    "repro.core.wire",
+    "-m",
+    "repro.core.dataplane",
 ]
 
 TREE_ARGS = ["--follow-imports=normal", "-p", "repro"]
@@ -83,17 +87,14 @@ def load_baseline() -> Set[str]:
 
 def strict_tier() -> int:
     code, output = run_mypy(STRICT_ARGS)
+    modules = " / ".join(
+        STRICT_ARGS[i + 1] for i, a in enumerate(STRICT_ARGS) if a in ("-p", "-m")
+    )
     if code != 0:
-        print(
-            "mypy --strict failed for repro.analysis / repro.augment.fusion / repro.codec.signals / "
-            "repro.core.prefetch / repro.storage.packs:"
-        )
+        print(f"mypy --strict failed for {modules}:")
         print(output)
         return 1
-    print(
-        "strict tier clean: repro.analysis, repro.augment.fusion, repro.codec.signals, "
-        "repro.core.prefetch, repro.storage.packs"
-    )
+    print(f"strict tier clean: {modules}")
     return 0
 
 
