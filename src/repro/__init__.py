@@ -18,6 +18,7 @@ Subpackages: :mod:`repro.core` (the paper's contribution),
 from repro.core import (
     SandClient,
     SandService,
+    ShardCoordinator,
     load_task_config,
     load_task_configs,
     mount_sand,
@@ -28,6 +29,7 @@ __version__ = "1.0.0"
 __all__ = [
     "SandClient",
     "SandService",
+    "ShardCoordinator",
     "__version__",
     "load_task_config",
     "load_task_configs",

@@ -38,7 +38,17 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--trainers", type=int, default=4,
-        help="concurrent trainer connections in --serve mode",
+        help="concurrent trainer connections in --serve mode, or trainers "
+             "per tenant in --shards mode",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="run N engine shards behind the consistent-hash coordinator "
+             "and drive them with a multi-tenant trainer fleet",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=2,
+        help="tenants in the --shards fleet",
     )
     args = parser.parse_args(argv)
 
@@ -76,6 +86,8 @@ def main(argv=None) -> int:
         from repro.storage import RemoteStore
 
         service_kwargs["remote_store"] = RemoteStore(256 * 1024 * 1024)
+    if args.shards > 1:
+        return _shard_demo(config, args, service_kwargs)
     client, service = SandClient.create(
         [config], dataset, storage_budget_bytes=64 * 1024 * 1024,
         k_epochs=max(1, args.epochs), num_workers=1, seed=args.seed,
@@ -115,6 +127,48 @@ def main(argv=None) -> int:
             print(json.dumps(service.status(), indent=2, default=str))
     finally:
         service.shutdown()
+    print("OK")
+    return 0
+
+
+def _shard_demo(config, args, service_kwargs) -> int:
+    """--shards N: the coordinator fleet demo (consistent-hash routing,
+    tenant-fair admission, per-shard utilization report)."""
+    import json
+
+    from repro import SandService
+    from repro.core import LoadGenerator, ShardCoordinator, make_fleet
+    from repro.datasets import DatasetSpec, SyntheticDataset
+
+    def build_shard():
+        dataset = SyntheticDataset(
+            DatasetSpec(num_videos=args.videos, min_frames=40, max_frames=60,
+                        seed=args.seed)
+        )
+        return SandService(
+            [config], dataset, storage_budget_bytes=64 * 1024 * 1024,
+            k_epochs=max(1, args.epochs), num_workers=1, seed=args.seed,
+            **service_kwargs,
+        )
+
+    coordinator = ShardCoordinator([build_shard() for _ in range(args.shards)])
+    try:
+        tenants = [f"tenant-{i}" for i in range(max(1, args.tenants))]
+        fleet = make_fleet(
+            tenants, trainers_per_tenant=max(1, args.trainers),
+            tasks=["demo"], epochs=args.epochs,
+        )
+        report = LoadGenerator(coordinator, fleet).run()
+        report["routing"] = coordinator.routing_report()
+        print(f"  {args.shards} shards served {report['batches']} batches to "
+              f"{report['trainers']} trainers across {report['tenants']} tenants")
+        print(json.dumps(report, indent=2, default=str))
+        if args.status:
+            print(json.dumps(coordinator.status(), indent=2, default=str))
+        if report["errors"] or report["stuck_trainers"]:
+            return 1
+    finally:
+        coordinator.shutdown()
     print("OK")
     return 0
 

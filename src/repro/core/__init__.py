@@ -22,7 +22,11 @@ The pieces, in dependency order:
 * :mod:`repro.core.recovery` — checkpoint/scan/replan fault tolerance
   (S5.5),
 * :mod:`repro.core.wire` / :mod:`repro.core.dataplane` — the binary wire
-  protocol and the async zero-copy batch-serving data plane.
+  protocol and the async zero-copy batch-serving data plane,
+* :mod:`repro.core.tenancy` / :mod:`repro.core.sharding` /
+  :mod:`repro.core.loadgen` — per-tenant quotas + fair admission, the
+  consistent-hash shard coordinator, and the standing load-generator
+  fleet.
 """
 
 from repro.core.config import (
@@ -89,6 +93,27 @@ from repro.core.dataplane import (
 from repro.core.engine import EngineStats, PreprocessingEngine
 from repro.core.service import SandService
 from repro.core.posix import SandClient, mount_sand
+from repro.core.tenancy import (
+    AdmissionController,
+    AdmissionError,
+    AdmissionTicket,
+    AdmissionTimeout,
+    TenantQuota,
+    TenantWorkGate,
+)
+from repro.core.sharding import (
+    AllShardsDownError,
+    HashRing,
+    RebalanceReport,
+    ShardCoordinator,
+    ShardingError,
+)
+from repro.core.loadgen import (
+    LoadGenerator,
+    TrainerSpec,
+    make_fleet,
+    percentile,
+)
 from repro.core.recovery import (
     RecoveryError,
     RecoveryReport,
@@ -99,6 +124,11 @@ from repro.core.recovery import (
 
 __all__ = [
     "AbstractViewGraph",
+    "AdmissionController",
+    "AdmissionError",
+    "AdmissionTicket",
+    "AdmissionTimeout",
+    "AllShardsDownError",
     "AsyncBatchServer",
     "AugFrameView",
     "BatchAssembly",
@@ -113,6 +143,8 @@ __all__ = [
     "EpochSchedule",
     "FramePoolCoordinator",
     "FrameView",
+    "HashRing",
+    "LoadGenerator",
     "MaterializationPlan",
     "MaterializationScheduler",
     "LeasedBatch",
@@ -122,15 +154,21 @@ __all__ = [
     "ObjectNode",
     "PreprocessingEngine",
     "PruningOutcome",
+    "RebalanceReport",
     "RecoveryError",
     "RecoveryReport",
     "SamplingPolicy",
     "SandClient",
     "SandService",
     "SchedulingMode",
+    "ShardCoordinator",
+    "ShardingError",
     "SharedWindowSampler",
     "TaskConfig",
     "TaskRequirement",
+    "TenantQuota",
+    "TenantWorkGate",
+    "TrainerSpec",
     "Use",
     "VideoGraph",
     "VideoJob",
@@ -144,11 +182,13 @@ __all__ = [
     "group_tasks_by_dataset",
     "load_task_config",
     "load_task_configs",
+    "make_fleet",
     "mount_sand",
     "naive_budgeted_leaves",
     "oracle_from_accesses",
     "oracle_from_plan",
     "parse_view_path",
+    "percentile",
     "prune_plan",
     "read_checkpoint",
     "recover",

@@ -42,6 +42,7 @@ a scheduling decision), hence the wall-clock lint pragmas.
 from __future__ import annotations
 
 import asyncio
+import functools
 import os
 import socket
 import threading
@@ -331,7 +332,7 @@ class AsyncBatchServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_payload: int = wire.DEFAULT_MAX_PAYLOAD,
-        executor_workers: int = 8,
+        executor_workers: Optional[int] = None,
     ):
         if not hasattr(source, "get_batch_lease"):
             raise TypeError(
@@ -342,6 +343,10 @@ class AsyncBatchServer:
         self._host = host
         self._port = int(port)
         self._max_payload = int(max_payload)
+        if executor_workers is None:
+            executor_workers = int(os.environ.get("SAND_DATAPLANE_WORKERS", "8"))
+        if executor_workers < 1:
+            raise ValueError(f"executor_workers must be >= 1, got {executor_workers}")
         self._executor_workers = int(executor_workers)
         self._sock: Optional[socket.socket] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -357,6 +362,11 @@ class AsyncBatchServer:
         self._bytes_sent = 0
         self._errs_sent = 0
         self._acks = 0
+        # Engine calls submitted to the executor but not yet completed.
+        # Depth beyond the worker count means requests are queueing —
+        # the first thing a shard coordinator saturates.
+        self._exec_inflight = 0
+        self._exec_high_water = 0
 
     # -- lifecycle (in-loop) -------------------------------------------------
     async def start(self) -> Address:
@@ -487,6 +497,9 @@ class AsyncBatchServer:
                 "bytes_sent": self._bytes_sent,
                 "errs_sent": self._errs_sent,
                 "acks": self._acks,
+                "executor_workers": self._executor_workers,
+                "executor_queue_depth": self._exec_inflight,
+                "executor_queue_high_water": self._exec_high_water,
             }
 
     # -- serving ---------------------------------------------------------------
@@ -599,16 +612,27 @@ class AsyncBatchServer:
             iteration = int(request["iteration"])
         except (KeyError, TypeError, ValueError) as exc:
             raise DataPlaneError(f"malformed GET_BATCH request: {exc}") from exc
+        tenant = request.get("tenant")
         assert self._executor is not None
-        future: "asyncio.Future[Tuple[BatchLease, Dict[str, Any]]]" = (
-            loop.run_in_executor(
-                self._executor,
-                self._source.get_batch_lease,
-                task,
-                epoch,
-                iteration,
+        if tenant is None:
+            call = functools.partial(
+                self._source.get_batch_lease, task, epoch, iteration
             )
+        else:
+            # Only multi-tenant sources (the shard coordinator) accept
+            # the keyword; a plain engine rejects it loudly rather than
+            # silently dropping the tenant's accounting.
+            call = functools.partial(
+                self._source.get_batch_lease, task, epoch, iteration,
+                tenant=str(tenant),
+            )
+        with self._stats_lock:
+            self._exec_inflight += 1
+            self._exec_high_water = max(self._exec_high_water, self._exec_inflight)
+        future: "asyncio.Future[Tuple[BatchLease, Dict[str, Any]]]" = (
+            loop.run_in_executor(self._executor, call)
         )
+        future.add_done_callback(self._note_exec_done)
         try:
             return await future
         except asyncio.CancelledError:
@@ -616,6 +640,10 @@ class AsyncBatchServer:
             # that lands after cancellation still returns to the pool.
             future.add_done_callback(_release_orphan)
             raise
+
+    def _note_exec_done(self, _future: "asyncio.Future[Any]") -> None:
+        with self._stats_lock:
+            self._exec_inflight = max(0, self._exec_inflight - 1)
 
     async def _read_frame(
         self, loop: asyncio.AbstractEventLoop, conn: socket.socket
@@ -722,14 +750,20 @@ class BatchSocketClient:
 
     # -- requests --------------------------------------------------------------
     def get_batch(
-        self, task: str, epoch: int, iteration: int
+        self,
+        task: str,
+        epoch: int,
+        iteration: int,
+        tenant: Optional[str] = None,
     ) -> Tuple[np.ndarray, Dict[str, Any]]:
-        self._send(
-            wire.json_frame(
-                wire.FrameType.GET_BATCH,
-                {"task": task, "epoch": int(epoch), "iteration": int(iteration)},
-            )
-        )
+        request: Dict[str, Any] = {
+            "task": task,
+            "epoch": int(epoch),
+            "iteration": int(iteration),
+        }
+        if tenant is not None:
+            request["tenant"] = str(tenant)
+        self._send(wire.json_frame(wire.FrameType.GET_BATCH, request))
         ftype, payload = self._read_frame()
         if ftype == wire.FrameType.ERR:
             info = wire.parse_json(payload)
@@ -745,13 +779,18 @@ class BatchSocketClient:
         return array, metadata
 
     def get_batch_with_retry(
-        self, task: str, epoch: int, iteration: int, retries: int = 3
+        self,
+        task: str,
+        epoch: int,
+        iteration: int,
+        retries: int = 3,
+        tenant: Optional[str] = None,
     ) -> Tuple[np.ndarray, Dict[str, Any]]:
         """``get_batch`` retrying server-declared-transient failures."""
         attempt = 0
         while True:
             try:
-                return self.get_batch(task, epoch, iteration)
+                return self.get_batch(task, epoch, iteration, tenant=tenant)
             except BatchServerError as exc:
                 if not exc.retryable or attempt >= retries:
                     raise

@@ -184,6 +184,9 @@ class SandService(FileSystemProvider):
         # windows) keep recycling, and the async server's leases stay
         # valid across a roll.
         self.delivery_pool = BufferPool(name="service-delivery")
+        # Async servers created via serve_async, so status() can fold
+        # their wire counters into the one operator report.
+        self._servers: List[AsyncBatchServer] = []
 
     @staticmethod
     def _resolve_dataset(dataset, path: str):
@@ -335,6 +338,12 @@ class SandService(FileSystemProvider):
                     "storage_failures": dict(stats.storage),
                     "dataplane": dict(stats.dataplane),
                 }
+            # One endpoint for operators and the load generator: the
+            # delivery-path block (pool health, per-engine wire ledger,
+            # attached async servers) rides along with window/storage
+            # state instead of needing a second scrape.
+            dataplane = self.dataplane_report()
+            dataplane["servers"] = [server.report() for server in self._servers]
             return {
                 "tasks": sorted(self.tasks),
                 "active_tasks": sorted(self._active_tasks),
@@ -344,6 +353,7 @@ class SandService(FileSystemProvider):
                 },
                 "storage": storage,
                 "engines": engines,
+                "dataplane": dataplane,
             }
 
     def storage_maintenance(self) -> Dict:
@@ -440,9 +450,12 @@ class SandService(FileSystemProvider):
         ``server.shutdown()`` from synchronous code (``python -m repro
         --serve`` does the latter).
         """
-        return AsyncBatchServer(
+        server = AsyncBatchServer(
             self, unix_path=unix_path, host=host, port=port, **kwargs
         )
+        with self._window_lock:
+            self._servers.append(server)
+        return server
 
     def iterations_per_epoch(self, task: str, epoch: int = 0) -> int:
         """Iterations of ``epoch`` (streaming corpora can grow per window)."""

@@ -1,0 +1,613 @@
+"""Consistent-hash sharded SAND service with tenant-fair admission.
+
+ROADMAP item 1: N engine shards behind one coordinator.  Each shard is a
+full :class:`~repro.core.service.SandService` built from the same task
+configs, dataset, and seed, so planning is deterministic and *any* shard
+can serve *any* batch byte-identically — correctness never depends on
+placement, only load distribution and cache locality do.  That property
+buys three things cheaply:
+
+* **Routing** is a pure policy decision: a stable consistent-hash ring
+  (:class:`HashRing`, virtual nodes, minimal movement on add/remove)
+  places each view on an owner shard, and the coordinator forwards
+  ``get_batch`` / POSIX calls there.
+* **Failover** is re-routing: when a shard is unreachable (the
+  ``shard-down`` fault window, keyed by shard id), the coordinator walks
+  the key's ring preference order to the next live shard and serves the
+  identical bytes from its plan.
+* **Cross-shard dedup** collapses identical views requested by
+  different tenants: a batch's identity is its assembly *sample
+  signature* (the ``(video_id, leaf_key)`` tuple sequence), and the
+  first shard to own a signature stays its owner — a second tenant's
+  identical view routes to the same shard and hits its already
+  materialized objects instead of materializing again.
+
+Multi-tenancy rides on :mod:`repro.core.tenancy`: every request passes
+the tenant-fair :class:`~repro.core.tenancy.AdmissionController` (quota
+ceilings + weighted-deficit ordering) and brackets a per-tenant
+:class:`~repro.core.tenancy.TenantWorkGate` demand entry, and the
+admission ticket is held for the whole delivery (released when the
+batch lease is).
+
+The coordinator is itself a lease-aware batch source *and* a
+:class:`~repro.vfs.provider.FileSystemProvider`: ``AsyncBatchServer``
+serves it over the wire unchanged (GET_BATCH may carry a ``tenant``),
+and ``mount_sand``-style POSIX access is shard-transparent.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.analysis.locks import make_lock
+from repro.core.dataplane import AsyncBatchServer, BatchLease
+from repro.core.scheduling import WorkClass
+from repro.core.service import SandService
+from repro.core.tenancy import (
+    DEFAULT_TENANT,
+    AdmissionController,
+    AdmissionTicket,
+    TenantWorkGate,
+)
+from repro.core.views import BatchView, try_parse_view_path
+from repro.faults.schedule import (
+    SITE_COORD_PLACE,
+    SITE_COORD_REBALANCE,
+    SITE_SHARD_ROUTE,
+    SITE_SHARD_SERVE,
+    FaultSchedule,
+)
+from repro.storage.objectstore import TransientStorageError
+from repro.vfs.provider import FileHandle, FileSystemProvider, NodeInfo
+
+
+class ShardingError(RuntimeError):
+    """Coordinator misuse (unknown shard, empty ring)."""
+
+
+class AllShardsDownError(TransientStorageError):
+    """Every shard in the key's preference order failed; retryable."""
+
+
+# -- the ring -----------------------------------------------------------------
+
+
+def _ring_point(token: str) -> int:
+    """A stable 64-bit point on the ring for ``token``."""
+    digest = hashlib.sha256(token.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Each shard contributes ``replicas`` points (``sha256(shard|i)``);
+    a key is owned by the first point clockwise from ``sha256(key)``.
+    Adding or removing one shard moves only the keys in that shard's
+    arcs (~1/N of the space), never reshuffles the rest — the property
+    :meth:`ShardCoordinator.rebalance` reports on explicitly.
+    """
+
+    def __init__(self, shard_ids: Sequence[str] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._points: List[Tuple[int, str]] = []
+        self._shards: List[str] = []
+        for shard_id in shard_ids:
+            self.add(shard_id)
+
+    def add(self, shard_id: str) -> None:
+        if shard_id in self._shards:
+            raise ShardingError(f"shard {shard_id!r} already on the ring")
+        self._shards.append(shard_id)
+        for i in range(self.replicas):
+            bisect.insort(self._points, (_ring_point(f"{shard_id}|{i}"), shard_id))
+
+    def remove(self, shard_id: str) -> None:
+        if shard_id not in self._shards:
+            raise ShardingError(f"shard {shard_id!r} not on the ring")
+        self._shards.remove(shard_id)
+        self._points = [(p, s) for (p, s) in self._points if s != shard_id]
+
+    def shards(self) -> List[str]:
+        return sorted(self._shards)
+
+    def owner(self, key: str) -> str:
+        """The shard owning ``key``."""
+        order = self.preference(key, k=1)
+        return order[0]
+
+    def preference(self, key: str, k: Optional[int] = None) -> List[str]:
+        """Distinct shards in ring order from ``key``'s point.
+
+        Index 0 is the owner; the rest is the failover order.
+        """
+        if not self._points:
+            raise ShardingError("ring is empty")
+        want = len(self._shards) if k is None else min(k, len(self._shards))
+        start = bisect.bisect(self._points, (_ring_point(key), ""))
+        order: List[str] = []
+        n = len(self._points)
+        for step in range(n):
+            _point, shard_id = self._points[(start + step) % n]
+            if shard_id not in order:
+                order.append(shard_id)
+                if len(order) == want:
+                    break
+        return order
+
+
+@dataclass
+class RebalanceReport:
+    """What one ring change moved."""
+
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    tracked_keys: int = 0
+    moved_keys: int = 0
+    moves: Dict[str, Tuple[str, str]] = field(default_factory=dict)  # key -> (old, new)
+
+    @property
+    def moved_fraction(self) -> float:
+        return self.moved_keys / self.tracked_keys if self.tracked_keys else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "added": self.added,
+            "removed": self.removed,
+            "tracked_keys": self.tracked_keys,
+            "moved_keys": self.moved_keys,
+            "moved_fraction": self.moved_fraction,
+        }
+
+
+# -- tenant-held leases -------------------------------------------------------
+
+
+class _TenantLease:
+    """A batch lease that releases its admission ticket with the buffer.
+
+    Duck-types :class:`~repro.core.dataplane.BatchLease` (``array``,
+    ``nbytes``, ``retain``/``release``/``detach``) so the async server
+    and :class:`~repro.core.dataplane.LocalClient` hold it unchanged;
+    the tenant's inflight slot frees exactly when the delivery buffer
+    does.
+    """
+
+    __slots__ = ("_inner", "_ticket", "_lock", "_refs")
+
+    def __init__(self, inner: BatchLease, ticket: AdmissionTicket):
+        self._inner = inner
+        self._ticket = ticket
+        self._lock = make_lock("sharding.tenant-lease")
+        self._refs = 1
+
+    @property
+    def array(self) -> np.ndarray:
+        return self._inner.array
+
+    @property
+    def nbytes(self) -> int:
+        return self._inner.nbytes
+
+    def retain(self) -> "_TenantLease":
+        with self._lock:
+            self._refs += 1
+        self._inner.retain()
+        return self
+
+    def release(self) -> None:
+        self._inner.release()
+        with self._lock:
+            if self._refs <= 0:
+                return
+            self._refs -= 1
+            last = self._refs == 0
+        if last:
+            self._ticket.release()
+
+    def detach(self) -> np.ndarray:
+        array = self._inner.detach()
+        self._ticket.release()
+        return array
+
+    def __enter__(self) -> "_TenantLease":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+# -- the coordinator ----------------------------------------------------------
+
+Signature = Tuple[Tuple[str, str], ...]
+
+
+class ShardCoordinator(FileSystemProvider):
+    """Routes batch and POSIX traffic across N deterministic shards.
+
+    ``shards`` is a mapping of shard id to :class:`SandService` (or a
+    sequence, auto-named ``shard-0..N-1``).  All shards must be built
+    from the same configs/dataset/seed; the coordinator never checks
+    this (planning determinism is the system's core invariant, tested
+    by the differential suites), it only routes.
+    """
+
+    def __init__(
+        self,
+        shards: Union[Mapping[str, SandService], Sequence[SandService]],
+        ring_replicas: int = 64,
+        admission: Optional[AdmissionController] = None,
+        fault_schedule: Optional[FaultSchedule] = None,
+    ):
+        if isinstance(shards, Mapping):
+            shard_map = dict(shards)
+        else:
+            shard_map = {f"shard-{i}": shard for i, shard in enumerate(shards)}
+        if not shard_map:
+            raise ShardingError("need at least one shard")
+        self._shards: Dict[str, SandService] = shard_map
+        self.ring = HashRing(list(shard_map), replicas=ring_replicas)
+        self.admission = admission or AdmissionController()
+        self.work_gate = TenantWorkGate()
+        self.fault_schedule = fault_schedule
+        self._lock = make_lock("sharding.coordinator")
+        # signature -> (placement_key, owner shard id).  The placement
+        # key is remembered so rebalance can recompute ring ownership.
+        self._owners: Dict[Signature, Tuple[str, str]] = {}
+        self._routed: Dict[str, int] = {s: 0 for s in shard_map}
+        self._served: Dict[str, int] = {s: 0 for s in shard_map}
+        self._failovers = 0
+        self._dedup_hits = 0
+        self._dedup_misses = 0
+        self._batch_bytes: Dict[str, int] = {}  # task -> last seen batch bytes
+        self._last_shard_for_task: Dict[str, str] = {}
+
+    # -- shard membership ----------------------------------------------------
+    def shard_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._shards)
+
+    def shard(self, shard_id: str) -> SandService:
+        with self._lock:
+            try:
+                return self._shards[shard_id]
+            except KeyError:
+                raise ShardingError(f"unknown shard {shard_id!r}") from None
+
+    def add_shard(self, shard_id: str, service: SandService) -> RebalanceReport:
+        """Join a shard and report which tracked keys moved to it."""
+        self._apply_fault(SITE_COORD_REBALANCE, shard_id)
+        with self._lock:
+            if shard_id in self._shards:
+                raise ShardingError(f"shard {shard_id!r} already present")
+            before = self._ownership_snapshot()
+            self._shards[shard_id] = service
+            self.ring.add(shard_id)
+            self._routed.setdefault(shard_id, 0)
+            self._served.setdefault(shard_id, 0)
+            return self._rebalance_locked(before, added=[shard_id], removed=[])
+
+    def remove_shard(self, shard_id: str) -> RebalanceReport:
+        """Drain a shard off the ring (its service is NOT shut down)."""
+        self._apply_fault(SITE_COORD_REBALANCE, shard_id)
+        with self._lock:
+            if shard_id not in self._shards:
+                raise ShardingError(f"unknown shard {shard_id!r}")
+            if len(self._shards) == 1:
+                raise ShardingError("cannot remove the last shard")
+            before = self._ownership_snapshot()
+            del self._shards[shard_id]
+            self.ring.remove(shard_id)
+            return self._rebalance_locked(before, added=[], removed=[shard_id])
+
+    def _ownership_snapshot(self) -> Dict[Signature, str]:
+        return {sig: owner for sig, (_key, owner) in self._owners.items()}
+
+    def _rebalance_locked(
+        self, before: Dict[Signature, str], added: List[str], removed: List[str]
+    ) -> RebalanceReport:
+        """Re-derive dedup ownership from the new ring (lock held).
+
+        Minimal movement: an entry moves only when its old owner left
+        the ring or the new ring hands its placement key elsewhere —
+        surviving owners keep their keys even if a fresh hash would now
+        prefer the new shard, except entries whose ring owner changed,
+        which follow the ring so routing stays stable and predictable.
+        """
+        report = RebalanceReport(added=added, removed=removed)
+        for sig, (placement_key, old_owner) in list(self._owners.items()):
+            new_owner = old_owner
+            if old_owner not in self._shards:
+                new_owner = self.ring.owner(placement_key)
+            else:
+                ring_owner = self.ring.owner(placement_key)
+                if ring_owner != old_owner:
+                    new_owner = ring_owner
+            report.tracked_keys += 1
+            if new_owner != old_owner:
+                self._owners[sig] = (placement_key, new_owner)
+                report.moved_keys += 1
+                report.moves[placement_key] = (old_owner, new_owner)
+        return report
+
+    # -- fault plumbing ------------------------------------------------------
+    def _apply_fault(self, site: str, key: str) -> None:
+        if self.fault_schedule is not None:
+            self.fault_schedule.apply(site, key)
+
+    # -- placement -----------------------------------------------------------
+    @staticmethod
+    def placement_key(task: str, epoch: int, iteration: int) -> str:
+        return f"{task}/{epoch}/{iteration}"
+
+    def _signature(
+        self, shard: SandService, task: str, epoch: int, iteration: int
+    ) -> Optional[Signature]:
+        """The batch's content identity from the (deterministic) plan."""
+        try:
+            engine = shard.ensure_window(epoch, task=task)
+            assembly = engine.plan.batches.get((task, epoch, iteration))
+        except KeyError:
+            return None
+        if assembly is None:
+            return None
+        return tuple(assembly.samples)
+
+    def route(self, task: str, epoch: int, iteration: int) -> List[str]:
+        """The shard preference order for one batch (owner first).
+
+        Dedup-aware: if this batch's sample signature already has an
+        owner shard (placed for any tenant/task), that shard leads the
+        order so the identical view is served from objects it already
+        materialized.
+        """
+        key = self.placement_key(task, epoch, iteration)
+        self._apply_fault(SITE_COORD_PLACE, key)
+        with self._lock:
+            order = self.ring.preference(key)
+            candidate = order[0]
+            shard = self._shards[candidate]
+        signature = self._signature(shard, task, epoch, iteration)
+        if signature is None:
+            return order
+        with self._lock:
+            entry = self._owners.get(signature)
+            if entry is None:
+                self._owners[signature] = (key, candidate)
+                self._dedup_misses += 1
+                return order
+            _placement, owner = entry
+            if owner not in self._shards:
+                # Owner left the ring between rebalances; re-home it.
+                owner = self.ring.owner(_placement)
+                self._owners[signature] = (_placement, owner)
+            if owner == candidate:
+                return order
+            self._dedup_hits += 1
+            return [owner] + [s for s in order if s != owner]
+
+    # -- serving -------------------------------------------------------------
+    def get_batch_lease(
+        self,
+        task: str,
+        epoch: int,
+        iteration: int,
+        tenant: str = DEFAULT_TENANT,
+    ) -> Tuple[_TenantLease, Dict]:
+        """Admit, route, and serve one batch; lease holds the quota slot."""
+        ticket = self.admission.admit(tenant, nbytes=self._batch_bytes.get(task, 0))
+        try:
+            self.work_gate.enter(WorkClass.DEMAND, tenant)
+            try:
+                lease, metadata = self._serve(
+                    task,
+                    epoch,
+                    iteration,
+                    lambda shard: shard.get_batch_lease(task, epoch, iteration),
+                )
+            finally:
+                self.work_gate.exit(WorkClass.DEMAND, tenant)
+        except BaseException:
+            ticket.release()
+            raise
+        with self._lock:
+            self._batch_bytes[task] = lease.nbytes
+        return _TenantLease(lease, ticket), metadata
+
+    def get_batch(
+        self,
+        task: str,
+        epoch: int,
+        iteration: int,
+        tenant: str = DEFAULT_TENANT,
+    ) -> Tuple[np.ndarray, Dict]:
+        """Owned-array compatibility path, byte-identical to a shard's."""
+        lease, metadata = self.get_batch_lease(task, epoch, iteration, tenant=tenant)
+        return lease.detach(), metadata
+
+    def _serve(
+        self,
+        task: str,
+        epoch: int,
+        iteration: int,
+        call: Callable[[SandService], Any],
+    ) -> Any:
+        """Run ``call`` on the owner shard, failing over down the ring."""
+        order = self.route(task, epoch, iteration)
+        last_error: Optional[BaseException] = None
+        for position, shard_id in enumerate(order):
+            with self._lock:
+                shard = self._shards.get(shard_id)
+                if shard is None:
+                    continue
+                self._routed[shard_id] = self._routed.get(shard_id, 0) + 1
+            try:
+                self._apply_fault(SITE_SHARD_ROUTE, shard_id)
+                self._apply_fault(SITE_SHARD_SERVE, shard_id)
+                result = call(shard)
+            except TransientStorageError as exc:
+                # This shard is (injected or genuinely) unreachable:
+                # every shard's plan is deterministic-identical, so the
+                # next shard in the preference order serves the same
+                # bytes.
+                last_error = exc
+                with self._lock:
+                    if position + 1 < len(order):
+                        self._failovers += 1
+                continue
+            with self._lock:
+                self._served[shard_id] = self._served.get(shard_id, 0) + 1
+                self._last_shard_for_task[task] = shard_id
+            return result
+        raise AllShardsDownError(
+            f"all {len(order)} shard(s) failed serving "
+            f"{task}/{epoch}/{iteration}: {last_error}"
+        )
+
+    def iterations_per_epoch(self, task: str, epoch: int = 0) -> int:
+        """Metadata query: answered by any live shard, not counted as a
+        routed batch (plans are identical, so every answer agrees)."""
+        with self._lock:
+            order = self.ring.preference(self.placement_key(task, epoch, 0))
+            shards = dict(self._shards)
+        last_error: Optional[BaseException] = None
+        for shard_id in order:
+            shard = shards.get(shard_id)
+            if shard is None:
+                continue
+            try:
+                self._apply_fault(SITE_SHARD_ROUTE, shard_id)
+                return shard.iterations_per_epoch(task, epoch)
+            except TransientStorageError as exc:
+                last_error = exc
+                continue
+        raise AllShardsDownError(
+            f"all shard(s) failed answering iterations_per_epoch({task!r}): "
+            f"{last_error}"
+        )
+
+    def note_send(self, nbytes: int, task: Optional[str] = None) -> None:
+        """Charge a socket delivery to the shard that served the task last."""
+        with self._lock:
+            shard_id = (
+                self._last_shard_for_task.get(task)
+                if task is not None
+                else None
+            )
+            if shard_id is None or shard_id not in self._shards:
+                shard_id = self.ring.shards()[0]
+            shard = self._shards[shard_id]
+        shard.note_send(nbytes, task=task)
+
+    def serve_async(
+        self,
+        unix_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **kwargs: Any,
+    ) -> AsyncBatchServer:
+        """An :class:`AsyncBatchServer` routing through this coordinator."""
+        return AsyncBatchServer(
+            self, unix_path=unix_path, host=host, port=port, **kwargs
+        )
+
+    def shutdown(self) -> None:
+        with self._lock:
+            shards = list(self._shards.values())
+        for shard in shards:
+            shard.shutdown()
+
+    # -- observability -------------------------------------------------------
+    def routing_report(self) -> Dict[str, Any]:
+        with self._lock:
+            total_served = sum(self._served.values())
+            return {
+                "shards": self.ring.shards(),
+                "routed": dict(sorted(self._routed.items())),
+                "served": dict(sorted(self._served.items())),
+                "utilization": {
+                    s: (self._served.get(s, 0) / total_served if total_served else 0.0)
+                    for s in self.ring.shards()
+                },
+                "failovers": self._failovers,
+                "dedup_hits": self._dedup_hits,
+                "dedup_misses": self._dedup_misses,
+                "dedup_tracked_views": len(self._owners),
+            }
+
+    def dataplane_report(self) -> Dict[str, Any]:
+        with self._lock:
+            shards = dict(self._shards)
+        return {
+            "routing": self.routing_report(),
+            "shards": {sid: shard.dataplane_report() for sid, shard in sorted(shards.items())},
+        }
+
+    def status(self) -> Dict[str, Any]:
+        """The one endpoint a load generator scrapes: everything."""
+        with self._lock:
+            shards = dict(self._shards)
+        fire_counts = (
+            self.fault_schedule.fire_counts() if self.fault_schedule is not None else {}
+        )
+        return {
+            "shards": {sid: shard.status() for sid, shard in sorted(shards.items())},
+            "routing": self.routing_report(),
+            "admission": self.admission.report(),
+            "work_gate": self.work_gate.snapshot(),
+            "fault_fires": fire_counts,
+        }
+
+    # -- FileSystemProvider (shard-transparent POSIX) ------------------------
+    def _vfs_route(self, path: str) -> Tuple[str, int, int]:
+        """(task, epoch, iteration) for routing a path's traffic.
+
+        Batch views route exactly like ``get_batch`` (so POSIX reads
+        hit the dedup owner's warm objects); every other path routes by
+        its task name with epoch/iteration 0.
+        """
+        view = try_parse_view_path(path)
+        if isinstance(view, BatchView):
+            return view.task, view.epoch, view.iteration
+        parts = [p for p in path.split("/") if p]
+        task = parts[0] if parts else ""
+        return task, 0, 0
+
+    def lookup(self, path: str) -> NodeInfo:
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            return NodeInfo(path, is_dir=True)
+        task, epoch, iteration = self._vfs_route(path)
+        return self._serve(task, epoch, iteration, lambda s: s.lookup(path))
+
+    def open(self, path: str) -> FileHandle:
+        task, epoch, iteration = self._vfs_route(path)
+        return self._serve(task, epoch, iteration, lambda s: s.open(path))
+
+    def getxattr(self, path: str, name: str) -> bytes:
+        task, epoch, iteration = self._vfs_route(path)
+        return self._serve(task, epoch, iteration, lambda s: s.getxattr(path, name))
+
+    def listdir(self, path: str) -> List[str]:
+        task, epoch, iteration = self._vfs_route(path)
+        return self._serve(task, epoch, iteration, lambda s: s.listdir(path))
+
+    def release(self, handle: FileHandle) -> None:
+        handle.close()

@@ -30,7 +30,18 @@ Fault kinds:
 ``tier-down``             an entire storage tier is unreachable for a window
                           of ``down_for`` consecutive operations at the site,
                           starting at the ``at_count``-th
+``shard-down``            one engine shard is unreachable for a window of
+                          ``down_for`` consecutive routed operations,
+                          starting at its ``at_count``-th; unlike
+                          ``tier-down`` the window is counted on the
+                          per-``(site, key)`` occurrence stream, so a spec
+                          with ``key="shard-1"`` downs exactly that shard
 ========================  =====================================================
+
+Specs may also carry an optional ``key``: when set, the spec only
+matches operations whose injection key equals it (e.g. one shard's
+routes, one blob's reads).  ``key=None`` keeps the historical
+match-everything behavior.
 """
 
 from __future__ import annotations
@@ -43,7 +54,15 @@ from typing import Dict, List, Optional, Sequence, Tuple, Type
 from repro.analysis.locks import make_lock
 from repro.storage.objectstore import TransientStorageError
 
-KINDS = ("transient-error", "latency", "torn-write", "bit-flip", "crash", "tier-down")
+KINDS = (
+    "transient-error",
+    "latency",
+    "torn-write",
+    "bit-flip",
+    "crash",
+    "tier-down",
+    "shard-down",
+)
 
 # Canonical injection sites.  Proxies pass these strings; specs match on
 # them verbatim.
@@ -63,6 +82,11 @@ SITE_TIER_DEMOTE = "tier.demote"
 SITE_TIER_PROMOTE = "tier.promote"
 SITE_TIER_REPAIR = "tier.repair"
 SITE_PACK_COMPACT = "pack.compact"
+SITE_SHARD_ROUTE = "shard.route"
+SITE_SHARD_SERVE = "shard.serve"
+SITE_COORD_PLACE = "coord.place"
+SITE_COORD_REBALANCE = "coord.rebalance"
+SITE_COORD_ADMIT = "coord.admit"
 
 # The site registry: every site a spec may target.  A spec naming an
 # unknown site would silently never fire — the harness would "pass"
@@ -86,6 +110,11 @@ KNOWN_SITES = {
     SITE_TIER_PROMOTE,
     SITE_TIER_REPAIR,
     SITE_PACK_COMPACT,
+    SITE_SHARD_ROUTE,
+    SITE_SHARD_SERVE,
+    SITE_COORD_PLACE,
+    SITE_COORD_REBALANCE,
+    SITE_COORD_ADMIT,
 }
 
 
@@ -109,6 +138,9 @@ class FaultSpec:
     tear_fraction: float = 0.5
     max_fires: Optional[int] = None
     down_for: int = 1
+    # When set, the spec matches only operations injected with exactly
+    # this key (one shard's routes, one blob's reads); None matches all.
+    key: Optional[str] = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -130,6 +162,8 @@ class FaultSpec:
             raise ValueError(f"down_for must be >= 1, got {self.down_for}")
         if self.kind == "tier-down" and self.at_count is None:
             raise ValueError("tier-down windows are positional: set at_count")
+        if self.kind == "shard-down" and self.at_count is None:
+            raise ValueError("shard-down windows are positional: set at_count")
 
 
 class FaultSchedule:
@@ -161,9 +195,16 @@ class FaultSchedule:
             for index, spec in enumerate(self.specs):
                 if spec.site != site or spec.kind == "crash":
                     continue
+                if spec.key is not None and spec.key != key:
+                    continue
                 if spec.max_fires is not None and self._spec_fires[index] >= spec.max_fires:
                     continue
-                if spec.kind == "tier-down":
+                if spec.kind == "shard-down":
+                    # Like tier-down, but windowed on the per-(site, key)
+                    # occurrence stream so a keyed spec downs exactly one
+                    # shard while its peers keep serving.
+                    hit = spec.at_count <= occurrence < spec.at_count + spec.down_for
+                elif spec.kind == "tier-down":
                     # A window: the site is down for `down_for` consecutive
                     # operations starting at the at_count-th.  Retries inside
                     # the window consume window slots, as a real outage would.
@@ -198,11 +239,11 @@ class FaultSchedule:
                 time.sleep(spec.latency_s)
             elif spec.kind == "transient-error":
                 transient = spec
-            elif spec.kind == "tier-down":
-                # The whole tier is unreachable: every operation in the
-                # window fails.  Retries re-enter apply(), advance the
-                # site counter, and consume window slots — exactly how a
-                # real outage burns a retry budget.
+            elif spec.kind in ("tier-down", "shard-down"):
+                # The whole tier/shard is unreachable: every operation in
+                # the window fails.  Retries re-enter apply(), advance the
+                # counter, and consume window slots — exactly how a real
+                # outage burns a retry budget.
                 transient = spec
             else:
                 payload.append(spec)

@@ -25,3 +25,19 @@ def tier_sites(schedule):
 
 def tier_spec():
     return FaultSpec(kind="tier-down", site="remote.put", at_count=1, down_for=4)
+
+
+def shard_sites(schedule):
+    # The shard-coordinator sites are registered too.
+    schedule.apply("shard.route", "shard-0")
+    schedule.apply("shard.serve", "shard-0")
+    schedule.apply("coord.place", "task/0/0")
+    schedule.apply("coord.rebalance", "shard-3")
+    schedule.apply("coord.admit", "tenant-a")
+
+
+def shard_down_spec():
+    # Keyed: downs exactly shard-1's routes while peers keep serving.
+    return FaultSpec(
+        kind="shard-down", site="shard.route", at_count=1, down_for=4, key="shard-1"
+    )

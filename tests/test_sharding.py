@@ -1,0 +1,489 @@
+"""The sharded service: ring placement, routing, failover, dedup, and
+the 1-shard differential.
+
+The hard invariants:
+
+* a 1-shard coordinator is byte-identical to the single-engine
+  ``get_batch`` path across seeds, including under the capstone fault
+  schedule (sharding is pure routing, never a semantics change);
+* every shard's plan is deterministic-identical, so failover during a
+  ``shard-down`` window serves the same bytes from the next shard in
+  the ring preference order;
+* identical views requested by different tenants resolve to one owner
+  shard (cross-shard dedup) and materialize once;
+* the consistent-hash ring moves ~1/N of keys on membership change,
+  never reshuffles survivors;
+* the wire path through the coordinator (GET_BATCH + tenant) leaks no
+  delivery leases.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AllShardsDownError,
+    BatchSocketClient,
+    HashRing,
+    SandService,
+    ShardCoordinator,
+    ShardingError,
+    load_task_config,
+)
+from repro.datasets import DatasetSpec, SyntheticDataset
+from repro.faults import (
+    SITE_ENGINE_JOB,
+    SITE_STORE_GET,
+    SITE_STORE_PUT,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.faults.schedule import SITE_SHARD_ROUTE
+from repro.storage import RetryPolicy
+from repro.storage.local import LocalStore
+
+FAST_RETRY = RetryPolicy(max_retries=4, base_delay_s=0.0, max_delay_s=0.0)
+
+
+def make_config(tag="t", vpb=2, frames=3, stride=2):
+    return load_task_config({
+        "dataset": {
+            "tag": tag,
+            "video_dataset_path": "/d",
+            "sampling": {
+                "videos_per_batch": vpb,
+                "frames_per_video": frames,
+                "frame_stride": stride,
+            },
+            "augmentation": [
+                {
+                    "branch_type": "single",
+                    "inputs": ["frame"],
+                    "outputs": ["a0"],
+                    "config": [
+                        {"resize": {"shape": [18, 24]}},
+                        {"random_crop": {"size": [12, 12]}},
+                        {"flip": {"flip_prob": 0.5}},
+                    ],
+                }
+            ],
+        }
+    })
+
+
+def make_dataset(seed=3):
+    return SyntheticDataset(
+        DatasetSpec(num_videos=4, min_frames=24, max_frames=36,
+                    width=32, height=24, seed=seed)
+    )
+
+
+def make_shard(tags=("t",), seed=0, dataset_seed=3, fault_schedule=None,
+               store=None, num_workers=0):
+    return SandService(
+        [make_config(tag) for tag in tags],
+        make_dataset(dataset_seed),
+        num_workers=num_workers,
+        seed=seed,
+        prefetch_depth=0,
+        fault_schedule=fault_schedule,
+        retry_policy=FAST_RETRY if fault_schedule is not None else None,
+        store=store,
+    )
+
+
+def capstone_schedule(seed=0):
+    return FaultSchedule(
+        seed=seed,
+        specs=[
+            FaultSpec(kind="transient-error", site=SITE_STORE_GET, rate=0.05),
+            FaultSpec(kind="transient-error", site=SITE_STORE_PUT, rate=0.05),
+            FaultSpec(kind="crash", site=SITE_ENGINE_JOB, at_count=2, max_fires=1),
+        ],
+    )
+
+
+def all_batch_keys(service, task="t"):
+    engine = service.ensure_window(0, task=task)
+    return sorted(k for k in engine.plan.batches if k[0] == task)
+
+
+# -- the ring ----------------------------------------------------------------
+
+
+def test_ring_owner_is_stable_and_preference_is_a_permutation():
+    ring = HashRing([f"shard-{i}" for i in range(5)])
+    for key in ("a/0/0", "b/3/7", "video-123"):
+        assert ring.owner(key) == ring.owner(key)
+        pref = ring.preference(key)
+        assert pref[0] == ring.owner(key)
+        assert sorted(pref) == ring.shards()
+
+
+def test_ring_spreads_keys_across_shards():
+    ring = HashRing([f"shard-{i}" for i in range(4)])
+    owners = {ring.owner(f"task/{e}/{i}") for e in range(8) for i in range(32)}
+    assert len(owners) == 4  # every shard owns something
+
+
+def test_ring_membership_change_moves_a_minority_of_keys():
+    ring = HashRing([f"shard-{i}" for i in range(4)])
+    keys = [f"t/{e}/{i}" for e in range(16) for i in range(16)]
+    before = {k: ring.owner(k) for k in keys}
+    ring.add("shard-4")
+    after = {k: ring.owner(k) for k in keys}
+    moved = [k for k in keys if before[k] != after[k]]
+    # Consistent hashing: only keys landing on the new shard move, and
+    # they move *to* it — survivors never trade keys among themselves.
+    assert 0 < len(moved) < len(keys) / 2
+    assert all(after[k] == "shard-4" for k in moved)
+    ring.remove("shard-4")
+    assert {k: ring.owner(k) for k in keys} == before
+
+
+def test_ring_rejects_duplicates_and_unknowns():
+    ring = HashRing(["a"])
+    with pytest.raises(ShardingError):
+        ring.add("a")
+    with pytest.raises(ShardingError):
+        ring.remove("b")
+    ring.remove("a")
+    with pytest.raises(ShardingError):
+        ring.owner("key")
+
+
+# -- 1-shard differential ----------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_one_shard_coordinator_is_byte_identical(seed):
+    reference = make_shard(seed=seed)
+    coordinator = ShardCoordinator([make_shard(seed=seed)])
+    try:
+        for key in all_batch_keys(reference):
+            want, want_md = reference.get_batch(*key)
+            got, got_md = coordinator.get_batch(*key, tenant="t0")
+            assert got.tobytes() == want.tobytes(), key
+            assert got_md == want_md
+    finally:
+        reference.shutdown()
+        coordinator.shutdown()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_one_shard_coordinator_is_byte_identical_under_capstone_faults(seed):
+    reference = make_shard(seed=seed)
+    faulted = make_shard(
+        seed=seed,
+        fault_schedule=capstone_schedule(seed),
+        store=LocalStore(10**8),
+    )
+    coordinator = ShardCoordinator([faulted])
+    try:
+        for key in all_batch_keys(reference):
+            want, _ = reference.get_batch(*key)
+            got, _ = coordinator.get_batch(*key, tenant="t0")
+            assert got.tobytes() == want.tobytes(), key
+    finally:
+        reference.shutdown()
+        coordinator.shutdown()
+
+
+def test_multi_shard_coordinator_matches_single_service():
+    reference = make_shard(tags=("a", "b"))
+    coordinator = ShardCoordinator([make_shard(tags=("a", "b")) for _ in range(3)])
+    try:
+        for task in ("a", "b"):
+            for key in all_batch_keys(reference, task=task):
+                want, _ = reference.get_batch(*key)
+                got, _ = coordinator.get_batch(*key, tenant=task)
+                assert got.tobytes() == want.tobytes(), key
+        report = coordinator.routing_report()
+        assert sum(report["served"].values()) > 0
+    finally:
+        reference.shutdown()
+        coordinator.shutdown()
+
+
+# -- dedup -------------------------------------------------------------------
+
+
+def test_identical_views_across_tenants_share_one_owner_shard():
+    """Four identically-configured tasks requested by four tenants: each
+    distinct view signature gets exactly one owner shard, the ring's
+    spread notwithstanding, and repeat placements count dedup hits."""
+    tags = ("a", "b", "c", "d")
+    coordinator = ShardCoordinator([make_shard(tags=tags) for _ in range(4)])
+    try:
+        keys = all_batch_keys(coordinator.shard("shard-0"), task="a")
+        batches = {}
+        for tenant, task in zip(("t0", "t1", "t2", "t3"), tags):
+            for (_t, epoch, iteration) in keys:
+                batch, _ = coordinator.get_batch(task, epoch, iteration,
+                                                 tenant=tenant)
+                batches[(task, epoch, iteration)] = batch.tobytes()
+        # Identical configs on one dataset root produce identical views.
+        for (_t, epoch, iteration) in keys:
+            reference = batches[("a", epoch, iteration)]
+            for task in tags[1:]:
+                assert batches[(task, epoch, iteration)] == reference
+        report = coordinator.routing_report()
+        # One signature per (epoch, iteration), owned once.
+        assert report["dedup_tracked_views"] == len(keys)
+        assert report["dedup_misses"] == len(keys)
+        # The ring spreads 4 tasks x per-batch keys across 4 shards, so
+        # some identical views hash elsewhere and hit the dedup owner.
+        assert report["dedup_hits"] > 0
+    finally:
+        coordinator.shutdown()
+
+
+def test_dedup_serves_identical_views_without_rematerializing():
+    """The dedup owner's demand path materializes each distinct view
+    once; a second tenant's identical view is served from cache."""
+    tags = ("a", "b")
+    coordinator = ShardCoordinator([make_shard(tags=tags) for _ in range(2)])
+    try:
+        keys = all_batch_keys(coordinator.shard("shard-0"), task="a")
+        for (_t, epoch, iteration) in keys:
+            coordinator.get_batch("a", epoch, iteration, tenant="t0")
+        served_once = {
+            sid: coordinator.shard(sid).engine.stats.demand_materializations
+            for sid in coordinator.shard_ids()
+            if coordinator.shard(sid).engine is not None
+        }
+        for (_t, epoch, iteration) in keys:
+            coordinator.get_batch("b", epoch, iteration, tenant="t1")
+        served_twice = {
+            sid: coordinator.shard(sid).engine.stats.demand_materializations
+            for sid in coordinator.shard_ids()
+            if coordinator.shard(sid).engine is not None
+        }
+        # Tenant t1's identical views routed to the owners that already
+        # materialized them: zero new demand materializations anywhere.
+        assert served_twice == served_once
+    finally:
+        coordinator.shutdown()
+
+
+# -- failover ----------------------------------------------------------------
+
+
+def test_shard_down_fails_over_to_ring_successor_byte_identically():
+    reference = make_shard()
+    probe = ShardCoordinator([make_shard() for _ in range(3)])
+    keys = all_batch_keys(reference)
+    owner = probe.route(*keys[0])[0]
+    probe.shutdown()
+
+    schedule = FaultSchedule(seed=0, specs=[
+        FaultSpec(kind="shard-down", site=SITE_SHARD_ROUTE,
+                  at_count=1, down_for=2, key=owner),
+    ])
+    coordinator = ShardCoordinator(
+        [make_shard() for _ in range(3)], fault_schedule=schedule
+    )
+    try:
+        want, _ = reference.get_batch(*keys[0])
+        got, _ = coordinator.get_batch(*keys[0], tenant="t0")
+        assert got.tobytes() == want.tobytes()
+        report = coordinator.routing_report()
+        assert report["failovers"] >= 1
+        assert report["served"][owner] == 0
+        assert schedule.fire_counts()["shard.route:shard-down"] >= 1
+        # Window over (down_for=2, one consumed): the owner serves again.
+        coordinator.get_batch(*keys[0], tenant="t0")  # consumes the window
+        got_after, _ = coordinator.get_batch(*keys[0], tenant="t0")
+        assert got_after.tobytes() == want.tobytes()
+        assert coordinator.routing_report()["served"][owner] >= 1
+    finally:
+        reference.shutdown()
+        coordinator.shutdown()
+
+
+def test_all_shards_down_raises_retryable():
+    schedule = FaultSchedule(seed=0, specs=[
+        FaultSpec(kind="transient-error", site=SITE_SHARD_ROUTE, rate=1.0),
+    ])
+    coordinator = ShardCoordinator(
+        [make_shard() for _ in range(2)], fault_schedule=schedule
+    )
+    try:
+        with pytest.raises(AllShardsDownError):
+            coordinator.get_batch("t", 0, 0, tenant="t0")
+        # The admission slot was returned on the failure path.
+        report = coordinator.admission.report()
+        assert report["tenants"]["t0"]["inflight"] == 0
+    finally:
+        coordinator.shutdown()
+
+
+# -- rebalance ---------------------------------------------------------------
+
+
+def test_add_and_remove_shard_rebalance_tracked_views():
+    coordinator = ShardCoordinator([make_shard() for _ in range(3)])
+    try:
+        keys = all_batch_keys(coordinator.shard("shard-0"))
+        for key in keys:
+            coordinator.get_batch(*key, tenant="t0")
+        tracked = coordinator.routing_report()["dedup_tracked_views"]
+        assert tracked == len(keys)
+
+        report = coordinator.add_shard("shard-3", make_shard())
+        assert report.added == ["shard-3"]
+        assert report.tracked_keys == tracked
+        assert report.moved_fraction < 0.75  # minimal movement, not reshuffle
+        assert "shard-3" in coordinator.shard_ids()
+
+        removed = coordinator.remove_shard("shard-3")
+        assert removed.removed == ["shard-3"]
+        # Nothing may remain owned by the departed shard.
+        for key in keys:
+            assert coordinator.route(*key)[0] != "shard-3"
+        # Batches still serve correctly after both membership changes.
+        reference = make_shard()
+        want, _ = reference.get_batch(*keys[0])
+        got, _ = coordinator.get_batch(*keys[0], tenant="t0")
+        assert got.tobytes() == want.tobytes()
+        reference.shutdown()
+    finally:
+        coordinator.shutdown()
+
+
+def test_cannot_remove_last_shard():
+    coordinator = ShardCoordinator([make_shard()])
+    try:
+        with pytest.raises(ShardingError):
+            coordinator.remove_shard("shard-0")
+    finally:
+        coordinator.shutdown()
+
+
+# -- shard-transparent POSIX -------------------------------------------------
+
+
+def test_vfs_access_is_shard_transparent():
+    reference = make_shard()
+    coordinator = ShardCoordinator([make_shard() for _ in range(3)])
+    try:
+        assert coordinator.lookup("/").is_dir
+        assert coordinator.listdir("/") == reference.listdir("/")
+        assert coordinator.listdir("/t") == reference.listdir("/t")
+        path = "/t/0/0/view"
+        want = reference.open(path).read()
+        handle = coordinator.open(path)
+        assert handle.read() == want
+        coordinator.release(handle)
+        assert (
+            coordinator.getxattr(path, "shape")
+            == reference.getxattr(path, "shape")
+        )
+    finally:
+        reference.shutdown()
+        coordinator.shutdown()
+
+
+# -- the wire path -----------------------------------------------------------
+
+
+def test_coordinator_serves_the_wire_protocol_with_tenants(tmp_path):
+    reference = make_shard()
+    coordinator = ShardCoordinator([make_shard() for _ in range(2)])
+    unix_path = str(tmp_path / "shard.sock")
+    server = coordinator.serve_async(unix_path=unix_path)
+    try:
+        server.start_background()
+        keys = all_batch_keys(reference)
+        results = {}
+        errors = []
+        lock = threading.Lock()
+
+        def trainer(rank):
+            try:
+                with BatchSocketClient(unix_path) as client:
+                    for key in keys[rank::4]:
+                        batch, md = client.get_batch(
+                            *key, tenant=f"tenant-{rank % 2}"
+                        )
+                        with lock:
+                            results[key] = batch.tobytes()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                with lock:
+                    errors.append(f"{rank}: {type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=trainer, args=(r,)) for r in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        for key in keys:
+            want, _ = reference.get_batch(*key)
+            assert results[key] == want.tobytes(), key
+        # Both tenants passed through the wire into admission accounting.
+        admitted = coordinator.admission.report()["tenants"]
+        assert set(admitted) >= {"tenant-0", "tenant-1"}
+        report = server.report()
+        assert report["executor_workers"] >= 1
+        assert report["executor_queue_high_water"] >= 1
+        assert report["executor_queue_depth"] == 0
+    finally:
+        server.shutdown()
+        for sid in coordinator.shard_ids():
+            assert coordinator.shard(sid).delivery_pool.leases_outstanding == 0
+        coordinator.shutdown()
+        reference.shutdown()
+
+
+def test_coordinator_status_is_one_report():
+    coordinator = ShardCoordinator([make_shard() for _ in range(2)])
+    try:
+        coordinator.get_batch("t", 0, 0, tenant="t0")
+        status = coordinator.status()
+        assert set(status) >= {"shards", "routing", "admission", "work_gate"}
+        assert sorted(status["shards"]) == ["shard-0", "shard-1"]
+        for shard_status in status["shards"].values():
+            # Satellite fix: each shard's status carries its dataplane
+            # block (pool + engines + servers) in the same report.
+            assert "dataplane" in shard_status
+            assert "pool" in shard_status["dataplane"]
+            assert "servers" in shard_status["dataplane"]
+        assert status["routing"]["dedup_tracked_views"] >= 1
+        assert "t0" in status["admission"]["tenants"]
+    finally:
+        coordinator.shutdown()
+
+
+def test_service_status_includes_dataplane_and_server_counters(tmp_path):
+    service = make_shard()
+    unix_path = str(tmp_path / "svc.sock")
+    server = service.serve_async(unix_path=unix_path)
+    try:
+        server.start_background()
+        with BatchSocketClient(unix_path) as client:
+            client.get_batch("t", 0, 0)
+        status = service.status()
+        assert "dataplane" in status
+        assert status["dataplane"]["pool"]["leases_issued"] >= 1
+        (server_report,) = status["dataplane"]["servers"]
+        assert server_report["sends"] == 1
+        assert server_report["executor_workers"] >= 1
+    finally:
+        server.shutdown()
+        service.shutdown()
+
+
+def test_batches_survive_detach_roundtrip_dtype():
+    """get_batch through the coordinator returns an owned array."""
+    coordinator = ShardCoordinator([make_shard()])
+    try:
+        batch, md = coordinator.get_batch("t", 0, 0, tenant="t0")
+        assert isinstance(batch, np.ndarray)
+        assert batch.nbytes > 0 and md["task"] == "t"
+        batch[:] = 0  # owned: writing must not corrupt pooled state
+        again, _ = coordinator.get_batch("t", 0, 0, tenant="t0")
+        assert again.any()
+    finally:
+        coordinator.shutdown()
